@@ -1,0 +1,167 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact; see DESIGN.md §4). Each
+// iteration reproduces the full experiment; the shared trained model is
+// built once per process. Results print via b.Log at -v, and
+// cmd/benchtab renders the same tables with paper values side by side.
+package eugene
+
+import (
+	"sync"
+	"testing"
+
+	"eugene/internal/experiments"
+)
+
+var (
+	labOnce sync.Once
+	benchL  *experiments.Lab
+	labErr  error
+)
+
+// benchLab trains the paper-scale model once per process.
+func benchLab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	labOnce.Do(func() {
+		benchL, labErr = experiments.NewLab(experiments.DefaultLabConfig())
+	})
+	if labErr != nil {
+		b.Fatal(labErr)
+	}
+	return benchL
+}
+
+// BenchmarkTable1ConvProfile regenerates Table I: nonlinear conv-layer
+// execution times on the modeled device plus the learned profiler.
+func BenchmarkTable1ConvProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkFig2Reliability regenerates Figure 2: reliability diagrams
+// before and after entropy calibration.
+func BenchmarkFig2Reliability(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Fig2(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkTable2ECE regenerates Table II: ECE of Uncalibrated,
+// RDeepSense and RTDeepIoT per stage.
+func BenchmarkTable2ECE(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Table2(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkTable3GP regenerates Table III: MAE and R² of the GP
+// confidence-curve predictors.
+func BenchmarkTable3GP(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkFig4Schedulers regenerates Figure 4 (a, b and c): mean and
+// per-stream-std service accuracy for RTDeepIoT-k, RTDeepIoT-DC-k, RR
+// and FIFO at N ∈ {2, 5, 10, 20} concurrent tasks.
+func BenchmarkFig4Schedulers(b *testing.B) {
+	lab := benchLab(b)
+	cfg := experiments.DefaultFig4Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Fig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkTable4Collab regenerates Table IV: individual vs
+// collaborative camera inference, plus the rogue/resilience extension.
+func BenchmarkTable4Collab(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkPruningAblation regenerates the Section II-B edge-vs-node
+// pruning comparison.
+func BenchmarkPruningAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Pruning(256, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkLabeling regenerates the Section II-A semi-supervised
+// labeling experiment.
+func BenchmarkLabeling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Labeling(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkCaching regenerates the Section II-B device-caching
+// experiment.
+func BenchmarkCaching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Caching(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index) and prints them
+// side by side with the published values.
+//
+// Usage:
+//
+//	benchtab all
+//	benchtab table1|fig2|table2|table3|fig4|table4
+//	benchtab pruning|resilience|labeling|caching|classes|ablation   (extensions)
+//	benchtab [-quick] ...                          (reduced scale)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eugene/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "reduced-scale configuration (fast, less faithful)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	want := make(map[string]bool, len(args))
+	for _, a := range args {
+		want[a] = true
+	}
+	all := want["all"]
+	needsLab := all || want["fig2"] || want["table2"] || want["table3"] || want["fig4"] || want["classes"] || want["ablation"]
+
+	var lab *experiments.Lab
+	if needsLab {
+		cfg := experiments.DefaultLabConfig()
+		if *quick {
+			cfg = experiments.QuickLabConfig()
+		}
+		fmt.Fprintln(os.Stderr, "benchtab: training and calibrating the shared model...")
+		start := time.Now()
+		var err error
+		lab, err = experiments.NewLab(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: lab ready in %v (alpha=%.2f, stage accs %v)\n",
+			time.Since(start).Round(time.Second), lab.Alpha, lab.StageAccuracies())
+	}
+
+	if all || want["table1"] {
+		res, err := experiments.Table1(1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || want["fig2"] {
+		res, err := lab.Fig2(10)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || want["table2"] {
+		res, err := lab.Table2(10)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || want["table3"] {
+		res, err := lab.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || want["fig4"] {
+		cfg := experiments.DefaultFig4Config()
+		if *quick {
+			cfg.TasksPerRun = 100
+			cfg.Reps = 3
+		}
+		res, err := lab.Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || want["table4"] || want["resilience"] {
+		res, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || want["pruning"] {
+		res, err := experiments.Pruning(256, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || want["labeling"] {
+		res, err := experiments.Labeling(1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || want["classes"] {
+		res, err := lab.ServiceClasses(experiments.DefaultServiceClassConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || want["ablation"] {
+		cfg := experiments.DefaultFig4Config()
+		if *quick {
+			cfg.TasksPerRun = 100
+			cfg.Reps = 3
+		}
+		res, err := lab.CalibAblation(20, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || want["caching"] {
+		res, err := experiments.Caching(1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Command eugenectl is the Eugene command-line client.
+//
+// Usage:
+//
+//	eugenectl [-addr http://localhost:8080] health
+//	eugenectl [-addr ...] models
+//	eugenectl [-addr ...] infer -model NAME -input 0.1,0.2,...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"eugene"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "eugenectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "http://localhost:8080", "server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("usage: eugenectl [-addr URL] health|models|infer ...")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client := eugene.NewClient(*addr)
+	switch args[0] {
+	case "health":
+		if err := client.Healthy(ctx); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	case "models":
+		models, err := client.Models(ctx)
+		if err != nil {
+			return err
+		}
+		for _, m := range models {
+			fmt.Println(m)
+		}
+		return nil
+	case "infer":
+		fs := flag.NewFlagSet("infer", flag.ContinueOnError)
+		model := fs.String("model", "", "model name")
+		input := fs.String("input", "", "comma-separated feature values")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *model == "" || *input == "" {
+			return fmt.Errorf("infer requires -model and -input")
+		}
+		vals, err := parseFloats(*input)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Infer(ctx, *model, vals)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pred=%d conf=%.3f stages=%d expired=%v latency=%.2fms\n",
+			resp.Pred, resp.Conf, resp.Stages, resp.Expired, resp.LatencyMS)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+// Command eugened runs the Eugene deep-intelligence-as-a-service server:
+// an HTTP/JSON front end over the model registry and the RTDeepIoT
+// inference scheduler.
+//
+// Usage:
+//
+//	eugened [-addr :8080] [-workers 4] [-deadline 200ms] [-lookahead 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"eugene"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "eugened:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "inference worker pool size")
+	deadline := flag.Duration("deadline", 200*time.Millisecond, "per-request latency constraint")
+	lookahead := flag.Int("lookahead", 1, "RTDeepIoT scheduler lookahead k")
+	queue := flag.Int("queue", 256, "admission queue depth")
+	flag.Parse()
+
+	svc, err := eugene.NewService(eugene.Config{
+		Workers:    *workers,
+		Deadline:   *deadline,
+		QueueDepth: *queue,
+		Lookahead:  *lookahead,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	log.Printf("eugened listening on %s (workers=%d deadline=%v k=%d)",
+		*addr, *workers, *deadline, *lookahead)
+	return svc.ListenAndServe(*addr)
+}

@@ -1,0 +1,186 @@
+// Package eugene is the public API of the Eugene deep-intelligence-as-a-
+// service platform, a from-scratch Go reproduction of "Eugene: Towards
+// Deep Intelligence as a Service" (Yao et al., ICDCS 2019).
+//
+// Eugene serves machine-intelligence tasks for resource-constrained IoT
+// clients: it trains multi-exit ("staged") neural networks from
+// client-supplied data, calibrates their confidence estimates with the
+// paper's entropy-regularized fine-tuning (Eq. 4), predicts
+// future-stage confidence with Gaussian-process regression, and
+// schedules inference stage-by-stage under per-request latency
+// constraints with the utility-maximizing RTDeepIoT scheduler (paper
+// Section III). It also provides the surrounding service suite: model
+// reduction and device caching (Section II-B), execution profiling
+// (II-C), semi-supervised labeling (II-A), and collaborative
+// multi-camera inferencing (Section IV).
+//
+// # Quick start
+//
+//	svc, err := eugene.NewService(eugene.DefaultConfig())
+//	...
+//	data, err := eugene.NewSet(features, labels, dim)
+//	entry, err := svc.Train("my-model", data, eugene.DefaultTrainOptions(dim, classes))
+//	alpha, err := svc.Calibrate("my-model", calibData)
+//	err = svc.BuildPredictor("my-model", data)
+//	resp, err := svc.Infer(ctx, "my-model", sample)
+//
+// See examples/ for complete programs and DESIGN.md / EXPERIMENTS.md for
+// the reproduction methodology.
+package eugene
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"eugene/internal/cache"
+	"eugene/internal/calib"
+	"eugene/internal/core"
+	"eugene/internal/dataset"
+	"eugene/internal/sched"
+	"eugene/internal/service"
+	"eugene/internal/staged"
+	"eugene/internal/tensor"
+)
+
+// Config controls a Service: the worker-pool size (the paper's process
+// pool), the per-request latency constraint enforced by the deadline
+// daemon, and the RTDeepIoT lookahead k.
+type Config = core.Config
+
+// TrainOptions bundles model and training hyperparameters.
+type TrainOptions = core.TrainOptions
+
+// ModelEntry describes a registered model.
+type ModelEntry = core.ModelEntry
+
+// Response is the scheduler's answer to one inference request: the
+// classification, its calibrated confidence, how many stages actually
+// ran, and whether the deadline cut execution short.
+type Response = sched.Response
+
+// Set is a labeled dataset (one sample per row).
+type Set = dataset.Set
+
+// SubsetModel is a reduced hot-class model for device caching.
+type SubsetModel = cache.SubsetModel
+
+// StagedConfig configures the multi-exit network architecture.
+type StagedConfig = staged.Config
+
+// CalibConfig controls entropy calibration (paper Eq. 4).
+type CalibConfig = calib.EntropyCalibConfig
+
+// PredictorConfig controls GP confidence-curve fitting.
+type PredictorConfig = sched.GPPredictorConfig
+
+// DefaultConfig returns serving defaults: 4 workers, 200 ms deadline,
+// lookahead 1.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultTrainOptions sizes a three-stage residual network for the given
+// input width and class count.
+func DefaultTrainOptions(in, classes int) TrainOptions {
+	return core.DefaultTrainOptions(in, classes)
+}
+
+// DefaultCalibConfig returns the Eq. 4 grid-search defaults.
+func DefaultCalibConfig() CalibConfig { return calib.DefaultEntropyCalibConfig() }
+
+// DefaultPredictorConfig returns the GP fitting defaults.
+func DefaultPredictorConfig() PredictorConfig { return sched.DefaultGPPredictorConfig() }
+
+// NewSet builds a dataset from a flattened row-major feature slice
+// (len(features) must equal dim × len(labels)).
+func NewSet(features []float64, labels []int, dim int) (*Set, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("eugene: dim %d must be positive", dim)
+	}
+	if len(features) != dim*len(labels) {
+		return nil, fmt.Errorf("eugene: %d features for %d samples of dim %d", len(features), len(labels), dim)
+	}
+	return &dataset.Set{
+		X:      tensor.FromSlice(len(labels), dim, features),
+		Labels: labels,
+	}, nil
+}
+
+// Service is the Eugene backend: model registry, training, calibration,
+// predictor fitting, reduction, and scheduled inference. Safe for
+// concurrent use.
+type Service struct {
+	inner *core.Service
+}
+
+// NewService builds a service.
+func NewService(cfg Config) (*Service, error) {
+	inner, err := core.NewService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{inner: inner}, nil
+}
+
+// Train fits a staged model on client data and registers it under name.
+func (s *Service) Train(name string, data *Set, opts TrainOptions) (*ModelEntry, error) {
+	return s.inner.Train(name, data, opts)
+}
+
+// Calibrate runs RTDeepIoT entropy calibration on held-out data and
+// returns the chosen α.
+func (s *Service) Calibrate(name string, data *Set) (float64, error) {
+	return s.inner.Calibrate(name, data, calib.DefaultEntropyCalibConfig())
+}
+
+// CalibrateWith runs calibration with explicit settings.
+func (s *Service) CalibrateWith(name string, data *Set, cfg CalibConfig) (float64, error) {
+	return s.inner.Calibrate(name, data, cfg)
+}
+
+// BuildPredictor fits the GP confidence predictor the scheduler uses.
+func (s *Service) BuildPredictor(name string, data *Set) error {
+	return s.inner.BuildPredictor(name, data, sched.DefaultGPPredictorConfig())
+}
+
+// Infer schedules one inference request and blocks until it is answered
+// or expires.
+func (s *Service) Infer(ctx context.Context, name string, input []float64) (Response, error) {
+	return s.inner.Infer(ctx, name, input)
+}
+
+// Reduce trains a reduced hot-class model for caching on a device.
+func (s *Service) Reduce(name string, data *Set, hotClasses []int, hidden, epochs int) (*SubsetModel, error) {
+	return s.inner.Reduce(name, data, hotClasses, hidden, epochs)
+}
+
+// Models lists registered model names.
+func (s *Service) Models() []string { return s.inner.Models() }
+
+// Entry returns a model's registry entry.
+func (s *Service) Entry(name string) (*ModelEntry, error) { return s.inner.Entry(name) }
+
+// Close stops all worker pools.
+func (s *Service) Close() { s.inner.Close() }
+
+// Handler returns an http.Handler exposing the service's JSON API
+// (GET /v1/models, POST /v1/models/{name}/train|calibrate|predictor|infer).
+func (s *Service) Handler() http.Handler { return service.NewServer(s.inner) }
+
+// Client is the Go client for a remote Eugene server.
+type Client = service.Client
+
+// NewClient builds a client for the given base URL.
+func NewClient(base string) *Client { return service.NewClient(base) }
+
+// ListenAndServe starts an HTTP server for the service on addr and
+// blocks. For graceful shutdown, build your own http.Server around
+// Handler.
+func (s *Service) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,127 @@
+package eugene
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"eugene/internal/dataset"
+)
+
+func demoData(t *testing.T) (*Set, *Set) {
+	t.Helper()
+	cfg := dataset.SynthConfig{
+		Classes: 3, Dim: 8, ModesPerClass: 1,
+		TrainSize: 200, TestSize: 80,
+		NoiseLo: 0.4, NoiseHi: 1.0, Overlap: 0.1,
+	}
+	train, test, err := dataset.SynthCIFAR(cfg, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestNewSetValidation(t *testing.T) {
+	if _, err := NewSet([]float64{1, 2}, []int{0}, 0); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if _, err := NewSet([]float64{1, 2, 3}, []int{0}, 2); err == nil {
+		t.Fatal("expected length error")
+	}
+	set, err := NewSet([]float64{1, 2, 3, 4}, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("len = %d", set.Len())
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	svc, err := NewService(Config{Workers: 2, Deadline: time.Second, QueueDepth: 16, Lookahead: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	train, test := demoData(t)
+	opts := DefaultTrainOptions(8, 3)
+	opts.Model.Hidden = 16
+	opts.Model.BlocksPerStage = 1
+	opts.Train.Epochs = 8
+	if _, err := svc.Train("api", train, opts); err != nil {
+		t.Fatal(err)
+	}
+	calCfg := DefaultCalibConfig()
+	calCfg.Epochs = 2
+	calCfg.Alphas = []float64{0.5}
+	if _, err := svc.CalibrateWith("api", test, calCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.BuildPredictor("api", train); err != nil {
+		t.Fatal(err)
+	}
+	var right, n int
+	for i := 0; i < 20; i++ {
+		x, y := test.Sample(i)
+		resp, err := svc.Infer(context.Background(), "api", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if resp.Pred == y {
+			right++
+		}
+	}
+	if acc := float64(right) / float64(n); acc < 0.5 {
+		t.Fatalf("served accuracy %v", acc)
+	}
+	if got := svc.Models(); len(got) != 1 || got[0] != "api" {
+		t.Fatalf("models = %v", got)
+	}
+}
+
+func TestHandlerAndClient(t *testing.T) {
+	svc, err := NewService(Config{Workers: 2, Deadline: time.Second, QueueDepth: 16, Lookahead: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if err := c.Healthy(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	models, err := c.Models(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 0 {
+		t.Fatalf("models = %v", models)
+	}
+}
+
+func TestReduceViaPublicAPI(t *testing.T) {
+	svc, err := NewService(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	train, _ := demoData(t)
+	opts := DefaultTrainOptions(8, 3)
+	opts.Model.Hidden = 12
+	opts.Model.BlocksPerStage = 1
+	opts.Train.Epochs = 3
+	if _, err := svc.Train("r", train, opts); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := svc.Reduce("r", train, []int{0}, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Params() == 0 {
+		t.Fatal("empty reduced model")
+	}
+}

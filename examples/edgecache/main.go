@@ -1,0 +1,123 @@
+// Edgecache: the paper's smart-fridge scenario (Sec. II-B). A device's
+// request stream is heavily skewed toward a few item classes; Eugene
+// tracks class frequencies, decides when a hot subset justifies a
+// reduced model, trains and "downloads" it, and the device then serves
+// common items locally, escalating cache misses to the server.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"eugene/internal/cache"
+	"eugene/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Fridge item recognition: 10 item classes, but this household
+	// mostly stores two of them (beer and pop bottles, per the paper).
+	cfg := dataset.SynthConfig{
+		Classes: 10, Dim: 24, ModesPerClass: 1,
+		TrainSize: 1500, TestSize: 600,
+		NoiseLo: 0.3, NoiseHi: 0.9, Overlap: 0.08,
+	}
+	train, test, err := dataset.SynthCIFAR(cfg, 9)
+	if err != nil {
+		return err
+	}
+
+	// The server-side full model.
+	all := make([]int, cfg.Classes)
+	for i := range all {
+		all[i] = i
+	}
+	fmt.Println("training server model (all 10 classes) ...")
+	server, err := cache.TrainSubset(train, all, 96, 20, 1)
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: the device sends everything to the server; Eugene's
+	// frequency tracker watches the request stream.
+	rng := rand.New(rand.NewSource(2))
+	stream := dataset.NewZipfStream(rng, cfg.Classes, 1.4)
+	tracker, err := cache.NewFreqTracker(cfg.Classes, 0.999)
+	if err != nil {
+		return err
+	}
+	policy := cache.DefaultPolicy()
+	var hot []int
+	var observed int
+	for hot == nil && observed < 5000 {
+		tracker.Observe(stream.Next())
+		observed++
+		hot = policy.Decide(tracker)
+	}
+	if hot == nil {
+		return fmt.Errorf("caching policy never triggered")
+	}
+	fmt.Printf("after %d requests the policy selects hot classes %v "+
+		"(cumulative share ≥ %.0f%%)\n", observed, hot, 100*policy.MinShare)
+
+	// Phase 2: the server trains a reduced model for the hot classes
+	// and downloads it to the device.
+	fmt.Println("training reduced hot-class model for the device ...")
+	sub, err := cache.TrainSubset(train, hot, 24, 15, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reduced model: %d params (server model: %d params)\n",
+		sub.Params(), server.Params())
+
+	// Phase 3: the device serves locally when confident; misses (rare
+	// items, low confidence) escalate — the paper's cache-miss path.
+	dev := &cache.Device{Cached: sub, ConfThreshold: 0.8, Server: serverAdapter{server}}
+	lat := cache.DefaultLatencyModel()
+	byClass := make([][]int, cfg.Classes)
+	for i, l := range test.Labels {
+		byClass[l] = append(byClass[l], i)
+	}
+	var right, served int
+	var latencyMS float64
+	for i := 0; i < 3000; i++ {
+		want := stream.Next()
+		pool := byClass[want]
+		if len(pool) == 0 {
+			continue
+		}
+		x, y := test.Sample(pool[i%len(pool)])
+		pred, _, local := dev.Classify(x)
+		served++
+		if pred == y {
+			right++
+		}
+		if local {
+			latencyMS += lat.LocalNS(sub.Params()) / 1e6
+		} else {
+			latencyMS += lat.EscalateNS(server.Params()) / 1e6
+		}
+	}
+	fmt.Printf("\nserved %d requests:\n", served)
+	fmt.Printf("  cache hit rate:      %.1f%%\n", 100*dev.HitRate())
+	fmt.Printf("  end-to-end accuracy: %.1f%%\n", 100*float64(right)/float64(served))
+	fmt.Printf("  mean latency:        %.2f ms (all-server baseline: %.2f ms)\n",
+		latencyMS/float64(served), lat.EscalateNS(server.Params())/1e6)
+	return nil
+}
+
+type serverAdapter struct{ m *cache.SubsetModel }
+
+func (s serverAdapter) Classify(x []float64) (int, float64) {
+	c, conf, other := s.m.Predict(x)
+	if other {
+		return -1, conf
+	}
+	return c, conf
+}

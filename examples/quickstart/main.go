@@ -1,0 +1,90 @@
+// Quickstart: train a staged model through the Eugene public API,
+// calibrate it, fit the GP confidence predictor, and serve scheduled
+// inference requests — the full "deep intelligence as a service"
+// pipeline in one program.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"eugene"
+	"eugene/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// An IoT deployment's labeled corpus (synthetic stand-in).
+	cfg := dataset.SynthConfig{
+		Classes: 5, Dim: 32, ModesPerClass: 2,
+		TrainSize: 1500, TestSize: 600,
+		NoiseLo: 0.6, NoiseHi: 1.8, Overlap: 0.2,
+	}
+	train, test, err := dataset.SynthCIFAR(cfg, 7)
+	if err != nil {
+		return err
+	}
+	calibSet, holdout := test.Split(300)
+
+	svc, err := eugene.NewService(eugene.Config{
+		Workers:    4,
+		Deadline:   500 * time.Millisecond,
+		QueueDepth: 64,
+		Lookahead:  1,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	// 1. Training service (paper Sec. II-A).
+	opts := eugene.DefaultTrainOptions(cfg.Dim, cfg.Classes)
+	opts.Model.Hidden = 48
+	opts.Train.Epochs = 20
+	fmt.Println("training 3-stage model ...")
+	entry, err := svc.Train("quickstart", train, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("per-stage training accuracy: %.3f\n", entry.StageAccs)
+
+	// 2. Confidence calibration (paper Eq. 4).
+	alpha, err := svc.Calibrate("quickstart", calibSet)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("entropy calibration chose alpha = %.2f\n", alpha)
+
+	// 3. GP confidence predictor for the scheduler (paper Sec. III-B).
+	if err := svc.BuildPredictor("quickstart", train); err != nil {
+		return err
+	}
+
+	// 4. Scheduled inference (paper Sec. III).
+	fmt.Println("serving 20 requests through the RTDeepIoT scheduler:")
+	var right, stages int
+	for i := 0; i < 20; i++ {
+		x, y := holdout.Sample(i)
+		resp, err := svc.Infer(context.Background(), "quickstart", x)
+		if err != nil {
+			return err
+		}
+		ok := "✗"
+		if resp.Pred == y {
+			ok = "✓"
+			right++
+		}
+		stages += resp.Stages
+		fmt.Printf("  req %2d: pred=%d truth=%d %s conf=%.2f stages=%d latency=%v\n",
+			i, resp.Pred, y, ok, resp.Conf, resp.Stages, resp.Latency.Round(time.Microsecond))
+	}
+	fmt.Printf("accuracy %d/20, mean stages %.1f\n", right, float64(stages)/20)
+	return nil
+}

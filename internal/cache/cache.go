@@ -1,0 +1,271 @@
+// Package cache implements Eugene's model caching service (paper
+// Section II-B): the server tracks which classes a device actually
+// encounters, decides when a hot subset justifies building a reduced
+// local model, trains that subset model, and the device runtime serves
+// hot-class inputs locally, escalating "cache misses" (unfamiliar or
+// low-confidence inputs) to the full server model.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"eugene/internal/dataset"
+	"eugene/internal/nn"
+	"eugene/internal/tensor"
+)
+
+// FreqTracker keeps exponentially decayed per-class request counts, the
+// signal behind "what constitutes frequent inference tasks".
+type FreqTracker struct {
+	counts []float64
+	decay  float64
+	total  float64
+}
+
+// NewFreqTracker tracks classes with the given per-observation decay
+// (e.g. 0.999 ≈ a sliding window of ~1000 requests).
+func NewFreqTracker(classes int, decay float64) (*FreqTracker, error) {
+	if classes < 1 {
+		return nil, fmt.Errorf("cache: need ≥1 class, got %d", classes)
+	}
+	if decay <= 0 || decay > 1 {
+		return nil, fmt.Errorf("cache: decay %v outside (0,1]", decay)
+	}
+	return &FreqTracker{counts: make([]float64, classes), decay: decay}, nil
+}
+
+// Observe records one request for class c.
+func (f *FreqTracker) Observe(c int) {
+	if c < 0 || c >= len(f.counts) {
+		return
+	}
+	for i := range f.counts {
+		f.counts[i] *= f.decay
+	}
+	f.total = f.total*f.decay + 1
+	f.counts[c]++
+}
+
+// Share returns class c's fraction of decayed traffic.
+func (f *FreqTracker) Share(c int) float64 {
+	if f.total == 0 || c < 0 || c >= len(f.counts) {
+		return 0
+	}
+	return f.counts[c] / f.total
+}
+
+// TopK returns the k most frequent classes (descending share) and their
+// cumulative share.
+func (f *FreqTracker) TopK(k int) ([]int, float64) {
+	if k > len(f.counts) {
+		k = len(f.counts)
+	}
+	idx := make([]int, len(f.counts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return f.counts[idx[a]] > f.counts[idx[b]] })
+	top := idx[:k]
+	var share float64
+	for _, c := range top {
+		share += f.Share(c)
+	}
+	return append([]int(nil), top...), share
+}
+
+// Policy decides when caching a reduced model is worthwhile, adapting
+// the hot-set size to device capacity as the paper's open questions
+// suggest.
+type Policy struct {
+	// MinShare is the minimum cumulative traffic share the hot set
+	// must cover before a reduced model is built.
+	MinShare float64
+	// MinObservations gates decisions until enough traffic is seen.
+	MinObservations float64
+	// MaxClasses bounds the hot set (device capacity proxy).
+	MaxClasses int
+}
+
+// DefaultPolicy covers ≥70% of traffic with at most 3 hot classes after
+// 200 observations.
+func DefaultPolicy() Policy {
+	return Policy{MinShare: 0.7, MinObservations: 200, MaxClasses: 3}
+}
+
+// Decide returns the hot classes to cache, or nil when caching is not
+// yet justified. It picks the smallest K ≤ MaxClasses reaching MinShare.
+func (p Policy) Decide(f *FreqTracker) []int {
+	if f.total < p.MinObservations {
+		return nil
+	}
+	for k := 1; k <= p.MaxClasses; k++ {
+		top, share := f.TopK(k)
+		if share >= p.MinShare {
+			return top
+		}
+	}
+	return nil
+}
+
+// SubsetModel is the reduced model cached on the device: a small dense
+// classifier over the hot classes plus an explicit "other" class, as in
+// the paper's yes/no/neither example.
+type SubsetModel struct {
+	Net     *nn.Sequential
+	Hot     []int // hot class ids, in model output order
+	classes int   // hot + 1 (other)
+	in      int
+}
+
+// Params returns the parameter count (the device-footprint proxy).
+func (s *SubsetModel) Params() int {
+	var n int
+	for _, p := range s.Net.Params() {
+		n += len(p.Value)
+	}
+	return n
+}
+
+// TrainSubset trains a reduced model on the hot classes: samples of
+// other classes become the "other" category. hidden controls the model
+// footprint.
+func TrainSubset(train *dataset.Set, hot []int, hidden, epochs int, seed int64) (*SubsetModel, error) {
+	if len(hot) < 1 {
+		return nil, fmt.Errorf("cache: empty hot set")
+	}
+	if hidden < 1 || epochs < 1 {
+		return nil, fmt.Errorf("cache: bad subset model config hidden=%d epochs=%d", hidden, epochs)
+	}
+	hotIdx := make(map[int]int, len(hot))
+	for i, c := range hot {
+		hotIdx[c] = i
+	}
+	other := len(hot)
+	labels := make([]int, train.Len())
+	for i, l := range train.Labels {
+		if j, ok := hotIdx[l]; ok {
+			labels[i] = j
+		} else {
+			labels[i] = other
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewSequential(
+		nn.NewDense(rng, train.X.Cols, hidden),
+		nn.NewReLU(),
+		nn.NewDense(rng, hidden, len(hot)+1),
+	)
+	opt := nn.NewSGD(0.05, 0.9, 1e-4)
+	params := net.Params()
+	order := rng.Perm(train.Len())
+	const batch = 32
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			x := tensor.NewMatrix(end-start, train.X.Cols)
+			bl := make([]int, end-start)
+			for i := start; i < end; i++ {
+				copy(x.Row(i-start), train.X.Row(order[i]))
+				bl[i-start] = labels[order[i]]
+			}
+			out := net.Forward(x, true)
+			grad := tensor.NewMatrix(out.Rows, out.Cols)
+			nn.SoftmaxCE(grad, out, bl, 0)
+			net.Backward(grad)
+			opt.Step(params)
+		}
+	}
+	return &SubsetModel{Net: net, Hot: append([]int(nil), hot...), classes: len(hot) + 1, in: train.X.Cols}, nil
+}
+
+// Predict classifies one sample: (class, confidence, isOther).
+func (s *SubsetModel) Predict(x []float64) (int, float64, bool) {
+	in := tensor.FromSlice(1, len(x), x)
+	out := s.Net.Forward(in, false)
+	probs := tensor.NewMatrix(1, s.classes)
+	tensor.Softmax(probs, out)
+	idx, conf := tensor.ArgMax(probs.Row(0))
+	if idx == len(s.Hot) {
+		return -1, conf, true
+	}
+	return s.Hot[idx], conf, false
+}
+
+// ServerModel is the escalation target for cache misses.
+type ServerModel interface {
+	// Classify returns the full model's answer and confidence.
+	Classify(x []float64) (int, float64)
+}
+
+// Device is the client-side runtime: it serves hot-class inputs from the
+// cached reduced model and escalates misses to the server.
+type Device struct {
+	// Cached is the local reduced model; nil means everything
+	// escalates.
+	Cached *SubsetModel
+	// ConfThreshold is the minimum local confidence to trust a hit.
+	ConfThreshold float64
+	// Server is the miss path.
+	Server ServerModel
+
+	// Stats.
+	Hits, Misses int
+}
+
+// Classify answers one request, tracking hit/miss statistics. The
+// returned bool reports whether the answer was served locally.
+func (d *Device) Classify(x []float64) (int, float64, bool) {
+	if d.Cached != nil {
+		if c, conf, other := d.Cached.Predict(x); !other && conf >= d.ConfThreshold {
+			d.Hits++
+			return c, conf, true
+		}
+	}
+	d.Misses++
+	c, conf := d.Server.Classify(x)
+	return c, conf, false
+}
+
+// HitRate returns the local-answer fraction.
+func (d *Device) HitRate() float64 {
+	total := d.Hits + d.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(d.Hits) / float64(total)
+}
+
+// LatencyModel converts a model footprint into a latency estimate so
+// experiments can report the caching win without wall-clock noise.
+type LatencyModel struct {
+	// DeviceNSPerParam and ServerNSPerParam are per-parameter compute
+	// costs (the server is faster per parameter).
+	DeviceNSPerParam float64
+	ServerNSPerParam float64
+	// NetworkRTTNS is the round trip added to every escalation.
+	NetworkRTTNS float64
+}
+
+// DefaultLatencyModel: a device ~10× slower per parameter than the edge
+// server, 20 ms RTT.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		DeviceNSPerParam: 10,
+		ServerNSPerParam: 1,
+		NetworkRTTNS:     20e6,
+	}
+}
+
+// LocalNS returns the modeled local-inference latency.
+func (l LatencyModel) LocalNS(params int) float64 { return l.DeviceNSPerParam * float64(params) }
+
+// EscalateNS returns the modeled miss latency.
+func (l LatencyModel) EscalateNS(serverParams int) float64 {
+	return l.NetworkRTTNS + l.ServerNSPerParam*float64(serverParams)
+}

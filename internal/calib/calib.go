@@ -1,0 +1,156 @@
+// Package calib implements Eugene's confidence-calibration machinery
+// (paper Section III-A): the Expected Calibration Error metric, the
+// reliability diagram of Figure 2, the entropy-regularized fine-tuning
+// method RTDeepIoT uses (Eq. 4), and the RDeepSense MC-dropout and
+// temperature-scaling baselines.
+package calib
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bin is one reliability-diagram bucket: samples whose confidence falls
+// in (Lo, Hi].
+type Bin struct {
+	Lo, Hi float64
+	// Count is the number of samples in the bin.
+	Count int
+	// Acc is the mean accuracy of the bin's samples (Eq. 1).
+	Acc float64
+	// Conf is the mean confidence of the bin's samples (Eq. 2).
+	Conf float64
+}
+
+// Gap returns |acc − conf| for the bin; the reliability diagram's
+// deviation from the diagonal.
+func (b Bin) Gap() float64 { return math.Abs(b.Acc - b.Conf) }
+
+// Reliability groups (confidence, correctness) pairs into m equal-width
+// bins (paper Figure 2). confs[i] must be the classification confidence
+// of sample i and correct[i] whether its arg-max prediction was right.
+func Reliability(confs []float64, correct []bool, m int) ([]Bin, error) {
+	if len(confs) != len(correct) {
+		return nil, fmt.Errorf("calib: %d confidences vs %d correctness flags", len(confs), len(correct))
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("calib: need ≥1 bin, got %d", m)
+	}
+	bins := make([]Bin, m)
+	for i := range bins {
+		bins[i].Lo = float64(i) / float64(m)
+		bins[i].Hi = float64(i+1) / float64(m)
+	}
+	for i, c := range confs {
+		if math.IsNaN(c) {
+			return nil, fmt.Errorf("calib: NaN confidence at sample %d", i)
+		}
+		// Bin index for confidence in (lo, hi]; conf 0 lands in bin 0.
+		idx := int(math.Ceil(c*float64(m))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= m {
+			idx = m - 1
+		}
+		b := &bins[idx]
+		b.Count++
+		b.Conf += c
+		if correct[i] {
+			b.Acc++
+		}
+	}
+	for i := range bins {
+		if bins[i].Count > 0 {
+			bins[i].Acc /= float64(bins[i].Count)
+			bins[i].Conf /= float64(bins[i].Count)
+		}
+	}
+	return bins, nil
+}
+
+// ECE computes the Expected Calibration Error over m bins: the
+// sample-weighted mean |acc(S_m) − conf(S_m)| (paper Eq. 3; the printed
+// equation divides by m, a typo for the sample count n used by the ECE
+// literature it cites [13]).
+func ECE(confs []float64, correct []bool, m int) (float64, error) {
+	bins, err := Reliability(confs, correct, m)
+	if err != nil {
+		return 0, err
+	}
+	n := len(confs)
+	if n == 0 {
+		return 0, nil
+	}
+	var ece float64
+	for _, b := range bins {
+		ece += float64(b.Count) / float64(n) * b.Gap()
+	}
+	return ece, nil
+}
+
+// MeanConfidence returns the average confidence of the set.
+func MeanConfidence(confs []float64) float64 {
+	if len(confs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range confs {
+		s += c
+	}
+	return s / float64(len(confs))
+}
+
+// MeanAccuracy returns the fraction of correct flags.
+func MeanAccuracy(correct []bool) float64 {
+	if len(correct) == 0 {
+		return 0
+	}
+	var n int
+	for _, c := range correct {
+		if c {
+			n++
+		}
+	}
+	return float64(n) / float64(len(correct))
+}
+
+// Direction classifies the miscalibration of a (conf, correct) sample per
+// the paper: acc(S) < conf(S) means the network overestimates confidence,
+// acc(S) > conf(S) means it underestimates.
+type Direction int
+
+// Miscalibration directions.
+const (
+	Calibrated Direction = iota + 1
+	Overconfident
+	Underconfident
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Calibrated:
+		return "calibrated"
+	case Overconfident:
+		return "overconfident"
+	case Underconfident:
+		return "underconfident"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Diagnose compares mean accuracy and confidence with tolerance tol.
+func Diagnose(confs []float64, correct []bool, tol float64) Direction {
+	acc := MeanAccuracy(correct)
+	conf := MeanConfidence(confs)
+	switch {
+	case conf-acc > tol:
+		return Overconfident
+	case acc-conf > tol:
+		return Underconfident
+	default:
+		return Calibrated
+	}
+}

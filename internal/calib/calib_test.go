@@ -1,0 +1,147 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReliabilityBinning(t *testing.T) {
+	confs := []float64{0.05, 0.15, 0.95, 0.95, 1.0}
+	correct := []bool{true, false, true, false, true}
+	bins, err := Reliability(confs, correct, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 10 {
+		t.Fatalf("got %d bins", len(bins))
+	}
+	if bins[0].Count != 1 || bins[1].Count != 1 {
+		t.Fatalf("low bins: %+v %+v", bins[0], bins[1])
+	}
+	// 0.95, 0.95, 1.0 all land in (0.9, 1.0].
+	if bins[9].Count != 3 {
+		t.Fatalf("top bin count = %d, want 3", bins[9].Count)
+	}
+	if math.Abs(bins[9].Acc-2.0/3) > 1e-12 {
+		t.Fatalf("top bin acc = %v", bins[9].Acc)
+	}
+	wantConf := (0.95 + 0.95 + 1.0) / 3
+	if math.Abs(bins[9].Conf-wantConf) > 1e-12 {
+		t.Fatalf("top bin conf = %v, want %v", bins[9].Conf, wantConf)
+	}
+}
+
+func TestReliabilityErrors(t *testing.T) {
+	if _, err := Reliability([]float64{0.5}, nil, 10); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := Reliability(nil, nil, 0); err == nil {
+		t.Fatal("expected bin-count error")
+	}
+	if _, err := Reliability([]float64{math.NaN()}, []bool{true}, 5); err == nil {
+		t.Fatal("expected NaN error")
+	}
+}
+
+func TestECEPerfectCalibration(t *testing.T) {
+	// A large synthetic population where accuracy == confidence in
+	// every bin: ECE must be ≈0.
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	confs := make([]float64, n)
+	correct := make([]bool, n)
+	for i := range confs {
+		c := 0.5 + rng.Float64()*0.5
+		confs[i] = c
+		correct[i] = rng.Float64() < c
+	}
+	ece, err := ECE(confs, correct, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ece > 0.02 {
+		t.Fatalf("ECE of calibrated population = %v, want ≈0", ece)
+	}
+}
+
+func TestECEOverconfident(t *testing.T) {
+	// Everyone claims 0.9 but only half are right: ECE = 0.4.
+	n := 1000
+	confs := make([]float64, n)
+	correct := make([]bool, n)
+	for i := range confs {
+		confs[i] = 0.9
+		correct[i] = i%2 == 0
+	}
+	ece, err := ECE(confs, correct, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ece-0.4) > 1e-9 {
+		t.Fatalf("ECE = %v, want 0.4", ece)
+	}
+}
+
+func TestECEBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		confs := make([]float64, n)
+		correct := make([]bool, n)
+		for i := range confs {
+			confs[i] = rng.Float64()
+			correct[i] = rng.Float64() < 0.5
+		}
+		ece, err := ECE(confs, correct, 10)
+		return err == nil && ece >= 0 && ece <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECEEmpty(t *testing.T) {
+	ece, err := ECE(nil, nil, 10)
+	if err != nil || ece != 0 {
+		t.Fatalf("empty ECE = (%v, %v)", ece, err)
+	}
+}
+
+func TestDiagnose(t *testing.T) {
+	over := Diagnose([]float64{0.9, 0.9}, []bool{true, false}, 0.01)
+	if over != Overconfident {
+		t.Fatalf("got %v, want overconfident", over)
+	}
+	under := Diagnose([]float64{0.5, 0.5}, []bool{true, true}, 0.01)
+	if under != Underconfident {
+		t.Fatalf("got %v, want underconfident", under)
+	}
+	ok := Diagnose([]float64{0.5, 0.5}, []bool{true, false}, 0.01)
+	if ok != Calibrated {
+		t.Fatalf("got %v, want calibrated", ok)
+	}
+	if Overconfident.String() != "overconfident" || Direction(99).String() == "" {
+		t.Fatal("Direction.String broken")
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	if MeanConfidence(nil) != 0 || MeanAccuracy(nil) != 0 {
+		t.Fatal("empty means should be 0")
+	}
+	if got := MeanConfidence([]float64{0.2, 0.4}); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("MeanConfidence = %v", got)
+	}
+	if got := MeanAccuracy([]bool{true, false, true, true}); got != 0.75 {
+		t.Fatalf("MeanAccuracy = %v", got)
+	}
+}
+
+func TestBinGap(t *testing.T) {
+	b := Bin{Acc: 0.7, Conf: 0.9}
+	if math.Abs(b.Gap()-0.2) > 1e-12 {
+		t.Fatalf("Gap = %v", b.Gap())
+	}
+}

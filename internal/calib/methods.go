@@ -1,0 +1,486 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"eugene/internal/dataset"
+	"eugene/internal/nn"
+	"eugene/internal/staged"
+	"eugene/internal/tensor"
+)
+
+// StageEval holds per-stage confidence/correctness over a dataset:
+// Confs[s][i] is the confidence of sample i at stage s.
+type StageEval struct {
+	Confs   [][]float64
+	Correct [][]bool
+}
+
+// ECEPerStage returns the ECE of every stage with m bins.
+func (e *StageEval) ECEPerStage(m int) ([]float64, error) {
+	out := make([]float64, len(e.Confs))
+	for s := range e.Confs {
+		v, err := ECE(e.Confs[s], e.Correct[s], m)
+		if err != nil {
+			return nil, fmt.Errorf("calib: stage %d: %w", s, err)
+		}
+		out[s] = v
+	}
+	return out, nil
+}
+
+// MeanECE averages ECE across stages; the entropy-calibration grid search
+// minimizes this.
+func (e *StageEval) MeanECE(m int) (float64, error) {
+	per, err := e.ECEPerStage(m)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, v := range per {
+		sum += v
+	}
+	return sum / float64(len(per)), nil
+}
+
+// EvalUncalibrated runs the model deterministically over the set and
+// collects per-stage confidences — the paper's "Uncalibrated" row.
+func EvalUncalibrated(m *staged.Model, set *dataset.Set) *StageEval {
+	s := m.NumStages()
+	ev := newStageEval(s, set.Len())
+	for i := 0; i < set.Len(); i++ {
+		x, y := set.Sample(i)
+		outs := m.Predict(x, s-1)
+		for j, o := range outs {
+			ev.Confs[j][i] = o.Conf
+			ev.Correct[j][i] = o.Pred == y
+		}
+	}
+	return ev
+}
+
+// EvalMCDropout implements the RDeepSense baseline: with dropout kept
+// stochastic at inference time, average the per-stage probability vectors
+// over k passes and read prediction and confidence from the average.
+func EvalMCDropout(m *staged.Model, set *dataset.Set, k int, seed int64) *StageEval {
+	return EvalMCDropoutRate(m, set, k, seed, 0)
+}
+
+// EvalMCDropoutRate is EvalMCDropout with an explicit Monte-Carlo drop
+// rate; rate ≤ 0 keeps the rates the model was trained with. The MC rate
+// is the baseline's main knob: higher rates soften the averaged
+// probabilities further.
+func EvalMCDropoutRate(m *staged.Model, set *dataset.Set, k int, seed int64, rate float64) *StageEval {
+	if k < 1 {
+		panic(fmt.Sprintf("calib: MC dropout needs k ≥ 1, got %d", k))
+	}
+	if rate >= 1 {
+		panic(fmt.Sprintf("calib: MC dropout rate %v outside [0,1)", rate))
+	}
+	// Work on a clone so toggling MC mode cannot leak to other users of
+	// the model.
+	mc := m.Clone()
+	for _, st := range mc.Stages {
+		nn.SetMCDropout(st.Head, true)
+		if rate > 0 {
+			setDropoutRate(st.Head, rate)
+		}
+	}
+	// Reseed the dropout RNGs deterministically.
+	reseedDropout(mc, seed)
+	stages := mc.NumStages()
+	ev := newStageEval(stages, set.Len())
+	avg := make([][]float64, stages)
+	for s := range avg {
+		avg[s] = make([]float64, mc.Classes)
+	}
+	for i := 0; i < set.Len(); i++ {
+		x, y := set.Sample(i)
+		for s := range avg {
+			for c := range avg[s] {
+				avg[s][c] = 0
+			}
+		}
+		for pass := 0; pass < k; pass++ {
+			outs := mc.Predict(x, stages-1)
+			for s, o := range outs {
+				for c, p := range o.Probs {
+					avg[s][c] += p
+				}
+			}
+		}
+		for s := range avg {
+			for c := range avg[s] {
+				avg[s][c] /= float64(k)
+			}
+			pred, conf := tensor.ArgMax(avg[s])
+			ev.Confs[s][i] = conf
+			ev.Correct[s][i] = pred == y
+		}
+	}
+	return ev
+}
+
+// EntropyCalibConfig controls the Eq. 4 fine-tuning grid search.
+type EntropyCalibConfig struct {
+	// Alphas are the candidate |α| magnitudes to try; the sign is
+	// chosen automatically from the miscalibration direction.
+	Alphas []float64
+	// Epochs of head-only fine-tuning per candidate.
+	Epochs int
+	// BatchSize for fine-tuning.
+	BatchSize int
+	// LR for fine-tuning.
+	LR float64
+	// Bins for the ECE objective.
+	Bins int
+	// Seed drives shuffling.
+	Seed int64
+}
+
+// DefaultEntropyCalibConfig returns the grid used by the experiments.
+func DefaultEntropyCalibConfig() EntropyCalibConfig {
+	return EntropyCalibConfig{
+		Alphas:    []float64{0.1, 0.25, 0.5, 1, 2},
+		Epochs:    12,
+		BatchSize: 32,
+		LR:        0.03,
+		Bins:      10,
+		Seed:      1,
+	}
+}
+
+// EntropyCalibrate implements the paper's RTDeepIoT calibration:
+// fine-tune each exit head with the Eq. 4 loss CE + α·H(p), choosing α
+// by grid search minimizing that stage's ECE. The calibration set is
+// split internally into a fit half and a select half so the grid search
+// does not score on the data it tuned, and the winning configuration is
+// refit on the full calibration set.
+//
+// Two deliberate refinements over the paper's sketch (see EXPERIMENTS.md):
+//
+//   - The fine-tuning is restricted to one scalar per head — the scale
+//     of the exit classifier's logits — optimized by gradient descent on
+//     the Eq. 4 loss. Unrestricted head fine-tuning on a small held-out
+//     calibration set overfits it, and on the (overfit) training set the
+//     exit probabilities are saturated so the Eq. 4 gradients vanish.
+//   - α is searched over both signs per stage rather than fixing the
+//     sign from the initial miscalibration direction: the CE term's
+//     minimum is dominated by saturated wrong predictions and lands
+//     under-confident, so the entropy term most often needs to sharpen
+//     (α > 0) relative to it even for an initially over-confident
+//     network. The paper's sign rule describes the direction relative to
+//     the current operating point; the grid realizes it automatically.
+//
+// It returns the calibrated model (the input model is not mutated) and
+// the mean of the chosen per-stage α values (reported for inspection).
+func EntropyCalibrate(m *staged.Model, calibSet *dataset.Set, cfg EntropyCalibConfig) (*staged.Model, float64, error) {
+	if len(cfg.Alphas) == 0 || cfg.Epochs < 1 || cfg.BatchSize < 1 || cfg.Bins < 1 {
+		return nil, 0, fmt.Errorf("calib: bad entropy calibration config %+v", cfg)
+	}
+	if calibSet.Len() < 4 {
+		return nil, 0, fmt.Errorf("calib: calibration set of %d samples is too small", calibSet.Len())
+	}
+	fit, sel := calibSet.Split(calibSet.Len() / 2)
+	fitLogits, fitLabels := stageLogits(m, fit)
+	selLogits, selLabels := stageLogits(m, sel)
+	iters := cfg.Epochs * 25
+
+	stages := m.NumStages()
+	bestScales := make([]float64, stages)
+	bestAlphas := make([]float64, stages)
+	candidates := []float64{0}
+	for _, a := range cfg.Alphas {
+		candidates = append(candidates, a, -a)
+	}
+	for st := 0; st < stages; st++ {
+		bestScales[st] = 1
+		bestECE, err := scaledECE(selLogits[st], selLabels, 1, cfg.Bins)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, alpha := range candidates {
+			scale := fitHeadScale(fitLogits[st], fitLabels, alpha, iters, cfg.LR)
+			e, err := scaledECE(selLogits[st], selLabels, scale, cfg.Bins)
+			if err != nil {
+				return nil, 0, err
+			}
+			if e < bestECE {
+				bestECE, bestScales[st], bestAlphas[st] = e, scale, alpha
+			}
+		}
+	}
+	// Refit the winning α on the full calibration set.
+	allLogits, allLabels := stageLogits(m, calibSet)
+	finalScales := make([]float64, stages)
+	var alphaSum float64
+	for st := 0; st < stages; st++ {
+		if bestScales[st] == 1 && bestAlphas[st] == 0 {
+			finalScales[st] = 1 // calibration declined for this stage
+			continue
+		}
+		finalScales[st] = fitHeadScale(allLogits[st], allLabels, bestAlphas[st], iters, cfg.LR)
+		alphaSum += bestAlphas[st]
+	}
+	return applyHeadScales(m, finalScales), alphaSum / float64(stages), nil
+}
+
+// scaledECE computes the ECE of one stage's logits under a logit scale.
+func scaledECE(logits [][]float64, labels []int, scale float64, bins int) (float64, error) {
+	confs := make([]float64, len(logits))
+	correct := make([]bool, len(logits))
+	if len(logits) == 0 {
+		return 0, nil
+	}
+	classes := len(logits[0])
+	probs := tensor.NewMatrix(1, classes)
+	scaled := tensor.NewMatrix(1, classes)
+	for i, z := range logits {
+		for c, v := range z {
+			scaled.Data[c] = scale * v
+		}
+		tensor.Softmax(probs, scaled)
+		pred, conf := tensor.ArgMax(probs.Row(0))
+		confs[i] = conf
+		correct[i] = pred == labels[i]
+	}
+	return ECE(confs, correct, bins)
+}
+
+// stageLogits collects per-stage log-probability vectors (equivalent to
+// logits up to a per-sample constant, which softmax ignores) for every
+// sample, so the scale optimization needs no further network passes.
+func stageLogits(m *staged.Model, set *dataset.Set) ([][][]float64, []int) {
+	stages := m.NumStages()
+	logits := make([][][]float64, stages)
+	for s := range logits {
+		logits[s] = make([][]float64, set.Len())
+	}
+	labels := make([]int, set.Len())
+	for i := 0; i < set.Len(); i++ {
+		x, y := set.Sample(i)
+		labels[i] = y
+		outs := m.Predict(x, stages-1)
+		for s, o := range outs {
+			lg := make([]float64, len(o.Probs))
+			for c, p := range o.Probs {
+				lg[c] = math.Log(math.Max(p, 1e-12))
+			}
+			logits[s][i] = lg
+		}
+	}
+	return logits, labels
+}
+
+// fitHeadScale gradient-descends one stage's logit scale s on the Eq. 4
+// loss L(s) = mean CE(softmax(s·z), y) + α·H(softmax(s·z)).
+func fitHeadScale(logits [][]float64, labels []int, alpha float64, iters int, lr float64) float64 {
+	if len(logits) == 0 {
+		return 1
+	}
+	scale := 1.0
+	classes := len(logits[0])
+	probs := tensor.NewMatrix(1, classes)
+	scaled := tensor.NewMatrix(1, classes)
+	for it := 0; it < iters; it++ {
+		var grad float64
+		for i, z := range logits {
+			for c, v := range z {
+				scaled.Data[c] = scale * v
+			}
+			tensor.Softmax(probs, scaled)
+			p := probs.Row(0)
+			h := tensor.Entropy(p)
+			// dL/d(s·z_j), then chain through z_j.
+			for c := range p {
+				g := p[c]
+				if c == labels[i] {
+					g -= 1
+				}
+				if alpha != 0 {
+					lp := math.Log(math.Max(p[c], 1e-12))
+					g += alpha * (-p[c] * (lp + h))
+				}
+				grad += g * z[c]
+			}
+		}
+		grad /= float64(len(logits))
+		scale -= lr * grad
+		if scale < 0.01 {
+			scale = 0.01
+		}
+	}
+	return scale
+}
+
+// applyHeadScales clones the model and multiplies each exit head's final
+// linear layer by the per-stage scale, which scales its logits exactly.
+func applyHeadScales(m *staged.Model, scales []float64) *staged.Model {
+	c := m.Clone()
+	for s, st := range c.Stages {
+		for _, p := range lastDense(st.Head).Params() {
+			for i := range p.Value {
+				p.Value[i] *= scales[s]
+			}
+		}
+	}
+	return c
+}
+
+// lastDense finds the final Dense layer of a head.
+func lastDense(l nn.Layer) *nn.Dense {
+	switch v := l.(type) {
+	case *nn.Dense:
+		return v
+	case *nn.Sequential:
+		for i := len(v.Layers) - 1; i >= 0; i-- {
+			if d := lastDense(v.Layers[i]); d != nil {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+func meanECEOf(m *staged.Model, set *dataset.Set, bins int) (float64, error) {
+	return EvalUncalibrated(m, set).MeanECE(bins)
+}
+
+// TemperatureScale fits a per-stage softmax temperature on val by grid
+// search minimizing ECE — the standard post-hoc baseline [11], included
+// as an extension comparator. It returns per-stage temperatures; apply
+// them with ApplyTemperature.
+func TemperatureScale(m *staged.Model, val *dataset.Set, bins int) ([]float64, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("calib: bins %d must be positive", bins)
+	}
+	stages := m.NumStages()
+	// Collect logits per stage once.
+	logitsPerStage := make([][][]float64, stages)
+	labels := make([]int, val.Len())
+	for s := range logitsPerStage {
+		logitsPerStage[s] = make([][]float64, val.Len())
+	}
+	for i := 0; i < val.Len(); i++ {
+		x, y := val.Sample(i)
+		labels[i] = y
+		outs := m.Predict(x, stages-1)
+		for s, o := range outs {
+			// Recover logits up to a constant from log-probs; softmax
+			// temperature on log p equals temperature on logits.
+			lg := make([]float64, len(o.Probs))
+			for c, p := range o.Probs {
+				lg[c] = math.Log(math.Max(p, 1e-12))
+			}
+			logitsPerStage[s][i] = lg
+		}
+	}
+	temps := make([]float64, stages)
+	grid := []float64{0.5, 0.67, 0.8, 1, 1.25, 1.5, 2, 3, 4}
+	for s := 0; s < stages; s++ {
+		bestT, bestE := 1.0, math.Inf(1)
+		for _, t := range grid {
+			confs := make([]float64, val.Len())
+			correct := make([]bool, val.Len())
+			probs := tensor.NewMatrix(1, m.Classes)
+			scaled := tensor.NewMatrix(1, m.Classes)
+			for i := range confs {
+				for c, v := range logitsPerStage[s][i] {
+					scaled.Data[c] = v / t
+				}
+				tensor.Softmax(probs, scaled)
+				pred, conf := tensor.ArgMax(probs.Row(0))
+				confs[i] = conf
+				correct[i] = pred == labels[i]
+			}
+			e, err := ECE(confs, correct, bins)
+			if err != nil {
+				return nil, err
+			}
+			if e < bestE {
+				bestE, bestT = e, t
+			}
+		}
+		temps[s] = bestT
+	}
+	return temps, nil
+}
+
+// EvalWithTemperature evaluates the model with per-stage temperatures
+// applied to the exit probabilities.
+func EvalWithTemperature(m *staged.Model, set *dataset.Set, temps []float64) (*StageEval, error) {
+	stages := m.NumStages()
+	if len(temps) != stages {
+		return nil, fmt.Errorf("calib: %d temperatures for %d stages", len(temps), stages)
+	}
+	ev := newStageEval(stages, set.Len())
+	probs := tensor.NewMatrix(1, m.Classes)
+	scaled := tensor.NewMatrix(1, m.Classes)
+	for i := 0; i < set.Len(); i++ {
+		x, y := set.Sample(i)
+		outs := m.Predict(x, stages-1)
+		for s, o := range outs {
+			for c, p := range o.Probs {
+				scaled.Data[c] = math.Log(math.Max(p, 1e-12)) / temps[s]
+			}
+			tensor.Softmax(probs, scaled)
+			pred, conf := tensor.ArgMax(probs.Row(0))
+			ev.Confs[s][i] = conf
+			ev.Correct[s][i] = pred == y
+		}
+	}
+	return ev, nil
+}
+
+func newStageEval(stages, n int) *StageEval {
+	ev := &StageEval{
+		Confs:   make([][]float64, stages),
+		Correct: make([][]bool, stages),
+	}
+	for s := 0; s < stages; s++ {
+		ev.Confs[s] = make([]float64, n)
+		ev.Correct[s] = make([]bool, n)
+	}
+	return ev
+}
+
+// reseedDropout walks the model's head layers and reseeds dropout RNGs so
+// MC evaluation is deterministic given seed.
+func reseedDropout(m *staged.Model, seed int64) {
+	i := int64(0)
+	var walk func(l nn.Layer)
+	walk = func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.Dropout:
+			v.Reseed(seed + i)
+			i++
+		case *nn.Sequential:
+			for _, c := range v.Layers {
+				walk(c)
+			}
+		case *nn.Residual:
+			walk(v.Body)
+		}
+	}
+	walk(m.Stem)
+	for _, s := range m.Stages {
+		walk(s.Body)
+		walk(s.Head)
+	}
+}
+
+// setDropoutRate overrides the drop rate of every dropout layer
+// reachable from root.
+func setDropoutRate(root nn.Layer, rate float64) {
+	switch l := root.(type) {
+	case *nn.Dropout:
+		l.Rate = rate
+	case *nn.Sequential:
+		for _, c := range l.Layers {
+			setDropoutRate(c, rate)
+		}
+	case *nn.Residual:
+		setDropoutRate(l.Body, rate)
+	}
+}

@@ -1,0 +1,120 @@
+package collab
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Broker implements Eugene's collaboration-brokering service (paper
+// Section IV-C): operating only on the metadata streams of individual
+// cameras — which re-identification labels each camera reported in each
+// frame — it discovers which cameras observe correlated content, and at
+// what temporal lag, without any knowledge of camera geometry.
+type Broker struct {
+	cameras int
+	// sightings[cam][frame] is the set of target labels camera cam
+	// reported at that frame.
+	sightings []map[int]map[int]bool
+	maxFrame  int
+}
+
+// NewBroker tracks the given number of cameras.
+func NewBroker(cameras int) (*Broker, error) {
+	if cameras < 2 {
+		return nil, fmt.Errorf("collab: broker needs ≥2 cameras, got %d", cameras)
+	}
+	b := &Broker{cameras: cameras, sightings: make([]map[int]map[int]bool, cameras)}
+	for i := range b.sightings {
+		b.sightings[i] = make(map[int]map[int]bool)
+	}
+	return b, nil
+}
+
+// Report ingests one camera's detections for one frame (only genuine
+// re-id labels are useful; false positives carry label −1 and are
+// skipped).
+func (b *Broker) Report(cam, frame int, dets []Detection) error {
+	if cam < 0 || cam >= b.cameras {
+		return fmt.Errorf("collab: report from unknown camera %d", cam)
+	}
+	set := b.sightings[cam][frame]
+	if set == nil {
+		set = make(map[int]bool)
+		b.sightings[cam][frame] = set
+	}
+	for _, d := range dets {
+		if d.TargetID >= 0 {
+			set[d.TargetID] = true
+		}
+	}
+	if frame > b.maxFrame {
+		b.maxFrame = frame
+	}
+	return nil
+}
+
+// Correlation returns the mean per-frame Jaccard similarity between the
+// label sets of cameras a and b, with camera b's stream shifted by lag
+// frames (positive lag: b sees the same content lag frames after a).
+// Frames where both report nothing are skipped.
+func (b *Broker) Correlation(camA, camB, lag int) float64 {
+	var sum float64
+	var frames int
+	for f := 0; f <= b.maxFrame; f++ {
+		sa := b.sightings[camA][f]
+		sb := b.sightings[camB][f+lag]
+		if len(sa) == 0 && len(sb) == 0 {
+			continue
+		}
+		var inter, union int
+		for t := range sa {
+			if sb[t] {
+				inter++
+			}
+		}
+		union = len(sa) + len(sb) - inter
+		if union > 0 {
+			sum += float64(inter) / float64(union)
+		}
+		frames++
+	}
+	if frames == 0 {
+		return 0
+	}
+	return sum / float64(frames)
+}
+
+// Pairing is one discovered collaboration opportunity.
+type Pairing struct {
+	A, B        int
+	Lag         int
+	Correlation float64
+}
+
+// Discover scans all camera pairs and lags in [0, maxLag], returning
+// pairs whose best-lag correlation exceeds threshold, strongest first.
+// This is the autonomic alternative to manually configuring FoV
+// overlaps.
+func (b *Broker) Discover(maxLag int, threshold float64) []Pairing {
+	var out []Pairing
+	for a := 0; a < b.cameras; a++ {
+		for c := a + 1; c < b.cameras; c++ {
+			bestLag, bestCorr := 0, 0.0
+			for lag := 0; lag <= maxLag; lag++ {
+				if corr := b.Correlation(a, c, lag); corr > bestCorr {
+					bestLag, bestCorr = lag, corr
+				}
+				if lag > 0 {
+					if corr := b.Correlation(c, a, lag); corr > bestCorr {
+						bestLag, bestCorr = -lag, corr
+					}
+				}
+			}
+			if bestCorr >= threshold {
+				out = append(out, Pairing{A: a, B: c, Lag: bestLag, Correlation: bestCorr})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Correlation > out[j].Correlation })
+	return out
+}

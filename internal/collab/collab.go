@@ -1,0 +1,314 @@
+package collab
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RunConfig controls one simulation experiment.
+type RunConfig struct {
+	World    WorldConfig
+	Detector DetectorModel
+	Latency  LatencyModel
+	// Frames to simulate.
+	Frames int
+	// Collaborative enables box sharing between overlapping cameras.
+	Collaborative bool
+	// VerifyAccept is the probability a camera's light verification
+	// confirms a genuine shared box whose target it can see
+	// unoccluded.
+	VerifyAccept float64
+	// OcclVerify is the (lower) verification probability when the
+	// target is occluded from the receiving camera — partial evidence
+	// only.
+	OcclVerify float64
+	// Rogues lists camera IDs that inject false boxes every frame.
+	Rogues []int
+	// RogueBoxesPerFrame is how many fabricated boxes each rogue
+	// camera shares per frame.
+	RogueBoxesPerFrame int
+	// Resilient enables the rogue-detection service: cameras whose
+	// shared boxes repeatedly fail verification are excluded.
+	Resilient bool
+	// SuspicionThreshold is the verification-failure fraction beyond
+	// which a peer is distrusted (with ≥20 observations). Honest
+	// cameras fail light verification ~15% of the time; rogues fail
+	// on every fabricated box.
+	SuspicionThreshold float64
+	// Seed drives detection randomness.
+	Seed int64
+}
+
+// DefaultRunConfig returns the Table IV setup.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		World:              DefaultWorldConfig(),
+		Detector:           DefaultDetector(),
+		Latency:            DefaultLatency(),
+		Frames:             600,
+		VerifyAccept:       0.70,
+		OcclVerify:         0.03,
+		RogueBoxesPerFrame: 6,
+		SuspicionThreshold: 0.45,
+		Seed:               7,
+	}
+}
+
+// Validate reports an error for degenerate configurations.
+func (c RunConfig) Validate() error {
+	if err := c.World.Validate(); err != nil {
+		return err
+	}
+	if err := c.Detector.Validate(); err != nil {
+		return err
+	}
+	if c.Frames < 1 {
+		return fmt.Errorf("collab: frames %d must be ≥1", c.Frames)
+	}
+	if c.VerifyAccept < 0 || c.VerifyAccept > 1 {
+		return fmt.Errorf("collab: verify accept %v outside [0,1]", c.VerifyAccept)
+	}
+	if c.OcclVerify < 0 || c.OcclVerify > 1 {
+		return fmt.Errorf("collab: occlusion verify %v outside [0,1]", c.OcclVerify)
+	}
+	for _, r := range c.Rogues {
+		if r < 0 || r >= c.World.Cameras {
+			return fmt.Errorf("collab: rogue camera %d out of range", r)
+		}
+	}
+	return nil
+}
+
+// RunResult aggregates an experiment.
+type RunResult struct {
+	// DetectionAccuracy is the recall over (camera, frame, visible
+	// target) triples: the people-counting accuracy proxy of
+	// Table IV.
+	DetectionAccuracy float64
+	// MeanLatencyMS is the average per-camera per-frame recognition
+	// latency under the latency model.
+	MeanLatencyMS float64
+	// SharedAccepted counts peer boxes accepted.
+	SharedAccepted int
+	// FalseAccepted counts fabricated/false-positive peer boxes
+	// accepted (rogue damage).
+	FalseAccepted int
+	// Distrusted lists camera IDs the resilience service excluded.
+	Distrusted []int
+}
+
+// Run executes the experiment.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := NewWorld(cfg.World)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rogue := make(map[int]bool, len(cfg.Rogues))
+	for _, r := range cfg.Rogues {
+		rogue[r] = true
+	}
+	trust := newTrustTracker(cfg.World.Cameras, cfg.SuspicionThreshold)
+
+	var (
+		visibleTotal int
+		detected     int
+		latencySum   float64
+		latencyCount int
+		res          RunResult
+	)
+	for f := 0; f < cfg.Frames; f++ {
+		w.Step()
+		// Phase 1: every camera runs (or skips) its own detector.
+		own := make([][]Detection, cfg.World.Cameras)
+		for _, cam := range w.Cameras {
+			own[cam.ID] = cfg.Detector.Detect(w, cam, rng)
+		}
+		// Rogues fabricate boxes.
+		for r := range rogue {
+			for b := 0; b < cfg.RogueBoxesPerFrame; b++ {
+				own[r] = append(own[r], Detection{
+					Camera:   r,
+					Frame:    w.Frame,
+					TargetID: -1,
+					Pos:      Point{X: rng.Float64() * cfg.World.Width, Y: rng.Float64() * cfg.World.Height},
+				})
+			}
+		}
+		// Phase 2 (collaborative): peers exchange boxes; the receiving
+		// camera verifies each claimed target once per frame with a
+		// cheap visual check of the remapped coordinates against its
+		// own view. Verification succeeds readily for targets it can
+		// see, rarely for targets occluded from it, and never for
+		// fabrications. Trust is updated only on boxes the receiver
+		// can actually assess (unoccluded line of sight).
+		accepted := make([][]Detection, cfg.World.Cameras)
+		if cfg.Collaborative {
+			for _, cam := range w.Cameras {
+				byTarget := make([][]Detection, cfg.World.Targets)
+				var fakes []Detection
+				for _, peer := range w.Cameras {
+					if peer.ID == cam.ID {
+						continue
+					}
+					if cfg.Resilient && !trust.Trusted(peer.ID) {
+						continue
+					}
+					for _, det := range own[peer.ID] {
+						if !cam.InFoV(det.Pos) {
+							continue
+						}
+						if det.TargetID >= 0 {
+							byTarget[det.TargetID] = append(byTarget[det.TargetID], det)
+						} else {
+							fakes = append(fakes, det)
+						}
+					}
+				}
+				for tid, boxes := range byTarget {
+					if len(boxes) == 0 {
+						continue
+					}
+					tgt := w.Targets[tid]
+					occluded := cam.Occluded(tgt, w.Targets)
+					p := cfg.VerifyAccept
+					if occluded {
+						p = cfg.OcclVerify
+					}
+					verified := rng.Float64() < p
+					if !occluded {
+						// The receiver can assess these boxes; credit or
+						// debit every sender.
+						for _, b := range boxes {
+							trust.Record(b.Camera, verified)
+						}
+					}
+					if verified {
+						d := boxes[0]
+						d.Camera = cam.ID
+						d.Shared = true
+						accepted[cam.ID] = append(accepted[cam.ID], d)
+						res.SharedAccepted++
+					}
+				}
+				for _, det := range fakes {
+					// An empty spot the receiver can see is strong
+					// negative evidence against the sender.
+					phantom := &Target{ID: -1, Pos: det.Pos}
+					if !cam.Occluded(phantom, w.Targets) {
+						trust.Record(det.Camera, false)
+					}
+					if cfg.Resilient {
+						continue
+					}
+					// Without the resilience service, cameras trust
+					// their peers: plausible fabricated coordinates are
+					// folded into the pipeline about half the time.
+					if rng.Float64() < 0.5 {
+						d := det
+						d.Camera = cam.ID
+						d.Shared = true
+						accepted[cam.ID] = append(accepted[cam.ID], d)
+						res.SharedAccepted++
+						res.FalseAccepted++
+					}
+				}
+			}
+		}
+		// Phase 3: score detection accuracy per camera.
+		for _, cam := range w.Cameras {
+			visible, _ := w.VisibleTargets(cam)
+			seen := make(map[int]bool)
+			var falseBoxes int
+			for _, det := range own[cam.ID] {
+				if det.TargetID >= 0 {
+					seen[det.TargetID] = true
+				} else {
+					falseBoxes++
+				}
+			}
+			for _, det := range accepted[cam.ID] {
+				if det.TargetID >= 0 {
+					seen[det.TargetID] = true
+				} else {
+					falseBoxes++
+				}
+			}
+			var correct int
+			for _, t := range visible {
+				visibleTotal++
+				if seen[t.ID] {
+					correct++
+				}
+			}
+			// False boxes count against accuracy: each spurious box
+			// cancels one correct detection (people-counting error).
+			detected += correct - min(falseBoxes, correct)
+			// Latency: collaborative cameras with accepted peer boxes
+			// run the light pipeline; otherwise the full DNN.
+			if cfg.Collaborative && len(accepted[cam.ID]) > 0 {
+				latencySum += cfg.Latency.CollaborativeMS()
+			} else {
+				latencySum += cfg.Latency.IndividualMS()
+			}
+			latencyCount++
+		}
+	}
+	if visibleTotal > 0 {
+		if detected < 0 {
+			detected = 0
+		}
+		res.DetectionAccuracy = float64(detected) / float64(visibleTotal)
+	}
+	if latencyCount > 0 {
+		res.MeanLatencyMS = latencySum / float64(latencyCount)
+	}
+	res.Distrusted = trust.DistrustedIDs()
+	return &res, nil
+}
+
+// trustTracker is the resilience service: per-peer verification
+// outcomes, with distrust once the failure fraction exceeds the
+// threshold.
+type trustTracker struct {
+	ok, bad   []int
+	threshold float64
+}
+
+func newTrustTracker(cameras int, threshold float64) *trustTracker {
+	return &trustTracker{
+		ok:        make([]int, cameras),
+		bad:       make([]int, cameras),
+		threshold: threshold,
+	}
+}
+
+func (t *trustTracker) Record(cam int, verified bool) {
+	if verified {
+		t.ok[cam]++
+	} else {
+		t.bad[cam]++
+	}
+}
+
+func (t *trustTracker) Trusted(cam int) bool {
+	total := t.ok[cam] + t.bad[cam]
+	if total < 20 {
+		return true
+	}
+	return float64(t.bad[cam])/float64(total) < t.threshold
+}
+
+// DistrustedIDs returns the cameras currently distrusted.
+func (t *trustTracker) DistrustedIDs() []int {
+	var out []int
+	for c := range t.ok {
+		if !t.Trusted(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package collab
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWorldConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*WorldConfig)
+	}{
+		{"zero width", func(c *WorldConfig) { c.Width = 0 }},
+		{"no cameras", func(c *WorldConfig) { c.Cameras = 0 }},
+		{"no targets", func(c *WorldConfig) { c.Targets = 0 }},
+		{"zero speed", func(c *WorldConfig) { c.Speed = 0 }},
+		{"bad lighting", func(c *WorldConfig) { c.MinLighting = 0 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultWorldConfig()
+			tc.mutate(&cfg)
+			if _, err := NewWorld(cfg); err == nil {
+				t.Fatal("expected config error")
+			}
+		})
+	}
+}
+
+func TestWorldGeometry(t *testing.T) {
+	w, err := NewWorld(DefaultWorldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Cameras) != 8 || len(w.Targets) != 10 {
+		t.Fatalf("world has %d cameras, %d targets", len(w.Cameras), len(w.Targets))
+	}
+	// Every camera must see the world center (they face inward).
+	center := Point{X: 20, Y: 20}
+	for _, c := range w.Cameras {
+		if !c.InFoV(center) {
+			t.Fatalf("camera %d cannot see the center", c.ID)
+		}
+	}
+	// No camera sees directly behind itself.
+	for _, c := range w.Cameras {
+		behind := Point{
+			X: c.Pos.X - 5*math.Cos(c.Dir),
+			Y: c.Pos.Y - 5*math.Sin(c.Dir),
+		}
+		if c.InFoV(behind) {
+			t.Fatalf("camera %d sees behind itself", c.ID)
+		}
+	}
+}
+
+func TestWorldStepMovesTargets(t *testing.T) {
+	w, _ := NewWorld(DefaultWorldConfig())
+	before := make([]Point, len(w.Targets))
+	for i, tg := range w.Targets {
+		before[i] = tg.Pos
+	}
+	for i := 0; i < 10; i++ {
+		w.Step()
+	}
+	var moved int
+	for i, tg := range w.Targets {
+		if tg.Pos.Dist(before[i]) > 0.1 {
+			moved++
+		}
+	}
+	if moved < len(w.Targets)/2 {
+		t.Fatalf("only %d of %d targets moved", moved, len(w.Targets))
+	}
+	// Targets stay inside the world.
+	for _, tg := range w.Targets {
+		if tg.Pos.X < 0 || tg.Pos.X > 40 || tg.Pos.Y < 0 || tg.Pos.Y > 40 {
+			t.Fatalf("target %d escaped: %+v", tg.ID, tg.Pos)
+		}
+	}
+}
+
+func TestOcclusion(t *testing.T) {
+	cam := &Camera{Pos: Point{X: 0, Y: 0}, Dir: 0, HalfAngle: math.Pi / 3, Range: 50, Lighting: 1}
+	far := &Target{ID: 0, Pos: Point{X: 10, Y: 0}}
+	blocker := &Target{ID: 1, Pos: Point{X: 5, Y: 0}}
+	aside := &Target{ID: 2, Pos: Point{X: 5, Y: 4}}
+	if !cam.Occluded(far, []*Target{far, blocker}) {
+		t.Fatal("in-line closer target must occlude")
+	}
+	if cam.Occluded(far, []*Target{far, aside}) {
+		t.Fatal("off-axis target must not occlude")
+	}
+	if cam.Occluded(blocker, []*Target{far, blocker}) {
+		t.Fatal("nearer target cannot be occluded by a farther one")
+	}
+}
+
+func TestDetectorValidate(t *testing.T) {
+	d := DefaultDetector()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d.BaseRecall = 0
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected recall error")
+	}
+	d = DefaultDetector()
+	d.FalsePositiveRate = -1
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected fp error")
+	}
+}
+
+func TestDetectorReportsOnlyFoVTargets(t *testing.T) {
+	w, _ := NewWorld(DefaultWorldConfig())
+	w.Step()
+	rng := rand.New(rand.NewSource(1))
+	det := DefaultDetector()
+	for _, cam := range w.Cameras {
+		for _, d := range det.Detect(w, cam, rng) {
+			if d.TargetID < 0 {
+				continue // false positive, can be anywhere
+			}
+			if !cam.InFoV(w.Targets[d.TargetID].Pos) {
+				t.Fatalf("camera %d detected out-of-FoV target %d", cam.ID, d.TargetID)
+			}
+		}
+	}
+}
+
+// TestTableIVShape is the headline reproduction: collaboration must beat
+// individual accuracy by several points and cut recognition latency
+// ~20×.
+func TestTableIVShape(t *testing.T) {
+	ind := DefaultRunConfig()
+	ri, err := Run(ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := DefaultRunConfig()
+	col.Collaborative = true
+	rc, err := Run(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.DetectionAccuracy < 0.6 || ri.DetectionAccuracy > 0.78 {
+		t.Fatalf("individual accuracy %.3f outside the calibrated band around 0.68", ri.DetectionAccuracy)
+	}
+	if rc.DetectionAccuracy < ri.DetectionAccuracy+0.05 {
+		t.Fatalf("collaboration gain too small: %.3f vs %.3f", rc.DetectionAccuracy, ri.DetectionAccuracy)
+	}
+	if ri.MeanLatencyMS != 550 {
+		t.Fatalf("individual latency %.1f, want 550", ri.MeanLatencyMS)
+	}
+	if rc.MeanLatencyMS > ri.MeanLatencyMS/15 {
+		t.Fatalf("collaborative latency %.1f not ~20× lower than %.1f", rc.MeanLatencyMS, ri.MeanLatencyMS)
+	}
+}
+
+func TestRogueDamageAndResilience(t *testing.T) {
+	col := DefaultRunConfig()
+	col.Collaborative = true
+	clean, err := Run(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rog := col
+	rog.Rogues = []int{3}
+	damaged, err := Run(rog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: false boxes from one camera reduce peer accuracy by >20%.
+	if clean.DetectionAccuracy-damaged.DetectionAccuracy < 0.2 {
+		t.Fatalf("rogue damage too small: %.3f → %.3f", clean.DetectionAccuracy, damaged.DetectionAccuracy)
+	}
+	res := rog
+	res.Resilient = true
+	recovered, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.DetectionAccuracy < damaged.DetectionAccuracy+0.1 {
+		t.Fatalf("resilience did not recover: %.3f vs %.3f", recovered.DetectionAccuracy, damaged.DetectionAccuracy)
+	}
+	if recovered.FalseAccepted != 0 {
+		t.Fatalf("resilient run accepted %d false boxes", recovered.FalseAccepted)
+	}
+	// Only the rogue may be distrusted.
+	if len(recovered.Distrusted) != 1 || recovered.Distrusted[0] != 3 {
+		t.Fatalf("distrusted %v, want [3]", recovered.Distrusted)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Collaborative = true
+	cfg.Frames = 100
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DetectionAccuracy != b.DetectionAccuracy || a.SharedAccepted != b.SharedAccepted {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunConfigValidate(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Frames = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected frames error")
+	}
+	cfg = DefaultRunConfig()
+	cfg.Rogues = []int{99}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected rogue-range error")
+	}
+	cfg = DefaultRunConfig()
+	cfg.VerifyAccept = 2
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected verify error")
+	}
+	cfg = DefaultRunConfig()
+	cfg.OcclVerify = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected occl-verify error")
+	}
+}
+
+func TestBrokerDiscoversOverlap(t *testing.T) {
+	// Two cameras with heavily overlapping FoVs must correlate; a
+	// camera pointed away must not.
+	w, err := NewWorld(DefaultWorldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBroker(len(w.Cameras))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := DefaultDetector()
+	rng := rand.New(rand.NewSource(2))
+	for f := 0; f < 200; f++ {
+		w.Step()
+		for _, cam := range w.Cameras {
+			if err := b.Report(cam.ID, w.Frame, det.Detect(w, cam, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pairs := b.Discover(0, 0.2)
+	if len(pairs) == 0 {
+		t.Fatal("broker found no correlated pairs among 8 inward cameras")
+	}
+	// The discovered correlation must track geometric overlap: the
+	// best-correlated pair should overlap more than the least.
+	best := pairs[0]
+	bestOverlap := w.OverlapGround(w.Cameras[best.A], w.Cameras[best.B], 4000)
+	if bestOverlap < 0.1 {
+		t.Fatalf("top pair (%d,%d) has tiny geometric overlap %.3f", best.A, best.B, bestOverlap)
+	}
+}
+
+func TestBrokerLagDetection(t *testing.T) {
+	// Synthetic corridor scenario: camera 1 sees exactly what camera 0
+	// saw 5 frames earlier.
+	b, err := NewBroker(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 100; f++ {
+		id := f % 7
+		mustReport(t, b, 0, f, []Detection{{TargetID: id}})
+		mustReport(t, b, 1, f+5, []Detection{{TargetID: id}})
+	}
+	pairs := b.Discover(8, 0.5)
+	if len(pairs) != 1 {
+		t.Fatalf("found %d pairs, want 1", len(pairs))
+	}
+	if pairs[0].Lag != 5 {
+		t.Fatalf("discovered lag %d, want 5", pairs[0].Lag)
+	}
+	if pairs[0].Correlation < 0.9 {
+		t.Fatalf("lagged correlation %.3f, want ≈1", pairs[0].Correlation)
+	}
+}
+
+func TestBrokerErrors(t *testing.T) {
+	if _, err := NewBroker(1); err == nil {
+		t.Fatal("expected camera-count error")
+	}
+	b, _ := NewBroker(2)
+	if err := b.Report(5, 0, nil); err == nil {
+		t.Fatal("expected unknown-camera error")
+	}
+}
+
+func TestBrokerIgnoresFalsePositives(t *testing.T) {
+	b, _ := NewBroker(2)
+	for f := 0; f < 50; f++ {
+		mustReport(t, b, 0, f, []Detection{{TargetID: -1}})
+		mustReport(t, b, 1, f, []Detection{{TargetID: -1}})
+	}
+	if got := b.Correlation(0, 1, 0); got != 0 {
+		t.Fatalf("false positives produced correlation %v", got)
+	}
+}
+
+func mustReport(t *testing.T, b *Broker, cam, frame int, dets []Detection) {
+	t.Helper()
+	if err := b.Report(cam, frame, dets); err != nil {
+		t.Fatal(err)
+	}
+}

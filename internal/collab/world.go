@@ -1,0 +1,239 @@
+// Package collab implements Eugene's collaborative inferencing substrate
+// (paper Section IV): a 2-D multi-camera world simulator standing in for
+// the PETS2009 testbed, per-camera detection pipelines with a
+// Movidius-like latency model, bounding-box sharing between overlapping
+// cameras, correlation-based collaboration brokering (including
+// time-lagged correlation), and resilience against rogue cameras.
+package collab
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a 2-D world coordinate (meters).
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Target is one pedestrian moving by random waypoints.
+type Target struct {
+	ID  int
+	Pos Point
+
+	waypoint Point
+	speed    float64
+}
+
+// Camera is a fixed camera with a conical field of view.
+type Camera struct {
+	ID int
+	// Pos is the mount point; Dir the optical axis (radians);
+	// HalfAngle the FoV half-width; Range the detection range.
+	Pos       Point
+	Dir       float64
+	HalfAngle float64
+	Range     float64
+	// Lighting in (0,1]: 1 is ideal; low values impair detection —
+	// the paper's context-based artifacts.
+	Lighting float64
+}
+
+// InFoV reports whether world point p falls inside the camera's cone.
+func (c *Camera) InFoV(p Point) bool {
+	d := c.Pos.Dist(p)
+	if d > c.Range || d == 0 {
+		return false
+	}
+	ang := math.Atan2(p.Y-c.Pos.Y, p.X-c.Pos.X)
+	diff := math.Abs(normalizeAngle(ang - c.Dir))
+	return diff <= c.HalfAngle
+}
+
+// Occluded reports whether target tgt is occluded from the camera by any
+// other target standing nearly in line between camera and tgt.
+func (c *Camera) Occluded(tgt *Target, all []*Target) bool {
+	d := c.Pos.Dist(tgt.Pos)
+	angT := math.Atan2(tgt.Pos.Y-c.Pos.Y, tgt.Pos.X-c.Pos.X)
+	for _, o := range all {
+		if o.ID == tgt.ID {
+			continue
+		}
+		od := c.Pos.Dist(o.Pos)
+		if od >= d {
+			continue
+		}
+		angO := math.Atan2(o.Pos.Y-c.Pos.Y, o.Pos.X-c.Pos.X)
+		// A body subtends roughly 0.5 m; the angular threshold shrinks
+		// with occluder distance.
+		if math.Abs(normalizeAngle(angT-angO)) < math.Atan2(0.5, od) {
+			return true
+		}
+	}
+	return false
+}
+
+// WorldConfig parameterizes the campus simulator.
+type WorldConfig struct {
+	// Width and Height of the world in meters.
+	Width, Height float64
+	// Cameras is the number of perimeter cameras (paper: 8).
+	Cameras int
+	// Targets is the number of pedestrians.
+	Targets int
+	// Speed is the pedestrian speed in m/frame.
+	Speed float64
+	// MinLighting bounds the per-camera lighting factor drawn from
+	// [MinLighting, 1].
+	MinLighting float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultWorldConfig mirrors the PETS outdoor scene: 8 cameras around a
+// 40×40 m courtyard with 10 pedestrians.
+func DefaultWorldConfig() WorldConfig {
+	return WorldConfig{
+		Width:       40,
+		Height:      40,
+		Cameras:     8,
+		Targets:     10,
+		Speed:       0.8,
+		MinLighting: 0.55,
+		Seed:        1,
+	}
+}
+
+// Validate reports an error for degenerate configurations.
+func (c WorldConfig) Validate() error {
+	switch {
+	case c.Width <= 0 || c.Height <= 0:
+		return fmt.Errorf("collab: world %vx%v must be positive", c.Width, c.Height)
+	case c.Cameras < 1:
+		return fmt.Errorf("collab: need ≥1 camera, got %d", c.Cameras)
+	case c.Targets < 1:
+		return fmt.Errorf("collab: need ≥1 target, got %d", c.Targets)
+	case c.Speed <= 0:
+		return fmt.Errorf("collab: speed %v must be positive", c.Speed)
+	case c.MinLighting <= 0 || c.MinLighting > 1:
+		return fmt.Errorf("collab: min lighting %v outside (0,1]", c.MinLighting)
+	}
+	return nil
+}
+
+// World is the live simulation state.
+type World struct {
+	Cfg     WorldConfig
+	Cameras []*Camera
+	Targets []*Target
+	Frame   int
+
+	rng *rand.Rand
+}
+
+// NewWorld builds the world: cameras evenly spaced on the perimeter
+// facing the center, targets at random interior positions.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{Cfg: cfg, rng: rng}
+	cx, cy := cfg.Width/2, cfg.Height/2
+	r := math.Min(cfg.Width, cfg.Height) / 2
+	for i := 0; i < cfg.Cameras; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(cfg.Cameras)
+		pos := Point{X: cx + r*math.Cos(ang), Y: cy + r*math.Sin(ang)}
+		w.Cameras = append(w.Cameras, &Camera{
+			ID:        i,
+			Pos:       pos,
+			Dir:       normalizeAngle(ang + math.Pi), // face center
+			HalfAngle: math.Pi / 4,                   // 90° FoV
+			Range:     r * 1.8,
+			Lighting:  cfg.MinLighting + rng.Float64()*(1-cfg.MinLighting),
+		})
+	}
+	for i := 0; i < cfg.Targets; i++ {
+		t := &Target{
+			ID:    i,
+			Pos:   w.randomInterior(),
+			speed: cfg.Speed * (0.7 + rng.Float64()*0.6),
+		}
+		t.waypoint = w.randomInterior()
+		w.Targets = append(w.Targets, t)
+	}
+	return w, nil
+}
+
+// Step advances all targets by one frame.
+func (w *World) Step() {
+	w.Frame++
+	for _, t := range w.Targets {
+		d := t.Pos.Dist(t.waypoint)
+		if d < t.speed {
+			t.Pos = t.waypoint
+			t.waypoint = w.randomInterior()
+			continue
+		}
+		t.Pos.X += (t.waypoint.X - t.Pos.X) / d * t.speed
+		t.Pos.Y += (t.waypoint.Y - t.Pos.Y) / d * t.speed
+	}
+}
+
+// VisibleTargets returns the targets inside cam's FoV, with occlusion
+// flags.
+func (w *World) VisibleTargets(cam *Camera) (visible []*Target, occluded []bool) {
+	for _, t := range w.Targets {
+		if cam.InFoV(t.Pos) {
+			visible = append(visible, t)
+			occluded = append(occluded, cam.Occluded(t, w.Targets))
+		}
+	}
+	return visible, occluded
+}
+
+// OverlapGround computes the geometric FoV-overlap ground truth: the
+// fraction of sampled interior points visible to both cameras, relative
+// to those visible to either.
+func (w *World) OverlapGround(a, b *Camera, samples int) float64 {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed + 1000))
+	var both, either int
+	for i := 0; i < samples; i++ {
+		p := Point{X: rng.Float64() * w.Cfg.Width, Y: rng.Float64() * w.Cfg.Height}
+		ia, ib := a.InFoV(p), b.InFoV(p)
+		if ia || ib {
+			either++
+		}
+		if ia && ib {
+			both++
+		}
+	}
+	if either == 0 {
+		return 0
+	}
+	return float64(both) / float64(either)
+}
+
+func (w *World) randomInterior() Point {
+	margin := 0.1
+	return Point{
+		X: w.Cfg.Width * (margin + w.rng.Float64()*(1-2*margin)),
+		Y: w.Cfg.Height * (margin + w.rng.Float64()*(1-2*margin)),
+	}
+}
+
+func normalizeAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a < -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

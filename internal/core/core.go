@@ -1,0 +1,299 @@
+// Package core is Eugene's service orchestration layer: a model registry
+// that owns trained staged networks together with their calibration
+// state and GP confidence predictors, and a serving engine that schedules
+// inference requests over a worker pool under the RTDeepIoT policy
+// (paper Sections II and III). The HTTP layer (internal/service) and the
+// public API (package eugene) are thin wrappers over this package.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"eugene/internal/cache"
+	"eugene/internal/calib"
+	"eugene/internal/dataset"
+	"eugene/internal/sched"
+	"eugene/internal/staged"
+)
+
+// ModelEntry is one registered model and its serving state.
+type ModelEntry struct {
+	Name string
+	// Model is the (calibrated, if Calibrate ran) staged network.
+	Model *staged.Model
+	// Alpha is the chosen entropy-regularization weight (0 if
+	// uncalibrated).
+	Alpha float64
+	// Pred is the GP confidence predictor (nil until BuildPredictor).
+	Pred *sched.GPPredictor
+	// StageAccs is the last recorded per-stage evaluation accuracy.
+	StageAccs []float64
+}
+
+// Config controls the serving engine.
+type Config struct {
+	// Workers is the inference pool size.
+	Workers int
+	// Deadline is the per-request latency constraint.
+	Deadline time.Duration
+	// QueueDepth bounds the admission queue.
+	QueueDepth int
+	// Lookahead is the RTDeepIoT k parameter.
+	Lookahead int
+}
+
+// DefaultConfig serves with 4 workers, a 200 ms deadline and k = 1.
+func DefaultConfig() Config {
+	return Config{Workers: 4, Deadline: 200 * time.Millisecond, QueueDepth: 256, Lookahead: 1}
+}
+
+// Validate reports an error for degenerate configurations.
+func (c Config) Validate() error {
+	if c.Workers < 1 || c.Deadline <= 0 || c.QueueDepth < 1 || c.Lookahead < 1 {
+		return fmt.Errorf("core: bad config %+v", c)
+	}
+	return nil
+}
+
+// Service is the Eugene deep-intelligence-as-a-service backend.
+// All methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	models  map[string]*ModelEntry
+	serving map[string]*sched.Live
+}
+
+// NewService builds an empty service.
+func NewService(cfg Config) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Service{
+		cfg:     cfg,
+		models:  make(map[string]*ModelEntry),
+		serving: make(map[string]*sched.Live),
+	}, nil
+}
+
+// TrainOptions bundles model and training hyperparameters for the
+// training service (paper Section II-A).
+type TrainOptions struct {
+	Model staged.Config
+	Train staged.TrainConfig
+	Seed  int64
+}
+
+// DefaultTrainOptions sizes a three-stage network for the given input
+// width and class count.
+func DefaultTrainOptions(in, classes int) TrainOptions {
+	return TrainOptions{
+		Model: staged.DefaultConfig(in, classes),
+		Train: staged.DefaultTrainConfig(),
+		Seed:  1,
+	}
+}
+
+// Train fits a staged model on the client-supplied data and registers it
+// under name, replacing any previous model of that name.
+func (s *Service) Train(name string, train *dataset.Set, opts TrainOptions) (*ModelEntry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: empty model name")
+	}
+	m, err := staged.New(rand.New(rand.NewSource(opts.Seed)), opts.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: building model %q: %w", name, err)
+	}
+	if _, err := m.Train(opts.Train, train); err != nil {
+		return nil, fmt.Errorf("core: training model %q: %w", name, err)
+	}
+	entry := &ModelEntry{Name: name, Model: m, StageAccs: m.EvalAllStages(train)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if live, ok := s.serving[name]; ok {
+		live.Stop()
+		delete(s.serving, name)
+	}
+	s.models[name] = entry
+	return entry, nil
+}
+
+// Register installs an externally trained model.
+func (s *Service) Register(name string, m *staged.Model) (*ModelEntry, error) {
+	if name == "" || m == nil {
+		return nil, fmt.Errorf("core: bad registration (%q, %v)", name, m == nil)
+	}
+	entry := &ModelEntry{Name: name, Model: m}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if live, ok := s.serving[name]; ok {
+		live.Stop()
+		delete(s.serving, name)
+	}
+	s.models[name] = entry
+	return entry, nil
+}
+
+// Calibrate runs the RTDeepIoT entropy calibration (paper Eq. 4) on the
+// named model using held-out calibration data, then rebuilds the GP
+// predictor if one existed. Serving is restarted lazily.
+func (s *Service) Calibrate(name string, calibSet *dataset.Set, cfg calib.EntropyCalibConfig) (float64, error) {
+	entry, err := s.get(name)
+	if err != nil {
+		return 0, err
+	}
+	calibrated, alpha, err := calib.EntropyCalibrate(entry.Model, calibSet, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("core: calibrating %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry.Model = calibrated
+	entry.Alpha = alpha
+	entry.Pred = nil // stale: confidences changed
+	if live, ok := s.serving[name]; ok {
+		live.Stop()
+		delete(s.serving, name)
+	}
+	return alpha, nil
+}
+
+// BuildPredictor fits the GP confidence-curve predictor (paper Section
+// III-B) from the model's confidence curves on the given data.
+func (s *Service) BuildPredictor(name string, data *dataset.Set, cfg sched.GPPredictorConfig) error {
+	entry, err := s.get(name)
+	if err != nil {
+		return err
+	}
+	curves, _ := entry.Model.ConfidenceCurves(data)
+	pred, err := sched.NewGPPredictor(curves, cfg)
+	if err != nil {
+		return fmt.Errorf("core: fitting predictor for %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry.Pred = pred
+	if live, ok := s.serving[name]; ok {
+		live.Stop()
+		delete(s.serving, name)
+	}
+	return nil
+}
+
+// Infer schedules one inference request on the named model's worker pool
+// and blocks until it is answered or expires. The pool and scheduler are
+// started lazily on first use.
+func (s *Service) Infer(ctx context.Context, name string, input []float64) (sched.Response, error) {
+	live, stages, err := s.liveFor(name)
+	if err != nil {
+		return sched.Response{}, err
+	}
+	return live.Submit(ctx, input, stages)
+}
+
+// execAdapter adapts a staged model clone to sched.StageExecutor.
+type execAdapter struct {
+	m *staged.Model
+}
+
+// ExecStage implements sched.StageExecutor.
+func (e execAdapter) ExecStage(hidden []float64, stage int) ([]float64, sched.StageResult) {
+	next, out := e.m.ExecStage(hidden, stage)
+	return next, sched.StageResult{Pred: out.Pred, Conf: out.Conf}
+}
+
+// NumStages implements sched.StageExecutor.
+func (e execAdapter) NumStages() int { return e.m.NumStages() }
+
+// liveFor returns (starting if necessary) the live executor for a model.
+func (s *Service) liveFor(name string) (*sched.Live, int, error) {
+	s.mu.RLock()
+	entry, ok := s.models[name]
+	live := s.serving[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("core: unknown model %q", name)
+	}
+	if live != nil {
+		return live, entry.Model.NumStages(), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if live = s.serving[name]; live != nil { // raced; someone else started it
+		return live, entry.Model.NumStages(), nil
+	}
+	var policy sched.Policy
+	if entry.Pred != nil {
+		policy = sched.NewGreedy(s.cfg.Lookahead, entry.Pred, fmt.Sprintf("RTDeepIoT-%d", s.cfg.Lookahead))
+	} else {
+		// Without a predictor the service still works; it degrades to
+		// FIFO whole-task execution.
+		policy = sched.NewFIFO()
+	}
+	execs := make([]sched.StageExecutor, s.cfg.Workers)
+	for i := range execs {
+		execs[i] = execAdapter{m: entry.Model.Clone()}
+	}
+	lv, err := sched.NewLive(sched.LiveConfig{
+		Workers:    s.cfg.Workers,
+		Deadline:   s.cfg.Deadline,
+		QueueDepth: s.cfg.QueueDepth,
+	}, policy, execs)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: starting pool for %q: %w", name, err)
+	}
+	s.serving[name] = lv
+	return lv, entry.Model.NumStages(), nil
+}
+
+// Reduce trains a reduced hot-class model for caching on a device (paper
+// Section II-B): it returns the subset model for download.
+func (s *Service) Reduce(name string, train *dataset.Set, hot []int, hidden, epochs int) (*cache.SubsetModel, error) {
+	if _, err := s.get(name); err != nil {
+		return nil, err
+	}
+	sub, err := cache.TrainSubset(train, hot, hidden, epochs, 1)
+	if err != nil {
+		return nil, fmt.Errorf("core: reducing %q: %w", name, err)
+	}
+	return sub, nil
+}
+
+// Models lists registered model names.
+func (s *Service) Models() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.models))
+	for n := range s.models {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Entry returns the registry entry for a model.
+func (s *Service) Entry(name string) (*ModelEntry, error) { return s.get(name) }
+
+// Close stops all serving pools.
+func (s *Service) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for n, live := range s.serving {
+		live.Stop()
+		delete(s.serving, n)
+	}
+}
+
+func (s *Service) get(name string) (*ModelEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entry, ok := s.models[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown model %q", name)
+	}
+	return entry, nil
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"eugene/internal/calib"
+	"eugene/internal/dataset"
+	"eugene/internal/sched"
+	"eugene/internal/staged"
+)
+
+func testData(t *testing.T) (*dataset.Set, *dataset.Set) {
+	t.Helper()
+	cfg := dataset.SynthConfig{
+		Classes: 4, Dim: 12, ModesPerClass: 2,
+		TrainSize: 400, TestSize: 200,
+		NoiseLo: 0.5, NoiseHi: 1.5, Overlap: 0.2,
+	}
+	train, test, err := dataset.SynthCIFAR(cfg, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func testService(t *testing.T) (*Service, *dataset.Set, *dataset.Set) {
+	t.Helper()
+	svc, err := NewService(Config{Workers: 2, Deadline: time.Second, QueueDepth: 32, Lookahead: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	train, test := testData(t)
+	opts := DefaultTrainOptions(12, 4)
+	opts.Model.Hidden = 24
+	opts.Model.BlocksPerStage = 1
+	opts.Train.Epochs = 10
+	if _, err := svc.Train("demo", train, opts); err != nil {
+		t.Fatal(err)
+	}
+	return svc, train, test
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Workers: 0, Deadline: time.Second, QueueDepth: 1, Lookahead: 1},
+		{Workers: 1, Deadline: 0, QueueDepth: 1, Lookahead: 1},
+		{Workers: 1, Deadline: time.Second, QueueDepth: 0, Lookahead: 1},
+		{Workers: 1, Deadline: time.Second, QueueDepth: 1, Lookahead: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewService(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTrainAndInfer(t *testing.T) {
+	svc, _, test := testService(t)
+	entry, err := svc.Entry("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Model.NumStages() != 3 {
+		t.Fatalf("stages = %d", entry.Model.NumStages())
+	}
+	x, _ := test.Sample(0)
+	resp, err := svc.Infer(context.Background(), "demo", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stages == 0 || resp.Pred < 0 || resp.Pred >= 4 {
+		t.Fatalf("bad response %+v", resp)
+	}
+}
+
+func TestInferUnknownModel(t *testing.T) {
+	svc, err := NewService(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Infer(context.Background(), "nope", []float64{1}); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}
+
+func TestCalibrateAndPredictorLifecycle(t *testing.T) {
+	svc, train, test := testService(t)
+	ccfg := calib.DefaultEntropyCalibConfig()
+	ccfg.Epochs = 3
+	ccfg.Alphas = []float64{0.5}
+	if _, err := svc.Calibrate("demo", test, ccfg); err != nil {
+		t.Fatal(err)
+	}
+	gcfg := sched.DefaultGPPredictorConfig()
+	gcfg.MaxPoints = 100
+	if err := svc.BuildPredictor("demo", train, gcfg); err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := svc.Entry("demo")
+	if entry.Pred == nil {
+		t.Fatal("predictor not installed")
+	}
+	// Inference with the RTDeepIoT policy now.
+	x, _ := test.Sample(1)
+	resp, err := svc.Infer(context.Background(), "demo", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stages == 0 {
+		t.Fatalf("no stages executed: %+v", resp)
+	}
+	// Calibration invalidates the predictor.
+	if _, err := svc.Calibrate("demo", test, ccfg); err != nil {
+		t.Fatal(err)
+	}
+	entry, _ = svc.Entry("demo")
+	if entry.Pred != nil {
+		t.Fatal("stale predictor survived recalibration")
+	}
+}
+
+func TestConcurrentInference(t *testing.T) {
+	svc, _, test := testService(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x, _ := test.Sample(i % test.Len())
+			_, errs[i] = svc.Infer(context.Background(), "demo", x)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	svc, train, test := testService(t)
+	sub, err := svc.Reduce("demo", train, []int{0, 2}, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Params() == 0 {
+		t.Fatal("empty subset model")
+	}
+	var any bool
+	for i := 0; i < test.Len(); i++ {
+		x, y := test.Sample(i)
+		if y != 0 && y != 2 {
+			continue
+		}
+		if pred, _, other := sub.Predict(x); !other && pred == y {
+			any = true
+			break
+		}
+	}
+	if !any {
+		t.Fatal("reduced model never right on hot classes")
+	}
+	if _, err := svc.Reduce("nope", train, []int{0}, 8, 2); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}
+
+func TestRegisterAndModels(t *testing.T) {
+	svc, err := NewService(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	mcfg := staged.Config{In: 4, Hidden: 8, Classes: 2, StageCount: 2, BlocksPerStage: 1}
+	m, err := staged.New(rand.New(rand.NewSource(1)), mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("ext", m); err != nil {
+		t.Fatal(err)
+	}
+	names := svc.Models()
+	if len(names) != 1 || names[0] != "ext" {
+		t.Fatalf("models = %v", names)
+	}
+	if _, err := svc.Register("", nil); err == nil {
+		t.Fatal("expected registration error")
+	}
+}
+
+func TestTrainReplacesServingPool(t *testing.T) {
+	svc, train, test := testService(t)
+	x, _ := test.Sample(0)
+	if _, err := svc.Infer(context.Background(), "demo", x); err != nil {
+		t.Fatal(err)
+	}
+	// Retrain under the same name; old pool must be stopped and new
+	// inferences must still work.
+	opts := DefaultTrainOptions(12, 4)
+	opts.Model.Hidden = 16
+	opts.Model.BlocksPerStage = 1
+	opts.Train.Epochs = 3
+	if _, err := svc.Train("demo", train, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Infer(context.Background(), "demo", x); err != nil {
+		t.Fatal(err)
+	}
+}

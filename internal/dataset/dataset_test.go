@@ -1,0 +1,228 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eugene/internal/tensor"
+)
+
+func TestSynthCIFARDeterminism(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.TrainSize, cfg.TestSize = 100, 50
+	a1, b1, err := SynthCIFAR(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, err := SynthCIFAR(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.X.Data {
+		if a1.X.Data[i] != a2.X.Data[i] {
+			t.Fatalf("train data differs at %d for same seed", i)
+		}
+	}
+	for i := range b1.Labels {
+		if b1.Labels[i] != b2.Labels[i] {
+			t.Fatalf("test labels differ at %d for same seed", i)
+		}
+	}
+}
+
+func TestSynthCIFARSeedSensitivity(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.TrainSize, cfg.TestSize = 50, 10
+	a, _, _ := SynthCIFAR(cfg, 1)
+	b, _, _ := SynthCIFAR(cfg, 2)
+	same := true
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSynthCIFARShapesAndLabels(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.TrainSize, cfg.TestSize = 300, 100
+	train, test, err := SynthCIFAR(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 300 || test.Len() != 100 {
+		t.Fatalf("sizes = %d/%d", train.Len(), test.Len())
+	}
+	if train.X.Cols != cfg.Dim {
+		t.Fatalf("dim = %d, want %d", train.X.Cols, cfg.Dim)
+	}
+	for _, l := range train.Labels {
+		if l < 0 || l >= cfg.Classes {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	counts := ClassCounts(train, cfg.Classes)
+	for c, n := range counts {
+		if n == 0 {
+			t.Fatalf("class %d absent from 300 samples", c)
+		}
+	}
+}
+
+func TestSynthConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*SynthConfig)
+	}{
+		{"one class", func(c *SynthConfig) { c.Classes = 1 }},
+		{"zero dim", func(c *SynthConfig) { c.Dim = 0 }},
+		{"zero modes", func(c *SynthConfig) { c.ModesPerClass = 0 }},
+		{"zero train", func(c *SynthConfig) { c.TrainSize = 0 }},
+		{"bad noise", func(c *SynthConfig) { c.NoiseHi = c.NoiseLo - 1 }},
+		{"overlap one", func(c *SynthConfig) { c.Overlap = 1 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultSynthConfig()
+			tc.mutate(&cfg)
+			if _, _, err := SynthCIFAR(cfg, 1); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestSubsetAndSplit(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.TrainSize, cfg.TestSize = 20, 10
+	train, _, _ := SynthCIFAR(cfg, 3)
+	sub := train.Subset([]int{0, 5, 19})
+	if sub.Len() != 3 {
+		t.Fatalf("subset len = %d", sub.Len())
+	}
+	if sub.Labels[1] != train.Labels[5] {
+		t.Fatal("subset label mismatch")
+	}
+	head, tail := train.Split(15)
+	if head.Len() != 15 || tail.Len() != 5 {
+		t.Fatalf("split = %d/%d", head.Len(), tail.Len())
+	}
+	if tail.Labels[0] != train.Labels[15] {
+		t.Fatal("split tail misaligned")
+	}
+}
+
+func TestShufflePreservesPairs(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.TrainSize, cfg.TestSize = 50, 10
+	cfg.Dim = 4
+	train, _, _ := SynthCIFAR(cfg, 9)
+	// Record (first feature → label) pairs keyed by feature value
+	// (features are continuous so collisions are measure-zero).
+	pairs := make(map[float64]int, train.Len())
+	for i := 0; i < train.Len(); i++ {
+		x, l := train.Sample(i)
+		pairs[x[0]] = l
+	}
+	train.Shuffle(rand.New(rand.NewSource(1)))
+	for i := 0; i < train.Len(); i++ {
+		x, l := train.Sample(i)
+		if want, ok := pairs[x[0]]; !ok || want != l {
+			t.Fatalf("shuffle broke feature/label pairing at %d", i)
+		}
+	}
+}
+
+func TestBatches(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.TrainSize, cfg.TestSize = 25, 10
+	train, _, _ := SynthCIFAR(cfg, 5)
+	var total, batches int
+	train.Batches(8, func(x *tensor.Matrix, labels []int) {
+		total += len(labels)
+		batches++
+		if x.Rows != len(labels) {
+			t.Fatalf("batch rows %d != labels %d", x.Rows, len(labels))
+		}
+	})
+	if total != 25 || batches != 4 {
+		t.Fatalf("batches covered %d samples in %d batches", total, batches)
+	}
+}
+
+func TestSensorWindows(t *testing.T) {
+	cfg := DefaultSensorConfig()
+	cfg.TrainSize, cfg.TestSize = 120, 40
+	train, test, err := SensorWindows(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.X.Cols != cfg.Dim() || test.X.Cols != cfg.Dim() {
+		t.Fatalf("dim = %d, want %d", train.X.Cols, cfg.Dim())
+	}
+	// Signal must be bounded and non-constant.
+	var minV, maxV = math.Inf(1), math.Inf(-1)
+	for _, v := range train.X.Data {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV-minV < 0.5 {
+		t.Fatalf("sensor signal nearly constant: range %v", maxV-minV)
+	}
+	if maxV > 20 || minV < -20 {
+		t.Fatalf("sensor signal unbounded: [%v, %v]", minV, maxV)
+	}
+}
+
+func TestSensorConfigValidate(t *testing.T) {
+	cfg := DefaultSensorConfig()
+	cfg.WindowLen = 2
+	if _, _, err := SensorWindows(cfg, 1); err == nil {
+		t.Fatal("expected error for tiny window")
+	}
+}
+
+func TestZipfStreamSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	z := NewZipfStream(rng, 10, 1.2)
+	counts := make(map[int]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	hot := z.Hottest(2)
+	hotShare := float64(counts[hot[0]]+counts[hot[1]]) / n
+	if hotShare < 0.4 {
+		t.Fatalf("top-2 classes got %.2f of traffic, want ≥0.40 under zipf(1.2)", hotShare)
+	}
+	// Every class should still appear.
+	for c := 0; c < 10; c++ {
+		if counts[c] == 0 {
+			t.Fatalf("class %d never drawn", c)
+		}
+	}
+}
+
+func TestZipfUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	z := NewZipfStream(rng, 5, 0)
+	counts := make([]int, 5)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for c, got := range counts {
+		if math.Abs(float64(got)-n/5) > n/5*0.25 {
+			t.Fatalf("class %d count %d deviates from uniform", c, got)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"eugene/internal/tensor"
+)
+
+// SensorConfig parameterizes the synthetic multi-sensor time-series
+// generator standing in for the DeepSense activity-recognition corpora
+// (accelerometer + gyroscope windows).
+type SensorConfig struct {
+	// Classes is the number of activity classes.
+	Classes int
+	// Sensors is the number of sensing modalities (paper: 2 —
+	// accelerometer and gyroscope).
+	Sensors int
+	// AxesPerSensor is the number of channels per modality.
+	AxesPerSensor int
+	// WindowLen is the number of time steps per sample window.
+	WindowLen int
+	// TrainSize and TestSize are sample counts.
+	TrainSize, TestSize int
+	// Noise is the additive measurement noise scale.
+	Noise float64
+}
+
+// DefaultSensorConfig returns a small activity-recognition-style corpus:
+// 6 activities, 2 sensors × 3 axes, 32-step windows.
+func DefaultSensorConfig() SensorConfig {
+	return SensorConfig{
+		Classes:       6,
+		Sensors:       2,
+		AxesPerSensor: 3,
+		WindowLen:     32,
+		TrainSize:     1200,
+		TestSize:      400,
+		Noise:         0.35,
+	}
+}
+
+// Dim returns the flattened sample width: Sensors·AxesPerSensor·WindowLen.
+func (c SensorConfig) Dim() int { return c.Sensors * c.AxesPerSensor * c.WindowLen }
+
+// Validate reports an error for degenerate configurations.
+func (c SensorConfig) Validate() error {
+	switch {
+	case c.Classes < 2:
+		return fmt.Errorf("dataset: sensor classes %d must be ≥2", c.Classes)
+	case c.Sensors < 1 || c.AxesPerSensor < 1:
+		return fmt.Errorf("dataset: sensors %d×%d must be positive", c.Sensors, c.AxesPerSensor)
+	case c.WindowLen < 4:
+		return fmt.Errorf("dataset: window length %d must be ≥4", c.WindowLen)
+	case c.TrainSize < 1 || c.TestSize < 1:
+		return fmt.Errorf("dataset: sizes %d/%d must be positive", c.TrainSize, c.TestSize)
+	case c.Noise < 0:
+		return fmt.Errorf("dataset: noise %v must be non-negative", c.Noise)
+	}
+	return nil
+}
+
+// SensorWindows generates labeled multi-sensor windows. Each activity
+// class has a characteristic frequency/amplitude/phase signature per
+// channel; samples perturb the signature and add noise. Layout per row is
+// channel-major: channel k occupies columns [k·WindowLen, (k+1)·WindowLen).
+func SensorWindows(cfg SensorConfig, seed int64) (train, test *Set, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	channels := cfg.Sensors * cfg.AxesPerSensor
+	type sig struct{ freq, amp, phase, bias float64 }
+	sigs := make([][]sig, cfg.Classes)
+	for c := range sigs {
+		sigs[c] = make([]sig, channels)
+		for k := range sigs[c] {
+			sigs[c][k] = sig{
+				freq:  0.5 + rng.Float64()*3.5,
+				amp:   0.5 + rng.Float64()*1.5,
+				phase: rng.Float64() * 2 * math.Pi,
+				bias:  rng.NormFloat64() * 0.3,
+			}
+		}
+	}
+	gen := func(n int, r *rand.Rand) *Set {
+		s := &Set{X: tensor.NewMatrix(n, cfg.Dim()), Labels: make([]int, n)}
+		for i := 0; i < n; i++ {
+			c := r.Intn(cfg.Classes)
+			s.Labels[i] = c
+			row := s.X.Row(i)
+			// Sample-level perturbations: tempo and intensity vary.
+			tempo := 1 + r.NormFloat64()*0.08
+			intensity := 1 + r.NormFloat64()*0.15
+			for k := 0; k < channels; k++ {
+				g := sigs[c][k]
+				for t := 0; t < cfg.WindowLen; t++ {
+					x := float64(t) / float64(cfg.WindowLen) * 2 * math.Pi
+					v := g.bias + g.amp*intensity*math.Sin(g.freq*tempo*x+g.phase)
+					row[k*cfg.WindowLen+t] = v + r.NormFloat64()*cfg.Noise
+				}
+			}
+		}
+		return s
+	}
+	train = gen(cfg.TrainSize, rand.New(rand.NewSource(seed+11)))
+	test = gen(cfg.TestSize, rand.New(rand.NewSource(seed+12)))
+	return train, test, nil
+}
+
+// ZipfStream draws an infinite-horizon class-request stream with Zipfian
+// popularity (exponent s over the given number of classes), modelling the
+// skewed "smart fridge" workloads of the caching experiments. Call Next
+// for each request.
+type ZipfStream struct {
+	rng  *rand.Rand
+	cdf  []float64
+	perm []int
+}
+
+// NewZipfStream builds a stream over classes with exponent s ≥ 0 (s=0 is
+// uniform). The popularity ranking is a random permutation of class ids
+// so tests don't accidentally rely on class 0 being hottest.
+func NewZipfStream(rng *rand.Rand, classes int, s float64) *ZipfStream {
+	if classes < 1 {
+		panic("dataset: zipf stream needs ≥1 class")
+	}
+	weights := make([]float64, classes)
+	var total float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		total += weights[i]
+	}
+	cdf := make([]float64, classes)
+	var acc float64
+	for i, w := range weights {
+		acc += w / total
+		cdf[i] = acc
+	}
+	perm := rng.Perm(classes)
+	return &ZipfStream{rng: rng, cdf: cdf, perm: perm}
+}
+
+// Next returns the next requested class id.
+func (z *ZipfStream) Next() int {
+	u := z.rng.Float64()
+	for i, c := range z.cdf {
+		if u <= c {
+			return z.perm[i]
+		}
+	}
+	return z.perm[len(z.perm)-1]
+}
+
+// Hottest returns the n most popular class ids in rank order.
+func (z *ZipfStream) Hottest(n int) []int {
+	if n > len(z.perm) {
+		n = len(z.perm)
+	}
+	return append([]int(nil), z.perm[:n]...)
+}

@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"eugene/internal/tensor"
+)
+
+// TeacherConfig parameterizes the depth-sensitive synthetic benchmark:
+// labels come from the arg-max of a deep random "teacher" network, so a
+// shallow classifier structurally cannot match the decision boundary and
+// deeper exit stages genuinely improve accuracy — the property the
+// staged-inference experiments need (paper Figure 4).
+type TeacherConfig struct {
+	// Classes is the number of labels.
+	Classes int
+	// Dim is the input dimension.
+	Dim int
+	// TeacherDepth is the number of hidden tanh layers in the teacher.
+	TeacherDepth int
+	// TeacherWidth is the teacher's hidden width.
+	TeacherWidth int
+	// TrainSize and TestSize are sample counts.
+	TrainSize, TestSize int
+	// ObsNoiseLo/Hi bound the per-sample observation noise added to
+	// the inputs AFTER labeling: the label reflects the clean signal,
+	// so noisy samples are intrinsically ambiguous. The spread creates
+	// the heterogeneous difficulty Eugene's scheduler exploits.
+	ObsNoiseLo, ObsNoiseHi float64
+}
+
+// DefaultTeacherConfig returns the configuration used by the paper-scale
+// experiments.
+func DefaultTeacherConfig() TeacherConfig {
+	return TeacherConfig{
+		Classes:      10,
+		Dim:          48,
+		TeacherDepth: 5,
+		TeacherWidth: 64,
+		TrainSize:    4000,
+		TestSize:     2000,
+		ObsNoiseLo:   0.0,
+		ObsNoiseHi:   0.9,
+	}
+}
+
+// Validate reports an error for degenerate configurations.
+func (c TeacherConfig) Validate() error {
+	switch {
+	case c.Classes < 2:
+		return fmt.Errorf("dataset: teacher classes %d must be ≥2", c.Classes)
+	case c.Dim < 1:
+		return fmt.Errorf("dataset: teacher dim %d must be positive", c.Dim)
+	case c.TeacherDepth < 1 || c.TeacherWidth < 1:
+		return fmt.Errorf("dataset: teacher %dx%d must be positive", c.TeacherDepth, c.TeacherWidth)
+	case c.TrainSize < 1 || c.TestSize < 1:
+		return fmt.Errorf("dataset: teacher sizes %d/%d must be positive", c.TrainSize, c.TestSize)
+	case c.ObsNoiseLo < 0 || c.ObsNoiseHi < c.ObsNoiseLo:
+		return fmt.Errorf("dataset: teacher noise range [%v,%v] invalid", c.ObsNoiseLo, c.ObsNoiseHi)
+	}
+	return nil
+}
+
+// teacherNet is the fixed random labeling network.
+type teacherNet struct {
+	weights []*tensor.Matrix // layer l: out×in
+	cfg     TeacherConfig
+}
+
+func newTeacher(cfg TeacherConfig, rng *rand.Rand) *teacherNet {
+	t := &teacherNet{cfg: cfg}
+	in := cfg.Dim
+	for l := 0; l < cfg.TeacherDepth; l++ {
+		w := tensor.NewMatrix(cfg.TeacherWidth, in)
+		// Scaled so tanh stays in its nonlinear regime without
+		// saturating: gain ~1.4/√in.
+		std := 1.4 / math.Sqrt(float64(in))
+		for i := range w.Data {
+			w.Data[i] = rng.NormFloat64() * std
+		}
+		t.weights = append(t.weights, w)
+		in = cfg.TeacherWidth
+	}
+	out := tensor.NewMatrix(cfg.Classes, in)
+	std := 1.0 / math.Sqrt(float64(in))
+	for i := range out.Data {
+		out.Data[i] = rng.NormFloat64() * std
+	}
+	t.weights = append(t.weights, out)
+	return t
+}
+
+// label returns the teacher's arg-max class and its logit margin (gap to
+// the runner-up, a difficulty signal).
+func (t *teacherNet) label(x []float64) (int, float64) {
+	h := append([]float64(nil), x...)
+	for l, w := range t.weights {
+		next := make([]float64, w.Rows)
+		for r := 0; r < w.Rows; r++ {
+			next[r] = tensor.Dot(w.Row(r), h)
+		}
+		if l < len(t.weights)-1 {
+			for i := range next {
+				next[i] = math.Tanh(next[i])
+			}
+		}
+		h = next
+	}
+	best, bestV := tensor.ArgMax(h)
+	second := math.Inf(-1)
+	for i, v := range h {
+		if i != best && v > second {
+			second = v
+		}
+	}
+	return best, bestV - second
+}
+
+// TeacherData generates train/test splits labeled by a shared random
+// deep teacher. Deterministic given seed.
+func TeacherData(cfg TeacherConfig, seed int64) (train, test *Set, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	teacher := newTeacher(cfg, rand.New(rand.NewSource(seed)))
+	gen := func(n int, r *rand.Rand) *Set {
+		s := &Set{X: tensor.NewMatrix(n, cfg.Dim), Labels: make([]int, n)}
+		for i := 0; i < n; i++ {
+			clean := make([]float64, cfg.Dim)
+			for d := range clean {
+				clean[d] = r.NormFloat64()
+			}
+			label, _ := teacher.label(clean)
+			s.Labels[i] = label
+			sigma := cfg.ObsNoiseLo + r.Float64()*(cfg.ObsNoiseHi-cfg.ObsNoiseLo)
+			row := s.X.Row(i)
+			for d := range row {
+				row[d] = clean[d] + r.NormFloat64()*sigma
+			}
+		}
+		return s
+	}
+	train = gen(cfg.TrainSize, rand.New(rand.NewSource(seed+21)))
+	test = gen(cfg.TestSize, rand.New(rand.NewSource(seed+22)))
+	return train, test, nil
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eugene/internal/calib"
+	"eugene/internal/gp"
+)
+
+// Fig2Result is the reliability-diagram experiment (paper Figure 2):
+// accuracy-vs-confidence bins for the final stage, before and after
+// entropy calibration.
+type Fig2Result struct {
+	Bins         int
+	Uncalibrated []calib.Bin
+	Calibrated   []calib.Bin
+	UncalECE     float64
+	CalECE       float64
+}
+
+// Fig2 computes the reliability diagrams on the holdout split.
+func (l *Lab) Fig2(bins int) (*Fig2Result, error) {
+	last := l.Model.NumStages() - 1
+	un := calib.EvalUncalibrated(l.Model, l.Holdout)
+	cal := calib.EvalUncalibrated(l.Calibrated, l.Holdout)
+	ub, err := calib.Reliability(un.Confs[last], un.Correct[last], bins)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := calib.Reliability(cal.Confs[last], cal.Correct[last], bins)
+	if err != nil {
+		return nil, err
+	}
+	ue, err := calib.ECE(un.Confs[last], un.Correct[last], bins)
+	if err != nil {
+		return nil, err
+	}
+	ce, err := calib.ECE(cal.Confs[last], cal.Correct[last], bins)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{Bins: bins, Uncalibrated: ub, Calibrated: cb, UncalECE: ue, CalECE: ce}, nil
+}
+
+// Render prints the two diagrams as aligned text columns (the repo's
+// stand-in for the paper's bar charts).
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: reliability diagrams (final stage, %d bins)\n", r.Bins)
+	fmt.Fprintf(&b, "%-12s %-22s %-22s\n", "conf bin", "(a) uncalibrated", "(b) entropy-calibrated")
+	fmt.Fprintf(&b, "%-12s %-10s %-10s %-10s %-10s\n", "", "acc", "gap", "acc", "gap")
+	for i := range r.Uncalibrated {
+		u, c := r.Uncalibrated[i], r.Calibrated[i]
+		label := fmt.Sprintf("(%.2f,%.2f]", u.Lo, u.Hi)
+		ua, ug := "-", "-"
+		if u.Count > 0 {
+			ua = fmt.Sprintf("%.3f", u.Acc)
+			ug = fmt.Sprintf("%.3f", u.Gap())
+		}
+		ca, cg := "-", "-"
+		if c.Count > 0 {
+			ca = fmt.Sprintf("%.3f", c.Acc)
+			cg = fmt.Sprintf("%.3f", c.Gap())
+		}
+		fmt.Fprintf(&b, "%-12s %-10s %-10s %-10s %-10s\n", label, ua, ug, ca, cg)
+	}
+	fmt.Fprintf(&b, "ECE: uncalibrated %.3f → calibrated %.3f\n", r.UncalECE, r.CalECE)
+	return b.String()
+}
+
+// Table2Result is the ECE comparison (paper Table II): rows are stages,
+// columns are calibration methods.
+type Table2Result struct {
+	// ECE[method][stage]; methods in MethodNames order.
+	ECE         [][]float64
+	MethodNames []string
+	// Paper holds the published values for side-by-side reporting.
+	Paper [][]float64
+}
+
+// Table2 computes per-stage ECE for Uncalibrated, RDeepSense
+// (MC-dropout) and RTDeepIoT (entropy calibration), plus temperature
+// scaling as an extension baseline.
+func (l *Lab) Table2(bins int) (*Table2Result, error) {
+	uncal := calib.EvalUncalibrated(l.Model, l.Holdout)
+	mc := calib.EvalMCDropoutRate(l.Model, l.Holdout, l.Cfg.MCPasses, l.Cfg.Seed+11, l.Cfg.MCRate)
+	ours := calib.EvalUncalibrated(l.Calibrated, l.Holdout)
+	temps, err := calib.TemperatureScale(l.Model, l.CalibSet, bins)
+	if err != nil {
+		return nil, err
+	}
+	temp, err := calib.EvalWithTemperature(l.Model, l.Holdout, temps)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{
+		MethodNames: []string{"Uncalibrated", "RDeepSense", "RTDeepIoT", "TempScale (ext)"},
+		Paper: [][]float64{
+			{0.134, 0.146, 0.123},
+			{0.058, 0.046, 0.054},
+			{0.010, 0.012, 0.008},
+			nil,
+		},
+	}
+	for _, ev := range []*calib.StageEval{uncal, mc, ours, temp} {
+		per, err := ev.ECEPerStage(bins)
+		if err != nil {
+			return nil, err
+		}
+		res.ECE = append(res.ECE, per)
+	}
+	return res, nil
+}
+
+// Render prints the table with paper values alongside.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table II: ECE of confidence calibration methods (ours | paper)\n")
+	fmt.Fprintf(&b, "%-18s", "")
+	for s := range r.ECE[0] {
+		fmt.Fprintf(&b, "Stage %-16d", s+1)
+	}
+	b.WriteString("\n")
+	for m, name := range r.MethodNames {
+		fmt.Fprintf(&b, "%-18s", name)
+		for s := range r.ECE[m] {
+			paper := "  -  "
+			if m < len(r.Paper) && r.Paper[m] != nil {
+				paper = fmt.Sprintf("%.3f", r.Paper[m][s])
+			}
+			fmt.Fprintf(&b, "%.3f | %-8s", r.ECE[m][s], paper)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table3Result is the GP confidence-curve prediction quality experiment
+// (paper Table III).
+type Table3Result struct {
+	Names    []string
+	MAE      []float64
+	R2       []float64
+	PaperMAE []float64
+	PaperR2  []float64
+}
+
+// Table3 evaluates GP1→2, GP1→3 and GP2→3 on the holdout confidence
+// curves of the calibrated model, using the runtime piecewise-linear
+// approximations (what the scheduler actually consults).
+func (l *Lab) Table3() (*Table3Result, error) {
+	curves, _ := l.Calibrated.ConfidenceCurves(l.Holdout)
+	if curves.Cols < 3 {
+		return nil, fmt.Errorf("experiments: Table III needs ≥3 stages, have %d", curves.Cols)
+	}
+	pairs := []struct {
+		name     string
+		from, to int
+	}{
+		{"GP1→2", 0, 1},
+		{"GP1→3", 0, 2},
+		{"GP2→3", 1, 2},
+	}
+	res := &Table3Result{
+		PaperMAE: []float64{0.124, 0.108, 0.072},
+		PaperR2:  []float64{0.57, 0.43, 0.78},
+	}
+	for _, p := range pairs {
+		pred := make([]float64, curves.Rows)
+		target := make([]float64, curves.Rows)
+		for i := 0; i < curves.Rows; i++ {
+			pred[i] = l.Pred.Predict(p.from, 0, curves.At(i, p.from), p.to)
+			target[i] = curves.At(i, p.to)
+		}
+		res.Names = append(res.Names, p.name)
+		res.MAE = append(res.MAE, gp.MAE(pred, target))
+		res.R2 = append(res.R2, gp.R2(pred, target))
+	}
+	return res, nil
+}
+
+// Render prints the table with paper values alongside.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table III: dynamic confidence curve prediction (ours | paper)\n")
+	fmt.Fprintf(&b, "%-8s %-18s %-18s\n", "", "MAE", "R²")
+	for i, name := range r.Names {
+		fmt.Fprintf(&b, "%-8s %.3f | %-10.3f %.3f | %-10.2f\n",
+			name, r.MAE[i], r.PaperMAE[i], r.R2[i], r.PaperR2[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,239 @@
+// Package gp implements Gaussian-process regression with an RBF kernel,
+// used by Eugene to predict confidence at future stages from confidence
+// at executed stages (paper Section III-B), plus the piecewise-linear
+// runtime approximation the paper substitutes for the (slow) exact GP
+// predictor.
+package gp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kernel is the RBF kernel with observation noise:
+// k(x,x') = SigF²·exp(−(x−x')²/(2·Len²)), plus SigN² on the diagonal.
+type Kernel struct {
+	Len  float64 // length scale
+	SigF float64 // signal standard deviation
+	SigN float64 // observation-noise standard deviation
+}
+
+// DefaultKernel returns hyperparameters suited to confidence curves
+// (inputs and outputs both in [0,1]).
+func DefaultKernel() Kernel { return Kernel{Len: 0.15, SigF: 0.35, SigN: 0.08} }
+
+// Validate reports an error for degenerate hyperparameters.
+func (k Kernel) Validate() error {
+	if k.Len <= 0 || k.SigF <= 0 || k.SigN <= 0 {
+		return fmt.Errorf("gp: kernel parameters must be positive, got %+v", k)
+	}
+	return nil
+}
+
+// Eval computes k(a, b) without the noise term.
+func (k Kernel) Eval(a, b float64) float64 {
+	d := a - b
+	return k.SigF * k.SigF * math.Exp(-d*d/(2*k.Len*k.Len))
+}
+
+// Regressor is a fitted 1-D Gaussian-process regression model.
+type Regressor struct {
+	kernel Kernel
+	x      []float64
+	alpha  []float64 // K⁻¹ y
+	chol   *cholesky // factor of K for variance queries
+	meanY  float64
+}
+
+// Fit trains a GP on (x, y) pairs. If maxPoints > 0 and len(x) exceeds
+// it, a deterministic subsample (seeded by seed) is used — GP training is
+// O(n³). The target mean is subtracted and restored at prediction time.
+func Fit(kernel Kernel, x, y []float64, maxPoints int, seed int64) (*Regressor, error) {
+	if err := kernel.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("gp: %d inputs vs %d targets", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("gp: empty training set")
+	}
+	if maxPoints > 0 && len(x) > maxPoints {
+		rng := rand.New(rand.NewSource(seed))
+		idx := rng.Perm(len(x))[:maxPoints]
+		xs := make([]float64, maxPoints)
+		ys := make([]float64, maxPoints)
+		for i, j := range idx {
+			xs[i], ys[i] = x[j], y[j]
+		}
+		x, y = xs, ys
+	}
+	n := len(x)
+	var meanY float64
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(n)
+
+	cov := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kernel.Eval(x[i], x[j])
+			if i == j {
+				v += kernel.SigN * kernel.SigN
+			}
+			cov[i*n+j] = v
+			cov[j*n+i] = v
+		}
+	}
+	chol, err := newCholesky(cov, n)
+	if err != nil {
+		return nil, fmt.Errorf("gp: covariance not positive definite: %w", err)
+	}
+	centered := make([]float64, n)
+	for i, v := range y {
+		centered[i] = v - meanY
+	}
+	alpha := chol.solve(centered)
+	return &Regressor{
+		kernel: kernel,
+		x:      append([]float64(nil), x...),
+		alpha:  alpha,
+		chol:   chol,
+		meanY:  meanY,
+	}, nil
+}
+
+// Predict returns the posterior mean and standard deviation at x*.
+// The standard deviation lets callers build confidence intervals, the
+// paper's second reason for choosing GPs.
+func (r *Regressor) Predict(xs float64) (mean, std float64) {
+	n := len(r.x)
+	ks := make([]float64, n)
+	for i, xi := range r.x {
+		ks[i] = r.kernel.Eval(xs, xi)
+	}
+	mean = r.meanY
+	for i, a := range r.alpha {
+		mean += ks[i] * a
+	}
+	v := r.chol.solve(ks)
+	variance := r.kernel.Eval(xs, xs)
+	for i := range ks {
+		variance -= ks[i] * v[i]
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
+}
+
+// PredictMean returns just the posterior mean (faster path used by the
+// scheduler's utility estimates).
+func (r *Regressor) PredictMean(xs float64) float64 {
+	mean := r.meanY
+	for i, xi := range r.x {
+		mean += r.kernel.Eval(xs, xi) * r.alpha[i]
+	}
+	return mean
+}
+
+// NumPoints returns the number of retained training points.
+func (r *Regressor) NumPoints() int { return len(r.x) }
+
+// cholesky is a lower-triangular Cholesky factor stored densely.
+type cholesky struct {
+	l []float64
+	n int
+}
+
+// newCholesky factors the symmetric positive-definite matrix a (n×n,
+// row-major).
+func newCholesky(a []float64, n int) (*cholesky, error) {
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("gp: leading minor %d not positive (%v)", i, sum)
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	return &cholesky{l: l, n: n}, nil
+}
+
+// solve returns K⁻¹ b via forward and back substitution.
+func (c *cholesky) solve(b []float64) []float64 {
+	n := c.n
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.l[i*n+k] * y[k]
+		}
+		y[i] = sum / c.l[i*n+i]
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= c.l[k*n+i] * x[k]
+		}
+		x[i] = sum / c.l[i*n+i]
+	}
+	return x
+}
+
+// MAE returns the mean absolute error between predictions and targets.
+func MAE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("gp: MAE length mismatch %d vs %d", len(pred), len(target)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range pred {
+		sum += math.Abs(pred[i] - target[i])
+	}
+	return sum / float64(len(pred))
+}
+
+// R2 returns the coefficient of determination of predictions against
+// targets: 1 − SS_res/SS_tot.
+func R2(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("gp: R2 length mismatch %d vs %d", len(pred), len(target)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, t := range target {
+		mean += t
+	}
+	mean /= float64(len(target))
+	var ssRes, ssTot float64
+	for i := range pred {
+		d := target[i] - pred[i]
+		ssRes += d * d
+		m := target[i] - mean
+		ssTot += m * m
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

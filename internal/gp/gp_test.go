@@ -1,0 +1,317 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelValidate(t *testing.T) {
+	if err := DefaultKernel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Kernel{
+		{Len: 0, SigF: 1, SigN: 1},
+		{Len: 1, SigF: 0, SigN: 1},
+		{Len: 1, SigF: 1, SigN: 0},
+	}
+	for _, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Fatalf("kernel %+v accepted", k)
+		}
+	}
+}
+
+func TestKernelProperties(t *testing.T) {
+	k := DefaultKernel()
+	// Symmetry, maximum at zero distance, decay with distance.
+	if math.Abs(k.Eval(0.3, 0.7)-k.Eval(0.7, 0.3)) > 1e-15 {
+		t.Fatal("kernel not symmetric")
+	}
+	if k.Eval(0.5, 0.5) < k.Eval(0.5, 0.6) {
+		t.Fatal("kernel not maximal at zero distance")
+	}
+	if k.Eval(0.1, 0.2) < k.Eval(0.1, 0.9) {
+		t.Fatal("kernel not decreasing with distance")
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	// Factor a known SPD matrix and verify solve(K, b) inverts it.
+	n := 4
+	rng := rand.New(rand.NewSource(1))
+	// K = A·Aᵀ + n·I is SPD.
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	cov := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += a[i*n+k] * a[j*n+k]
+			}
+			if i == j {
+				sum += float64(n)
+			}
+			cov[i*n+j] = sum
+		}
+	}
+	chol, err := newCholesky(cov, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, -2, 3, 0.5}
+	x := chol.solve(b)
+	// Verify K·x == b.
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += cov[i*n+j] * x[j]
+		}
+		if math.Abs(sum-b[i]) > 1e-9 {
+			t.Fatalf("K·x != b at %d: %v vs %v", i, sum, b[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := []float64{
+		1, 2,
+		2, 1, // eigenvalues 3 and −1
+	}
+	if _, err := newCholesky(m, 2); err == nil {
+		t.Fatal("expected failure on indefinite matrix")
+	}
+}
+
+func TestGPInterpolatesWithLowNoise(t *testing.T) {
+	k := Kernel{Len: 0.2, SigF: 1, SigN: 1e-3}
+	x := []float64{0, 0.25, 0.5, 0.75, 1}
+	y := []float64{0.1, 0.4, 0.5, 0.8, 0.9}
+	r, err := Fit(k, x, y, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mean, std := r.Predict(x[i])
+		if math.Abs(mean-y[i]) > 0.02 {
+			t.Fatalf("GP at training point %v: %v, want %v", x[i], mean, y[i])
+		}
+		if std > 0.1 {
+			t.Fatalf("GP std at training point %v too large: %v", x[i], std)
+		}
+	}
+	// Uncertainty must grow away from data.
+	_, stdAt := r.Predict(0.5)
+	_, stdAway := r.Predict(2.5)
+	if stdAway <= stdAt {
+		t.Fatalf("std should grow away from data: %v vs %v", stdAway, stdAt)
+	}
+}
+
+func TestGPRecoversSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(x float64) float64 { return 0.3 + 0.5*math.Sin(3*x) }
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()
+		xs = append(xs, x)
+		ys = append(ys, f(x)+rng.NormFloat64()*0.05)
+	}
+	r, err := Fit(Kernel{Len: 0.2, SigF: 0.5, SigN: 0.05}, xs, ys, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, target []float64
+	for i := 0; i <= 20; i++ {
+		x := float64(i) / 20
+		pred = append(pred, r.PredictMean(x))
+		target = append(target, f(x))
+	}
+	if mae := MAE(pred, target); mae > 0.05 {
+		t.Fatalf("GP MAE on smooth function = %v, want <0.05", mae)
+	}
+	if r2 := R2(pred, target); r2 < 0.9 {
+		t.Fatalf("GP R² = %v, want >0.9", r2)
+	}
+}
+
+func TestFitSubsampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs, ys []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()
+		xs = append(xs, x)
+		ys = append(ys, x*0.8+rng.NormFloat64()*0.02)
+	}
+	r, err := Fit(DefaultKernel(), xs, ys, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumPoints() != 100 {
+		t.Fatalf("retained %d points, want 100", r.NumPoints())
+	}
+	// Deterministic subsample: same seed → same model.
+	r2, _ := Fit(DefaultKernel(), xs, ys, 100, 7)
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if r.PredictMean(x) != r2.PredictMean(x) {
+			t.Fatal("subsampled fit not deterministic")
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(DefaultKernel(), []float64{1}, []float64{1, 2}, 0, 1); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := Fit(DefaultKernel(), nil, nil, 0, 1); err == nil {
+		t.Fatal("expected empty-set error")
+	}
+	if _, err := Fit(Kernel{}, []float64{1}, []float64{1}, 0, 1); err == nil {
+		t.Fatal("expected kernel error")
+	}
+}
+
+func TestPredictMeanMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var xs, ys []float64
+	for i := 0; i < 50; i++ {
+		xs = append(xs, rng.Float64())
+		ys = append(ys, rng.Float64())
+	}
+	r, err := Fit(DefaultKernel(), xs, ys, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.3, 0.77, 1} {
+		full, _ := r.Predict(x)
+		if math.Abs(full-r.PredictMean(x)) > 1e-10 {
+			t.Fatalf("PredictMean diverges from Predict at %v", x)
+		}
+	}
+}
+
+func TestPiecewiseLinearApproximatesGP(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var xs, ys []float64
+	for i := 0; i < 150; i++ {
+		x := rng.Float64()
+		xs = append(xs, x)
+		ys = append(ys, 0.4+0.4*x*x+rng.NormFloat64()*0.03)
+	}
+	r, err := Fit(DefaultKernel(), xs, ys, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pwl, err := ProfileRegressor(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := 0; i <= 100; i++ {
+		x := float64(i) / 100
+		d := math.Abs(pwl.At(x) - r.PredictMean(x))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.02 {
+		t.Fatalf("PWL max deviation from GP = %v, want <0.02", worst)
+	}
+}
+
+func TestPiecewiseLinearExactAtKnots(t *testing.T) {
+	pwl, err := Profile(func(x float64) float64 { return x * x }, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range pwl.Knots {
+		if pwl.At(k) != pwl.Vals[i] {
+			t.Fatalf("PWL not exact at knot %v", k)
+		}
+	}
+	// Midpoint of [0, 0.25] should be the average of endpoint values.
+	want := (pwl.Vals[0] + pwl.Vals[1]) / 2
+	if got := pwl.At(0.125); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PWL midpoint = %v, want %v", got, want)
+	}
+}
+
+func TestPiecewiseLinearClamps(t *testing.T) {
+	pwl, _ := Profile(func(x float64) float64 { return x }, 0, 1, 2)
+	if pwl.At(-5) != pwl.Vals[0] || pwl.At(5) != pwl.Vals[2] {
+		t.Fatal("PWL must clamp outside its domain")
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := Profile(func(x float64) float64 { return x }, 0, 1, 0); err == nil {
+		t.Fatal("expected segment-count error")
+	}
+	if _, err := Profile(func(x float64) float64 { return x }, 1, 0, 3); err == nil {
+		t.Fatal("expected domain error")
+	}
+}
+
+// Property: PWL evaluations are always within [min, max] of knot values.
+func TestPWLBoundedProperty(t *testing.T) {
+	pwl, _ := Profile(math.Sin, 0, 3, 12)
+	minV, maxV := pwl.Vals[0], pwl.Vals[0]
+	for _, v := range pwl.Vals {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	f := func(x float64) bool {
+		v := pwl.At(math.Mod(math.Abs(x), 3))
+		return v >= minV-1e-12 && v <= maxV+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAEAndR2(t *testing.T) {
+	if got := MAE([]float64{1, 2}, []float64{2, 4}); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("MAE = %v", got)
+	}
+	if got := R2([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 1 {
+		t.Fatalf("perfect R² = %v", got)
+	}
+	// Predicting the mean gives R² = 0.
+	if got := R2([]float64{2, 2, 2}, []float64{1, 2, 3}); math.Abs(got) > 1e-12 {
+		t.Fatalf("mean-predictor R² = %v", got)
+	}
+	if got := R2([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Fatalf("constant-target wrong-pred R² = %v", got)
+	}
+	if MAE(nil, nil) != 0 || R2(nil, nil) != 0 {
+		t.Fatal("empty metrics should be 0")
+	}
+}
+
+func BenchmarkGPPredictVsPWL(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	var xs, ys []float64
+	for i := 0; i < 300; i++ {
+		xs = append(xs, rng.Float64())
+		ys = append(ys, rng.Float64())
+	}
+	r, err := Fit(DefaultKernel(), xs, ys, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pwl, _ := ProfileRegressor(r, 10)
+	b.Run("gp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.PredictMean(0.42)
+		}
+	})
+	b.Run("pwl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pwl.At(0.42)
+		}
+	})
+}

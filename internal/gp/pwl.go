@@ -1,0 +1,59 @@
+package gp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PiecewiseLinear approximates a fitted GP over a bounded input domain by
+// profiling it at M+1 evenly spaced knots and connecting them linearly
+// (paper Section III-B). Runtime prediction is O(log M) instead of the
+// GP's O(n), which is what makes per-request utility updates affordable.
+type PiecewiseLinear struct {
+	Knots []float64 // knot x positions, ascending
+	Vals  []float64 // GP posterior mean at each knot
+}
+
+// Profile builds the approximation from a predictor function over
+// [lo, hi] with m segments (m+1 knots).
+func Profile(predict func(float64) float64, lo, hi float64, m int) (*PiecewiseLinear, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("gp: need ≥1 segment, got %d", m)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("gp: empty domain [%v, %v]", lo, hi)
+	}
+	p := &PiecewiseLinear{
+		Knots: make([]float64, m+1),
+		Vals:  make([]float64, m+1),
+	}
+	for i := 0; i <= m; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(m)
+		p.Knots[i] = x
+		p.Vals[i] = predict(x)
+	}
+	return p, nil
+}
+
+// ProfileRegressor profiles the GP posterior mean over [0,1] with m
+// segments — the confidence-domain case from the paper.
+func ProfileRegressor(r *Regressor, m int) (*PiecewiseLinear, error) {
+	return Profile(r.PredictMean, 0, 1, m)
+}
+
+// At evaluates the piecewise-linear function; inputs outside the domain
+// clamp to the boundary segments.
+func (p *PiecewiseLinear) At(x float64) float64 {
+	n := len(p.Knots)
+	if x <= p.Knots[0] {
+		return p.Vals[0]
+	}
+	if x >= p.Knots[n-1] {
+		return p.Vals[n-1]
+	}
+	// Binary search for the segment containing x.
+	i := sort.SearchFloat64s(p.Knots, x)
+	lo, hi := p.Knots[i-1], p.Knots[i]
+	t := (x - lo) / (hi - lo)
+	return p.Vals[i-1]*(1-t) + p.Vals[i]*t
+}

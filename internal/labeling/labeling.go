@@ -1,0 +1,235 @@
+// Package labeling implements Eugene's automatic data-labeling service
+// (paper Section II-A, after SenseGAN [8]): given a mostly-unlabeled
+// dataset, a proposer assigns labels to unlabeled samples from the
+// cluster structure of the input space, and a critic (trained to
+// distinguish proposed labelings from genuine ones) drives rounds of
+// refinement — an adversarial game reduced to its label-propagation
+// core. The paper's claim under test: models trained on the proposed
+// labels recover most of the fully supervised accuracy.
+package labeling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"eugene/internal/dataset"
+)
+
+// Config controls the labeling game.
+type Config struct {
+	// Rounds of proposer/critic refinement.
+	Rounds int
+	// K is the number of clusters per class used by the proposer.
+	K int
+	// Seed drives initialization.
+	Seed int64
+}
+
+// DefaultConfig returns settings for SynthCIFAR-scale corpora.
+func DefaultConfig() Config { return Config{Rounds: 6, K: 2, Seed: 1} }
+
+// Validate reports an error for degenerate configurations.
+func (c Config) Validate() error {
+	if c.Rounds < 1 || c.K < 1 {
+		return fmt.Errorf("labeling: bad config rounds=%d k=%d", c.Rounds, c.K)
+	}
+	return nil
+}
+
+// Result is the labeling outcome.
+type Result struct {
+	// Labels holds the proposed label for every sample (labeled
+	// samples keep their ground truth).
+	Labels []int
+	// Confidence is the proposer's per-sample assignment confidence.
+	Confidence []float64
+	// Rounds actually executed (early exit on convergence).
+	Rounds int
+}
+
+// Propose labels the unlabeled portion of data. labeledIdx identifies
+// samples whose labels may be used; all other labels in data are treated
+// as hidden (used by callers only for evaluation).
+func Propose(data *dataset.Set, labeledIdx []int, classes int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(labeledIdx) == 0 {
+		return nil, fmt.Errorf("labeling: need at least one labeled sample")
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("labeling: need ≥2 classes, got %d", classes)
+	}
+	seen := make(map[int]bool, len(labeledIdx))
+	classHasSeed := make([]bool, classes)
+	for _, i := range labeledIdx {
+		if i < 0 || i >= data.Len() {
+			return nil, fmt.Errorf("labeling: labeled index %d out of range", i)
+		}
+		seen[i] = true
+		l := data.Labels[i]
+		if l < 0 || l >= classes {
+			return nil, fmt.Errorf("labeling: labeled sample %d has class %d outside [0,%d)", i, l, classes)
+		}
+		classHasSeed[l] = true
+	}
+	for c, ok := range classHasSeed {
+		if !ok {
+			return nil, fmt.Errorf("labeling: class %d has no labeled seed", c)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dim := data.X.Cols
+	// Proposer state: per-class cluster centroids, seeded from labeled
+	// samples.
+	cents := make([][][]float64, classes)
+	for c := range cents {
+		cents[c] = make([][]float64, cfg.K)
+		var mine []int
+		for _, i := range labeledIdx {
+			if data.Labels[i] == c {
+				mine = append(mine, i)
+			}
+		}
+		for k := range cents[c] {
+			src := mine[rng.Intn(len(mine))]
+			cent := append([]float64(nil), data.X.Row(src)...)
+			// Jitter duplicated seeds so clusters can separate.
+			for d := range cent {
+				cent[d] += rng.NormFloat64() * 0.01
+			}
+			cents[c][k] = cent
+		}
+	}
+
+	res := &Result{
+		Labels:     make([]int, data.Len()),
+		Confidence: make([]float64, data.Len()),
+	}
+	assign := func() (changed int) {
+		for i := 0; i < data.Len(); i++ {
+			if seen[i] {
+				if res.Labels[i] != data.Labels[i] {
+					changed++
+				}
+				res.Labels[i] = data.Labels[i]
+				res.Confidence[i] = 1
+				continue
+			}
+			x := data.X.Row(i)
+			best, second := math.Inf(1), math.Inf(1)
+			bestC := 0
+			for c := range cents {
+				for _, cent := range cents[c] {
+					d := sqDist(x, cent)
+					if d < best {
+						if c != bestC {
+							second = best
+						}
+						best, bestC = d, c
+					} else if c != bestC && d < second {
+						second = d
+					}
+				}
+			}
+			if res.Labels[i] != bestC {
+				changed++
+			}
+			res.Labels[i] = bestC
+			// Margin-based confidence: how much closer the winning
+			// class is than the runner-up.
+			if math.IsInf(second, 1) {
+				res.Confidence[i] = 1
+			} else {
+				res.Confidence[i] = 1 - math.Sqrt(best)/(math.Sqrt(best)+math.Sqrt(second))
+			}
+		}
+		return changed
+	}
+	refit := func() {
+		// The critic phase, reduced: labeled samples anchor their
+		// class's centroids (proposals inconsistent with anchors get
+		// pulled back), unlabeled proposals above median confidence
+		// vote for centroid updates.
+		for c := range cents {
+			for k := range cents[c] {
+				sum := make([]float64, dim)
+				var w float64
+				for i := 0; i < data.Len(); i++ {
+					if res.Labels[i] != c {
+						continue
+					}
+					// Assign to nearest centroid of this class.
+					bestK, bestD := 0, math.Inf(1)
+					for kk, cent := range cents[c] {
+						if d := sqDist(data.X.Row(i), cent); d < bestD {
+							bestK, bestD = kk, d
+						}
+					}
+					if bestK != k {
+						continue
+					}
+					weight := res.Confidence[i]
+					if seen[i] {
+						weight = 3 // anchors dominate
+					}
+					for d, v := range data.X.Row(i) {
+						sum[d] += weight * v
+					}
+					w += weight
+				}
+				if w > 0 {
+					for d := range sum {
+						sum[d] /= w
+					}
+					cents[c][k] = sum
+				}
+			}
+		}
+	}
+
+	assign()
+	for round := 1; round <= cfg.Rounds; round++ {
+		refit()
+		changed := assign()
+		res.Rounds = round
+		if changed == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// Agreement returns the fraction of unlabeled samples whose proposed
+// label matches ground truth (evaluation only).
+func Agreement(data *dataset.Set, labeledIdx []int, res *Result) float64 {
+	seen := make(map[int]bool, len(labeledIdx))
+	for _, i := range labeledIdx {
+		seen[i] = true
+	}
+	var total, right int
+	for i := 0; i < data.Len(); i++ {
+		if seen[i] {
+			continue
+		}
+		total++
+		if res.Labels[i] == data.Labels[i] {
+			right++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(right) / float64(total)
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package labeling
+
+import (
+	"math/rand"
+	"testing"
+
+	"eugene/internal/dataset"
+)
+
+func labelData(t *testing.T, overlap float64) *dataset.Set {
+	t.Helper()
+	cfg := dataset.SynthConfig{
+		Classes: 5, Dim: 16, ModesPerClass: 2,
+		TrainSize: 500, TestSize: 10,
+		NoiseLo: 0.3, NoiseHi: 0.9, Overlap: overlap,
+	}
+	train, _, err := dataset.SynthCIFAR(cfg, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train
+}
+
+// seedIdx picks n labeled samples per class.
+func seedIdx(data *dataset.Set, classes, perClass int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	var idx []int
+	counts := make([]int, classes)
+	for _, i := range rng.Perm(data.Len()) {
+		c := data.Labels[i]
+		if counts[c] < perClass {
+			counts[c]++
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func TestProposeRecoversLabels(t *testing.T) {
+	data := labelData(t, 0.1)
+	idx := seedIdx(data, 5, 5, 1) // 25 of 500 labeled (5%)
+	res, err := Propose(data, idx, 5, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Agreement(data, idx, res); got < 0.7 {
+		t.Fatalf("label agreement %v, want ≥0.7 on a separable corpus", got)
+	}
+	// Labeled samples keep ground truth with confidence 1.
+	for _, i := range idx {
+		if res.Labels[i] != data.Labels[i] || res.Confidence[i] != 1 {
+			t.Fatalf("labeled sample %d altered: %d/%v", i, res.Labels[i], res.Confidence[i])
+		}
+	}
+	for i, c := range res.Confidence {
+		if c < 0 || c > 1 {
+			t.Fatalf("confidence[%d] = %v", i, c)
+		}
+	}
+}
+
+func TestProposeRefinementHelps(t *testing.T) {
+	data := labelData(t, 0.2)
+	idx := seedIdx(data, 5, 3, 2)
+	one := DefaultConfig()
+	one.Rounds = 1
+	many := DefaultConfig()
+	many.Rounds = 8
+	r1, err := Propose(data, idx, 5, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Propose(data, idx, 5, many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := Agreement(data, idx, r1)
+	a2 := Agreement(data, idx, r2)
+	if a2+0.02 < a1 {
+		t.Fatalf("refinement hurt agreement: %v → %v", a1, a2)
+	}
+}
+
+func TestProposeDeterministic(t *testing.T) {
+	data := labelData(t, 0.1)
+	idx := seedIdx(data, 5, 4, 3)
+	r1, err := Propose(data, idx, 5, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Propose(data, idx, 5, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Labels {
+		if r1.Labels[i] != r2.Labels[i] {
+			t.Fatalf("labels differ at %d for same seed", i)
+		}
+	}
+}
+
+func TestProposeErrors(t *testing.T) {
+	data := labelData(t, 0.1)
+	if _, err := Propose(data, nil, 5, DefaultConfig()); err == nil {
+		t.Fatal("expected empty-seed error")
+	}
+	if _, err := Propose(data, []int{-1}, 5, DefaultConfig()); err == nil {
+		t.Fatal("expected index-range error")
+	}
+	if _, err := Propose(data, []int{0}, 1, DefaultConfig()); err == nil {
+		t.Fatal("expected class-count error")
+	}
+	// A class with no seed must be rejected.
+	var onlyClass0 []int
+	for i := 0; i < data.Len(); i++ {
+		if data.Labels[i] == 0 {
+			onlyClass0 = append(onlyClass0, i)
+			break
+		}
+	}
+	if _, err := Propose(data, onlyClass0, 5, DefaultConfig()); err == nil {
+		t.Fatal("expected missing-seed error")
+	}
+	bad := DefaultConfig()
+	bad.Rounds = 0
+	idx := seedIdx(data, 5, 2, 1)
+	if _, err := Propose(data, idx, 5, bad); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
+func TestAgreementEdgeCases(t *testing.T) {
+	data := labelData(t, 0.1)
+	idx := make([]int, data.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	res := &Result{Labels: append([]int(nil), data.Labels...)}
+	// Everything labeled → no unlabeled samples to score.
+	if got := Agreement(data, idx, res); got != 0 {
+		t.Fatalf("fully labeled agreement = %v, want 0", got)
+	}
+}

@@ -1,0 +1,266 @@
+// Package nn is a from-scratch neural-network engine: layers with
+// explicit forward/backward passes, losses (including the entropy-
+// regularized calibration loss of Eugene Eq. 4), and an SGD optimizer.
+// It is the substrate on which internal/staged builds the multi-exit
+// residual networks served by the Eugene scheduler.
+//
+// Batches are dense matrices (internal/tensor) with one sample per row.
+// All randomness is injected through *rand.Rand so training is fully
+// deterministic given a seed.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"eugene/internal/tensor"
+)
+
+// Layer is a differentiable module. Forward consumes a batch (one sample
+// per row) and returns the transformed batch; Backward consumes the
+// gradient with respect to the layer's output and returns the gradient
+// with respect to its input, accumulating parameter gradients internally.
+//
+// Layers own scratch buffers and are therefore not safe for concurrent
+// use; clone the model per goroutine (see Sequential.Clone).
+type Layer interface {
+	// Forward computes the layer output for batch x. When train is
+	// true, stochastic layers (Dropout) sample masks and layers cache
+	// whatever Backward needs.
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	// Backward maps the loss gradient w.r.t. this layer's output to the
+	// gradient w.r.t. its input. Must be called after a Forward with
+	// train=true.
+	Backward(gradOut *tensor.Matrix) *tensor.Matrix
+	// Params returns views of the parameter and gradient buffers, in
+	// matching order, for the optimizer. Stateless layers return nil.
+	Params() []Param
+	// Clone returns a structurally identical layer sharing no mutable
+	// state; parameters are deep-copied.
+	Clone() Layer
+}
+
+// Param pairs a parameter buffer with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value []float64
+	Grad  []float64
+}
+
+// Dense is a fully connected layer: y = x·Wᵀ + b, with W of shape
+// out×in.
+type Dense struct {
+	In, Out int
+	W       *tensor.Matrix // Out×In
+	B       []float64
+	GradW   *tensor.Matrix
+	GradB   []float64
+
+	x   *tensor.Matrix // cached input
+	out *tensor.Matrix
+	gin *tensor.Matrix
+}
+
+// NewDense constructs a dense layer with He-initialized weights.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{
+		In:    in,
+		Out:   out,
+		W:     tensor.NewMatrix(out, in),
+		B:     make([]float64, out),
+		GradW: tensor.NewMatrix(out, in),
+		GradB: make([]float64, out),
+	}
+	std := math.Sqrt(2.0 / float64(in))
+	for i := range d.W.Data {
+		d.W.Data[i] = rng.NormFloat64() * std
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense(%d→%d) got input width %d", d.In, d.Out, x.Cols))
+	}
+	if train {
+		d.x = x
+	}
+	d.out = ensure(d.out, x.Rows, d.Out)
+	tensor.MatMulT(d.out, x, d.W)
+	tensor.AddRowVector(d.out, d.B)
+	return d.out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if d.x == nil {
+		panic("nn: Dense.Backward before Forward(train=true)")
+	}
+	// dW += gradOutᵀ · x ; accumulate into GradW.
+	gw := tensor.NewMatrix(d.Out, d.In)
+	tensor.TMatMul(gw, gradOut, d.x)
+	tensor.AXPY(d.GradW, 1, gw)
+	gb := make([]float64, d.Out)
+	tensor.ColSums(gb, gradOut)
+	for i := range d.GradB {
+		d.GradB[i] += gb[i]
+	}
+	d.gin = ensure(d.gin, gradOut.Rows, d.In)
+	tensor.MatMul(d.gin, gradOut, d.W)
+	return d.gin
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []Param {
+	return []Param{
+		{Name: "W", Value: d.W.Data, Grad: d.GradW.Data},
+		{Name: "b", Value: d.B, Grad: d.GradB},
+	}
+}
+
+// Clone implements Layer.
+func (d *Dense) Clone() Layer {
+	c := &Dense{
+		In:    d.In,
+		Out:   d.Out,
+		W:     d.W.Clone(),
+		B:     append([]float64(nil), d.B...),
+		GradW: tensor.NewMatrix(d.Out, d.In),
+		GradB: make([]float64, d.Out),
+	}
+	return c
+}
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	mask []bool
+	out  *tensor.Matrix
+	gin  *tensor.Matrix
+}
+
+// NewReLU constructs a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	r.out = ensure(r.out, x.Rows, x.Cols)
+	if train {
+		if cap(r.mask) < len(x.Data) {
+			r.mask = make([]bool, len(x.Data))
+		}
+		r.mask = r.mask[:len(x.Data)]
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			r.out.Data[i] = v
+			if train {
+				r.mask[i] = true
+			}
+		} else {
+			r.out.Data[i] = 0
+			if train {
+				r.mask[i] = false
+			}
+		}
+	}
+	return r.out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	r.gin = ensure(r.gin, gradOut.Rows, gradOut.Cols)
+	for i, g := range gradOut.Data {
+		if r.mask[i] {
+			r.gin.Data[i] = g
+		} else {
+			r.gin.Data[i] = 0
+		}
+	}
+	return r.gin
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []Param { return nil }
+
+// Clone implements Layer.
+func (r *ReLU) Clone() Layer { return &ReLU{} }
+
+// Dropout zeroes activations with probability Rate during training and
+// rescales survivors by 1/(1-Rate) (inverted dropout). At inference it is
+// the identity unless MC is set, in which case it keeps sampling masks —
+// the mechanism behind the RDeepSense MC-dropout confidence baseline.
+type Dropout struct {
+	Rate float64
+	// MC enables Monte-Carlo dropout: masks are sampled even when
+	// Forward is called with train=false.
+	MC bool
+
+	rng  *rand.Rand
+	keep []float64
+	out  *tensor.Matrix
+	gin  *tensor.Matrix
+}
+
+// NewDropout constructs a dropout layer with the given drop rate.
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v outside [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	d.out = ensure(d.out, x.Rows, x.Cols)
+	if !train && !d.MC {
+		copy(d.out.Data, x.Data)
+		return d.out
+	}
+	if cap(d.keep) < len(x.Data) {
+		d.keep = make([]float64, len(x.Data))
+	}
+	d.keep = d.keep[:len(x.Data)]
+	scale := 1 / (1 - d.Rate)
+	for i, v := range x.Data {
+		if d.rng.Float64() < d.Rate {
+			d.keep[i] = 0
+			d.out.Data[i] = 0
+		} else {
+			d.keep[i] = scale
+			d.out.Data[i] = v * scale
+		}
+	}
+	return d.out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	d.gin = ensure(d.gin, gradOut.Rows, gradOut.Cols)
+	for i, g := range gradOut.Data {
+		d.gin.Data[i] = g * d.keep[i]
+	}
+	return d.gin
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []Param { return nil }
+
+// Clone implements Layer.
+func (d *Dropout) Clone() Layer {
+	return &Dropout{Rate: d.Rate, MC: d.MC, rng: rand.New(rand.NewSource(d.rng.Int63()))}
+}
+
+// Reseed resets the dropout RNG; used to make Monte-Carlo evaluation
+// deterministic.
+func (d *Dropout) Reseed(seed int64) { d.rng = rand.New(rand.NewSource(seed)) }
+
+// ensure returns m if it already has the requested shape, otherwise a new
+// matrix. Reuses buffers across batches of identical size.
+func ensure(m *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if m != nil && m.Rows == rows && m.Cols == cols {
+		return m
+	}
+	return tensor.NewMatrix(rows, cols)
+}

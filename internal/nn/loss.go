@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"eugene/internal/tensor"
+)
+
+// SoftmaxCE computes the mean softmax cross-entropy of logits against
+// integer labels, optionally adding the Eugene calibration regularizer of
+// Eq. (4): L = CE(p, y) + α·H(p). It returns the scalar loss and writes
+// the gradient with respect to the logits into gradLogits (same shape as
+// logits, pre-allocated by the caller).
+//
+// Gradient derivation: ∂CE/∂z = p − y (one-hot), and for the entropy term
+// ∂H/∂z_j = −p_j(log p_j + H(p)). Both are averaged over the batch.
+func SoftmaxCE(gradLogits, logits *tensor.Matrix, labels []int, alpha float64) float64 {
+	if len(labels) != logits.Rows {
+		panic(fmt.Sprintf("nn: SoftmaxCE got %d labels for %d rows", len(labels), logits.Rows))
+	}
+	probs := tensor.NewMatrix(logits.Rows, logits.Cols)
+	tensor.Softmax(probs, logits)
+	invB := 1 / float64(logits.Rows)
+	var loss float64
+	for r := 0; r < logits.Rows; r++ {
+		p := probs.Row(r)
+		g := gradLogits.Row(r)
+		y := labels[r]
+		if y < 0 || y >= logits.Cols {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, logits.Cols))
+		}
+		loss += -math.Log(math.Max(p[y], 1e-12))
+		var h float64
+		if alpha != 0 {
+			h = tensor.Entropy(p)
+			loss += alpha * h
+		}
+		for c := range p {
+			g[c] = p[c]
+			if c == y {
+				g[c] -= 1
+			}
+			if alpha != 0 {
+				lp := math.Log(math.Max(p[c], 1e-12))
+				g[c] += alpha * (-p[c] * (lp + h))
+			}
+			g[c] *= invB
+		}
+	}
+	return loss * invB
+}
+
+// MSE computes the mean squared error between pred and target and writes
+// the gradient with respect to pred into gradPred.
+func MSE(gradPred, pred, target *tensor.Matrix) float64 {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: MSE shape mismatch %dx%d vs %dx%d", pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+	n := float64(len(pred.Data))
+	var loss float64
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		gradPred.Data[i] = 2 * d / n
+	}
+	return loss / n
+}
+
+// GaussianNLL computes the heteroscedastic Gaussian negative log-
+// likelihood used by RDeepSense-style uncertainty heads. pred holds
+// interleaved (mean, logVar) column pairs: column 2i is the mean of
+// output i and column 2i+1 its log-variance. target has one column per
+// output. Gradients are written into gradPred.
+func GaussianNLL(gradPred, pred, target *tensor.Matrix) float64 {
+	if pred.Cols != 2*target.Cols || pred.Rows != target.Rows {
+		panic(fmt.Sprintf("nn: GaussianNLL pred %dx%d incompatible with target %dx%d", pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+	invN := 1 / float64(pred.Rows*target.Cols)
+	var loss float64
+	for r := 0; r < pred.Rows; r++ {
+		p := pred.Row(r)
+		g := gradPred.Row(r)
+		t := target.Row(r)
+		for i := 0; i < target.Cols; i++ {
+			mu, logVar := p[2*i], p[2*i+1]
+			// Clamp log-variance for numerical stability.
+			logVar = math.Max(-10, math.Min(10, logVar))
+			invVar := math.Exp(-logVar)
+			d := mu - t[i]
+			loss += 0.5 * (logVar + d*d*invVar)
+			g[2*i] = d * invVar * invN
+			g[2*i+1] = 0.5 * (1 - d*d*invVar) * invN
+		}
+	}
+	return loss * invN
+}
+
+// Accuracy returns the fraction of rows of logits whose arg-max equals
+// the label.
+func Accuracy(logits *tensor.Matrix, labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	var correct int
+	for r := 0; r < logits.Rows; r++ {
+		idx, _ := tensor.ArgMax(logits.Row(r))
+		if idx == labels[r] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,406 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eugene/internal/tensor"
+)
+
+// lossOf runs a forward pass and returns the CE loss; used by the
+// numerical gradient checks.
+func lossOf(model Layer, x *tensor.Matrix, labels []int, alpha float64) float64 {
+	out := model.Forward(x, false)
+	grad := tensor.NewMatrix(out.Rows, out.Cols)
+	return SoftmaxCE(grad, out, labels, alpha)
+}
+
+// gradCheck compares analytic parameter gradients against central
+// differences for the model on one batch.
+func gradCheck(t *testing.T, model Layer, x *tensor.Matrix, labels []int, alpha, tol float64) {
+	t.Helper()
+	ZeroGrads(model.Params())
+	out := model.Forward(x, true)
+	grad := tensor.NewMatrix(out.Rows, out.Cols)
+	SoftmaxCE(grad, out, labels, alpha)
+	model.Backward(grad)
+
+	const eps = 1e-5
+	for _, p := range model.Params() {
+		for i := 0; i < len(p.Value); i += 7 { // sample every 7th param
+			orig := p.Value[i]
+			p.Value[i] = orig + eps
+			lp := lossOf(model, x, labels, alpha)
+			p.Value[i] = orig - eps
+			lm := lossOf(model, x, labels, alpha)
+			p.Value[i] = orig
+			num := (lp - lm) / (2 * eps)
+			ana := p.Grad[i]
+			if math.Abs(num-ana) > tol*(1+math.Abs(num)) {
+				t.Fatalf("param %s[%d]: analytic %v vs numeric %v", p.Name, i, ana, num)
+			}
+		}
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model := NewSequential(NewDense(rng, 5, 8), NewReLU(), NewDense(rng, 8, 3))
+	x := tensor.NewMatrix(4, 5)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	gradCheck(t, model, x, []int{0, 1, 2, 1}, 0, 1e-4)
+}
+
+func TestEntropyRegGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model := NewSequential(NewDense(rng, 4, 6), NewReLU(), NewDense(rng, 6, 3))
+	x := tensor.NewMatrix(3, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for _, alpha := range []float64{0.5, -0.3} {
+		gradCheck(t, model, x, []int{2, 0, 1}, alpha, 1e-4)
+	}
+}
+
+func TestResidualGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	body := NewSequential(NewDense(rng, 6, 6), NewReLU(), NewDense(rng, 6, 6))
+	model := NewSequential(NewResidual(body), NewDense(rng, 6, 3))
+	x := tensor.NewMatrix(4, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	gradCheck(t, model, x, []int{0, 2, 1, 1}, 0, 1e-4)
+}
+
+func TestConvGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	shape := tensor.ConvShape{InChannels: 2, OutChannels: 3, Height: 5, Width: 5, Kernel: 3, Stride: 1, Pad: 1}
+	conv, err := NewConv2D(rng, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewSequential(
+		conv,
+		NewReLU(),
+		NewGlobalAvgPool(3, 25),
+		NewDense(rng, 3, 4),
+	)
+	x := tensor.NewMatrix(2, 2*5*5)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	gradCheck(t, model, x, []int{1, 3}, 0, 1e-4)
+}
+
+func TestConvInvalidShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewConv2D(rng, tensor.ConvShape{}); err == nil {
+		t.Fatal("expected error for zero conv shape")
+	}
+}
+
+// TestInputGradCheck verifies Backward's returned input gradient, which
+// residual connections and multi-stage backprop rely on.
+func TestInputGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model := NewSequential(NewDense(rng, 4, 5), NewReLU(), NewDense(rng, 5, 3))
+	x := tensor.NewMatrix(2, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := []int{1, 2}
+	out := model.Forward(x, true)
+	grad := tensor.NewMatrix(out.Rows, out.Cols)
+	SoftmaxCE(grad, out, labels, 0)
+	gin := model.Backward(grad)
+
+	const eps = 1e-5
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := lossOf(model, x, labels, 0)
+		x.Data[i] = orig - eps
+		lm := lossOf(model, x, labels, 0)
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-gin.Data[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("input grad[%d]: analytic %v vs numeric %v", i, gin.Data[i], num)
+		}
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice(1, 4, []float64{-1, 0, 2, -3})
+	out := r.Forward(x, true)
+	want := []float64{0, 0, 2, 0}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("ReLU forward = %v", out.Data)
+		}
+	}
+	g := tensor.FromSlice(1, 4, []float64{1, 1, 1, 1})
+	gin := r.Backward(g)
+	wantG := []float64{0, 0, 1, 0}
+	for i, w := range wantG {
+		if gin.Data[i] != w {
+			t.Fatalf("ReLU backward = %v", gin.Data)
+		}
+	}
+}
+
+func TestDropoutModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := NewDropout(rng, 0.5)
+	x := tensor.NewMatrix(10, 100)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	// Eval without MC: identity.
+	out := d.Forward(x, false)
+	for i, v := range out.Data {
+		if v != 1 {
+			t.Fatalf("eval dropout not identity at %d: %v", i, v)
+		}
+	}
+	// Train: roughly half dropped, survivors scaled by 2.
+	out = d.Forward(x, true)
+	var zeros, twos int
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout value %v", v)
+		}
+	}
+	if zeros < 350 || zeros > 650 {
+		t.Fatalf("dropped %d of 1000, want ≈500", zeros)
+	}
+	// MC mode: stochastic even at eval time.
+	d.MC = true
+	out = d.Forward(x, false)
+	zeros = 0
+	for _, v := range out.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("MC dropout produced no zeros at eval time")
+	}
+}
+
+func TestDropoutInvalidRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate 1.0")
+		}
+	}()
+	NewDropout(rand.New(rand.NewSource(1)), 1.0)
+}
+
+func TestSGDConvergesOnBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Two Gaussian blobs in 2-D; a linear classifier must reach >95%.
+	const n = 200
+	x := tensor.NewMatrix(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		labels[i] = c
+		x.Set(i, 0, rng.NormFloat64()*0.5+float64(c*4-2))
+		x.Set(i, 1, rng.NormFloat64()*0.5)
+	}
+	model := NewSequential(NewDense(rng, 2, 2))
+	opt := NewSGD(0.1, 0.9, 0)
+	grad := tensor.NewMatrix(n, 2)
+	for epoch := 0; epoch < 50; epoch++ {
+		out := model.Forward(x, true)
+		SoftmaxCE(grad, out, labels, 0)
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	out := model.Forward(x, false)
+	if acc := Accuracy(out, labels); acc < 0.95 {
+		t.Fatalf("accuracy after training = %v, want ≥0.95", acc)
+	}
+}
+
+func TestSGDMomentumState(t *testing.T) {
+	opt := NewSGD(0.1, 0.9, 0)
+	p := []Param{{Name: "w", Value: []float64{0}, Grad: []float64{1}}}
+	opt.Step(p)
+	first := p[0].Value[0]
+	if first != -0.1 {
+		t.Fatalf("first step = %v, want -0.1", first)
+	}
+	p[0].Grad[0] = 1
+	opt.Step(p)
+	// velocity = 0.9*(-0.1) - 0.1 = -0.19
+	if got := p[0].Value[0] - first; math.Abs(got+0.19) > 1e-12 {
+		t.Fatalf("second step delta = %v, want -0.19", got)
+	}
+	if p[0].Grad[0] != 0 {
+		t.Fatal("Step must zero gradients")
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	p := []Param{{Name: "w", Value: []float64{0, 0}, Grad: []float64{3, 4}}}
+	pre := ClipGrads(p, 1)
+	if math.Abs(pre-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v, want 5", pre)
+	}
+	if got := GradNorm(p); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %v, want 1", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	model := NewSequential(NewDense(rng, 3, 3), NewReLU(), NewDense(rng, 3, 2))
+	clone := model.Clone()
+	mp := model.Params()
+	cp := clone.Params()
+	if len(mp) != len(cp) {
+		t.Fatalf("clone has %d params, want %d", len(cp), len(mp))
+	}
+	orig := mp[0].Value[0]
+	mp[0].Value[0] = orig + 100
+	if cp[0].Value[0] == mp[0].Value[0] {
+		t.Fatal("clone shares parameter storage with original")
+	}
+	// Clone must produce identical outputs once the mutation is undone.
+	mp[0].Value[0] = orig
+	x := tensor.NewMatrix(2, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	a := model.Forward(x, false)
+	b := clone.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("clone output differs at %d", i)
+		}
+	}
+}
+
+func TestGaussianNLLGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pred := tensor.NewMatrix(3, 4) // 2 outputs → 4 cols (mean, logVar)
+	target := tensor.NewMatrix(3, 2)
+	for i := range pred.Data {
+		pred.Data[i] = rng.NormFloat64() * 0.5
+	}
+	for i := range target.Data {
+		target.Data[i] = rng.NormFloat64()
+	}
+	grad := tensor.NewMatrix(3, 4)
+	GaussianNLL(grad, pred, target)
+	const eps = 1e-6
+	for i := range pred.Data {
+		orig := pred.Data[i]
+		pred.Data[i] = orig + eps
+		lp := GaussianNLL(tensor.NewMatrix(3, 4), pred, target)
+		pred.Data[i] = orig - eps
+		lm := GaussianNLL(tensor.NewMatrix(3, 4), pred, target)
+		pred.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-grad.Data[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("NLL grad[%d]: analytic %v vs numeric %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestMSE(t *testing.T) {
+	pred := tensor.FromSlice(1, 2, []float64{1, 2})
+	target := tensor.FromSlice(1, 2, []float64{0, 0})
+	grad := tensor.NewMatrix(1, 2)
+	loss := MSE(grad, pred, target)
+	if math.Abs(loss-2.5) > 1e-12 {
+		t.Fatalf("MSE = %v, want 2.5", loss)
+	}
+	if math.Abs(grad.Data[0]-1) > 1e-12 || math.Abs(grad.Data[1]-2) > 1e-12 {
+		t.Fatalf("MSE grad = %v", grad.Data)
+	}
+}
+
+func TestSetMCDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	drop := NewDropout(rng, 0.3)
+	model := NewSequential(
+		NewDense(rng, 2, 2),
+		NewResidual(NewSequential(drop)),
+	)
+	SetMCDropout(model, true)
+	if !drop.MC {
+		t.Fatal("SetMCDropout did not reach nested dropout")
+	}
+	SetMCDropout(model, false)
+	if drop.MC {
+		t.Fatal("SetMCDropout(false) did not clear flag")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice(2, 3, []float64{
+		1, 5, 2,
+		9, 0, 0,
+	})
+	if got := Accuracy(logits, []int{1, 0}); got != 1 {
+		t.Fatalf("Accuracy = %v, want 1", got)
+	}
+	if got := Accuracy(logits, []int{0, 0}); got != 0.5 {
+		t.Fatalf("Accuracy = %v, want 0.5", got)
+	}
+	if got := Accuracy(tensor.NewMatrix(0, 3), nil); got != 0 {
+		t.Fatalf("empty Accuracy = %v, want 0", got)
+	}
+}
+
+func TestAdamConvergesOnBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 200
+	x := tensor.NewMatrix(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		labels[i] = c
+		// Poorly scaled features: Adam should still converge quickly.
+		x.Set(i, 0, (rng.NormFloat64()*0.5+float64(c*4-2))*100)
+		x.Set(i, 1, rng.NormFloat64()*0.01)
+	}
+	model := NewSequential(NewDense(rng, 2, 8), NewReLU(), NewDense(rng, 8, 2))
+	opt := NewAdam(0.01)
+	grad := tensor.NewMatrix(n, 2)
+	for epoch := 0; epoch < 60; epoch++ {
+		out := model.Forward(x, true)
+		SoftmaxCE(grad, out, labels, 0)
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	out := model.Forward(x, false)
+	if acc := Accuracy(out, labels); acc < 0.95 {
+		t.Fatalf("Adam accuracy = %v, want ≥0.95", acc)
+	}
+}
+
+func TestAdamZeroesGrads(t *testing.T) {
+	opt := NewAdam(0.1)
+	p := []Param{{Name: "w", Value: []float64{1}, Grad: []float64{0.5}}}
+	opt.Step(p)
+	if p[0].Grad[0] != 0 {
+		t.Fatal("Adam.Step must zero gradients")
+	}
+	if p[0].Value[0] >= 1 {
+		t.Fatal("Adam.Step must move against the gradient")
+	}
+}

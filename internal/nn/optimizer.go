@@ -1,0 +1,139 @@
+package nn
+
+import "math"
+
+// SGD is stochastic gradient descent with classical momentum and L2
+// weight decay. The zero value is unusable; construct with NewSGD.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*float64][]float64
+}
+
+// NewSGD constructs an optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{
+		LR:          lr,
+		Momentum:    momentum,
+		WeightDecay: weightDecay,
+		velocity:    make(map[*float64][]float64),
+	}
+}
+
+// Step applies one update to every parameter and zeroes the gradients.
+func (o *SGD) Step(params []Param) {
+	for _, p := range params {
+		if len(p.Value) == 0 {
+			continue
+		}
+		key := &p.Value[0]
+		v, ok := o.velocity[key]
+		if !ok {
+			v = make([]float64, len(p.Value))
+			o.velocity[key] = v
+		}
+		for i := range p.Value {
+			g := p.Grad[i] + o.WeightDecay*p.Value[i]
+			v[i] = o.Momentum*v[i] - o.LR*g
+			p.Value[i] += v[i]
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// ZeroGrads clears gradient accumulators without stepping; useful when a
+// batch is abandoned.
+func ZeroGrads(params []Param) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// GradNorm returns the global L2 norm of all gradients; used in tests and
+// for debugging divergence.
+func GradNorm(params []Param) float64 {
+	var sum float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			sum += g * g
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// ClipGrads scales gradients down so their global norm does not exceed
+// maxNorm. Returns the pre-clip norm.
+func ClipGrads(params []Param, maxNorm float64) float64 {
+	norm := GradNorm(params)
+	if norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] *= scale
+		}
+	}
+	return norm
+}
+
+// Adam is the Adam optimizer (Kingma & Ba): adaptive per-parameter
+// learning rates with bias-corrected first and second moment estimates.
+// Provided as an alternative to SGD for workloads whose gradients are
+// poorly scaled (e.g. the sensor-fusion example's mixed modalities).
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	step int
+	m    map[*float64][]float64
+	v    map[*float64][]float64
+}
+
+// NewAdam constructs an Adam optimizer with the usual defaults for the
+// moment decay rates.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make(map[*float64][]float64),
+		v:     make(map[*float64][]float64),
+	}
+}
+
+// Step applies one update to every parameter and zeroes the gradients.
+func (o *Adam) Step(params []Param) {
+	o.step++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.step))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.step))
+	for _, p := range params {
+		if len(p.Value) == 0 {
+			continue
+		}
+		key := &p.Value[0]
+		m, ok := o.m[key]
+		if !ok {
+			m = make([]float64, len(p.Value))
+			o.m[key] = m
+			o.v[key] = make([]float64, len(p.Value))
+		}
+		v := o.v[key]
+		for i := range p.Value {
+			g := p.Grad[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mh := m[i] / c1
+			vh := v[i] / c2
+			p.Value[i] -= o.LR * mh / (math.Sqrt(vh) + o.Eps)
+			p.Grad[i] = 0
+		}
+	}
+}

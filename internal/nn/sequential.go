@@ -1,0 +1,100 @@
+package nn
+
+import "eugene/internal/tensor"
+
+// Sequential chains layers; it itself implements Layer so residual blocks
+// and staged models can nest it freely.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container over the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := x
+	for _, l := range s.Layers {
+		out = l.Forward(out, train)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	g := gradOut
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		g = s.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []Param {
+	var ps []Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Clone implements Layer.
+func (s *Sequential) Clone() Layer {
+	layers := make([]Layer, len(s.Layers))
+	for i, l := range s.Layers {
+		layers[i] = l.Clone()
+	}
+	return &Sequential{Layers: layers}
+}
+
+// Residual wraps a body f and computes y = x + f(x); input and output
+// widths of the body must match. This is the shortcut connection of the
+// paper's Figure 3 ResNet stages.
+type Residual struct {
+	Body Layer
+
+	out *tensor.Matrix
+	gin *tensor.Matrix
+}
+
+// NewResidual wraps body in a shortcut connection.
+func NewResidual(body Layer) *Residual { return &Residual{Body: body} }
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	fy := r.Body.Forward(x, train)
+	r.out = ensure(r.out, x.Rows, x.Cols)
+	tensor.Add(r.out, x, fy)
+	return r.out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	gBody := r.Body.Backward(gradOut)
+	r.gin = ensure(r.gin, gradOut.Rows, gradOut.Cols)
+	tensor.Add(r.gin, gradOut, gBody)
+	return r.gin
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []Param { return r.Body.Params() }
+
+// Clone implements Layer.
+func (r *Residual) Clone() Layer { return &Residual{Body: r.Body.Clone()} }
+
+// SetMCDropout toggles Monte-Carlo dropout on every Dropout layer
+// reachable from root. Used by the RDeepSense calibration baseline.
+func SetMCDropout(root Layer, on bool) {
+	switch l := root.(type) {
+	case *Dropout:
+		l.MC = on
+	case *Sequential:
+		for _, c := range l.Layers {
+			SetMCDropout(c, on)
+		}
+	case *Residual:
+		SetMCDropout(l.Body, on)
+	}
+}

@@ -1,0 +1,317 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StageExecutor executes one stage of a staged model on an explicit
+// hidden state; staged.Model satisfies this via ExecStage (adapted — see
+// core). Each worker owns one executor (model clone).
+type StageExecutor interface {
+	// ExecStage consumes the hidden state from the previous stage (or
+	// the raw input for stage 0) and returns the next hidden state and
+	// the stage's result.
+	ExecStage(hidden []float64, stage int) ([]float64, StageResult)
+	// NumStages returns the exit count.
+	NumStages() int
+}
+
+// LiveConfig configures the real-time executor.
+type LiveConfig struct {
+	// Workers is the goroutine-pool size (the paper's process pool).
+	Workers int
+	// Deadline is the maximum latency per task, enforced by the
+	// deadline daemon.
+	Deadline time.Duration
+	// QueueDepth bounds the submission queue.
+	QueueDepth int
+}
+
+// Validate reports an error for degenerate configurations.
+func (c LiveConfig) Validate() error {
+	switch {
+	case c.Workers < 1:
+		return fmt.Errorf("sched: live workers %d must be ≥1", c.Workers)
+	case c.Deadline <= 0:
+		return fmt.Errorf("sched: live deadline %v must be positive", c.Deadline)
+	case c.QueueDepth < 1:
+		return fmt.Errorf("sched: live queue depth %d must be ≥1", c.QueueDepth)
+	}
+	return nil
+}
+
+// Response is the service's answer for one task.
+type Response struct {
+	Pred    int     `json:"pred"`
+	Conf    float64 `json:"conf"`
+	Stages  int     `json:"stages"`
+	Expired bool    `json:"expired"`
+	Latency time.Duration
+}
+
+// ErrUnanswered is returned when a task's deadline passed before any
+// stage could execute.
+var ErrUnanswered = errors.New("sched: deadline before first stage completed")
+
+// ErrStopped is returned for submissions after Stop.
+var ErrStopped = errors.New("sched: executor stopped")
+
+type liveTask struct {
+	state  *TaskState
+	hidden []float64
+	done   chan Response
+	start  time.Time
+}
+
+// Live is the real-time counterpart of Simulate: a scheduler goroutine
+// drives a pool of worker goroutines (each with its own model clone)
+// under a Policy, and a deadline daemon interrupts overdue tasks. It
+// mirrors the paper's user-space scheduler + TensorFlow process pool +
+// named-pipe reporting, with channels in place of pipes.
+type Live struct {
+	cfg    LiveConfig
+	policy Policy
+
+	nextID   int64
+	submitCh chan *liveTask
+	resultCh chan workerResult
+	freeCh   chan int
+	expiryCh chan *liveTask
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	workCh []chan workItem
+	epoch  time.Time
+}
+
+type workItem struct {
+	task  *liveTask
+	stage int
+}
+
+type workerResult struct {
+	worker int
+	task   *liveTask
+	hidden []float64
+	res    StageResult
+}
+
+// NewLive starts the executor. executors must have length cfg.Workers;
+// each is owned exclusively by one worker goroutine. Call Stop to shut
+// down.
+func NewLive(cfg LiveConfig, policy Policy, executors []StageExecutor) (*Live, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("sched: nil policy")
+	}
+	if len(executors) != cfg.Workers {
+		return nil, fmt.Errorf("sched: %d executors for %d workers", len(executors), cfg.Workers)
+	}
+	l := &Live{
+		cfg:      cfg,
+		policy:   policy,
+		submitCh: make(chan *liveTask, cfg.QueueDepth),
+		resultCh: make(chan workerResult),
+		freeCh:   make(chan int, cfg.Workers),
+		expiryCh: make(chan *liveTask, cfg.QueueDepth),
+		stopCh:   make(chan struct{}),
+		epoch:    time.Now(),
+	}
+	l.workCh = make([]chan workItem, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		l.workCh[w] = make(chan workItem)
+		l.wg.Add(1)
+		go l.worker(w, executors[w])
+	}
+	l.wg.Add(1)
+	go l.schedule()
+	return l, nil
+}
+
+// Submit enqueues one task and blocks until it is answered, expires, or
+// ctx is done.
+func (l *Live) Submit(ctx context.Context, input []float64, numStages int) (Response, error) {
+	if numStages < 1 {
+		return Response{}, fmt.Errorf("sched: task needs ≥1 stage")
+	}
+	now := time.Now()
+	t := &liveTask{
+		state: &TaskState{
+			Task:     &Task{ID: int(atomic.AddInt64(&l.nextID, 1)), NumStages: numStages},
+			Arrival:  Ticks(now.Sub(l.epoch)),
+			Deadline: Ticks(now.Add(l.cfg.Deadline).Sub(l.epoch)),
+			Pred:     -1,
+		},
+		hidden: append([]float64(nil), input...),
+		done:   make(chan Response, 1),
+		start:  now,
+	}
+	// Refuse new work once stopped; the scheduler no longer drains the
+	// submit queue.
+	select {
+	case <-l.stopCh:
+		return Response{}, ErrStopped
+	default:
+	}
+	select {
+	case l.submitCh <- t:
+	case <-l.stopCh:
+		return Response{}, ErrStopped
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+	select {
+	case r := <-t.done:
+		if !r.Expired || r.Stages > 0 {
+			return r, nil
+		}
+		return r, ErrUnanswered
+	case <-l.stopCh:
+		return Response{}, ErrStopped
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// Stop shuts the executor down and waits for its goroutines. Queued
+// tasks receive ErrStopped-equivalent expired responses.
+func (l *Live) Stop() {
+	l.stopOnce.Do(func() { close(l.stopCh) })
+	l.wg.Wait()
+}
+
+func (l *Live) worker(id int, exec StageExecutor) {
+	defer l.wg.Done()
+	for {
+		select {
+		case item := <-l.workCh[id]:
+			hidden, res := exec.ExecStage(item.task.hidden, item.stage)
+			select {
+			case l.resultCh <- workerResult{worker: id, task: item.task, hidden: hidden, res: res}:
+			case <-l.stopCh:
+				return
+			}
+		case <-l.stopCh:
+			return
+		}
+	}
+}
+
+// schedule is the single scheduler goroutine: it owns all task state.
+func (l *Live) schedule() {
+	defer l.wg.Done()
+	var (
+		tasks   []*liveTask
+		idle    []int
+		pending = make(map[*TaskState]*liveTask)
+	)
+	for w := 0; w < l.cfg.Workers; w++ {
+		idle = append(idle, w)
+	}
+	now := func() Ticks { return Ticks(time.Since(l.epoch)) }
+	finish := func(t *liveTask, expired bool) {
+		if t.state.Finalized {
+			return
+		}
+		t.state.Finalized = true
+		delete(pending, t.state)
+		t.done <- Response{
+			Pred:    t.state.Pred,
+			Conf:    t.state.Conf,
+			Stages:  t.state.Executed,
+			Expired: expired,
+			Latency: time.Since(t.start),
+		}
+	}
+	dispatch := func() {
+		states := make([]*TaskState, len(tasks))
+		for i, t := range tasks {
+			states[i] = t.state
+		}
+		for len(idle) > 0 {
+			i := l.policy.Pick(now(), states)
+			if i < 0 {
+				return
+			}
+			w := idle[len(idle)-1]
+			idle = idle[:len(idle)-1]
+			st := states[i]
+			st.InFlight = true
+			t := pending[st]
+			select {
+			case l.workCh[w] <- workItem{task: t, stage: st.Executed}:
+			case <-l.stopCh:
+				// A worker may already have exited; don't deadlock
+				// during shutdown.
+				return
+			}
+		}
+	}
+	compact := func() {
+		live := tasks[:0]
+		for _, t := range tasks {
+			if !t.state.Finalized {
+				live = append(live, t)
+			}
+		}
+		tasks = live
+	}
+	for {
+		select {
+		case t := <-l.submitCh:
+			tasks = append(tasks, t)
+			pending[t.state] = t
+			daemonTask := t
+			time.AfterFunc(l.cfg.Deadline, func() {
+				select {
+				case l.expiryCh <- daemonTask:
+				case <-l.stopCh:
+				}
+			})
+			dispatch()
+		case r := <-l.resultCh:
+			idle = append(idle, r.worker)
+			st := r.task.state
+			if st.Finalized {
+				dispatch()
+				continue
+			}
+			r.task.hidden = r.hidden
+			st.PrevConf = st.Conf
+			st.Conf = r.res.Conf
+			st.Pred = r.res.Pred
+			st.Executed++
+			st.InFlight = false
+			if st.Remaining() == 0 || now() >= st.Deadline {
+				finish(r.task, st.Remaining() > 0)
+			}
+			compact()
+			dispatch()
+		case t := <-l.expiryCh:
+			if t.state.Finalized {
+				continue
+			}
+			// The in-flight stage, if any, is abandoned: its result
+			// will arrive and be ignored, and the worker returns to
+			// the pool then (unlike the simulator we cannot preempt a
+			// goroutine mid-matmul; the paper's daemon likewise only
+			// interrupts between TensorFlow ops).
+			finish(t, true)
+			compact()
+			dispatch()
+		case <-l.stopCh:
+			for _, t := range tasks {
+				finish(t, true)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// slowExec is a deterministic 3-stage executor with a configurable
+// per-stage compute delay.
+type slowExec struct {
+	delay time.Duration
+}
+
+func (e *slowExec) NumStages() int { return 3 }
+
+func (e *slowExec) ExecStage(hidden []float64, stage int) ([]float64, StageResult) {
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	// Confidence grows with stage; prediction encodes the stage count
+	// so tests can check how deep execution went.
+	return hidden, StageResult{Pred: stage, Conf: 0.5 + 0.15*float64(stage+1)}
+}
+
+func newTestLive(t *testing.T, workers int, deadline, delay time.Duration) *Live {
+	t.Helper()
+	execs := make([]StageExecutor, workers)
+	for i := range execs {
+		execs[i] = &slowExec{delay: delay}
+	}
+	l, err := NewLive(LiveConfig{Workers: workers, Deadline: deadline, QueueDepth: 64},
+		NewGreedy(1, flatPriors(), "g"), execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Stop)
+	return l
+}
+
+func TestLiveCompletesAllStages(t *testing.T) {
+	l := newTestLive(t, 2, time.Second, 0)
+	resp, err := l.Submit(context.Background(), []float64{1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stages != 3 || resp.Expired {
+		t.Fatalf("response %+v, want 3 stages not expired", resp)
+	}
+	if resp.Pred != 2 {
+		t.Fatalf("final pred %d, want stage-2 output", resp.Pred)
+	}
+	if resp.Conf < 0.9 {
+		t.Fatalf("final conf %v", resp.Conf)
+	}
+}
+
+func TestLiveConcurrentSubmissions(t *testing.T) {
+	l := newTestLive(t, 4, time.Second, time.Millisecond)
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	resps := make([]Response, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = l.Submit(context.Background(), []float64{float64(i)}, 3)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("task %d: %v", i, errs[i])
+		}
+		if resps[i].Stages != 3 {
+			t.Fatalf("task %d ran %d stages", i, resps[i].Stages)
+		}
+	}
+}
+
+func TestLiveDeadlineExpiry(t *testing.T) {
+	// One worker, slow stages, deadline shorter than full execution:
+	// the task must come back expired with partial depth.
+	l := newTestLive(t, 1, 60*time.Millisecond, 25*time.Millisecond)
+	resp, err := l.Submit(context.Background(), []float64{1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Expired {
+		t.Fatalf("response %+v, want expired", resp)
+	}
+	if resp.Stages == 0 || resp.Stages >= 3 {
+		t.Fatalf("expired with %d stages, want partial execution", resp.Stages)
+	}
+}
+
+func TestLiveContextCancellation(t *testing.T) {
+	l := newTestLive(t, 1, time.Second, 50*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := l.Submit(ctx, []float64{1}, 3); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestLiveStopRejectsSubmissions(t *testing.T) {
+	l := newTestLive(t, 1, time.Second, 0)
+	l.Stop()
+	// After stop the submit channel is no longer drained; Submit must
+	// return ErrStopped rather than hang.
+	_, err := l.Submit(context.Background(), []float64{1}, 3)
+	if err == nil {
+		t.Fatal("expected error after Stop")
+	}
+}
+
+func TestLiveConfigValidate(t *testing.T) {
+	bad := []LiveConfig{
+		{Workers: 0, Deadline: time.Second, QueueDepth: 1},
+		{Workers: 1, Deadline: 0, QueueDepth: 1},
+		{Workers: 1, Deadline: time.Second, QueueDepth: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad live config %d accepted", i)
+		}
+	}
+	if _, err := NewLive(LiveConfig{Workers: 2, Deadline: time.Second, QueueDepth: 1}, nil, nil); err == nil {
+		t.Fatal("expected nil-policy error")
+	}
+	if _, err := NewLive(LiveConfig{Workers: 2, Deadline: time.Second, QueueDepth: 1},
+		NewFIFO(), []StageExecutor{&slowExec{}}); err == nil {
+		t.Fatal("expected executor-count error")
+	}
+}
+
+func TestLiveSubmitValidation(t *testing.T) {
+	l := newTestLive(t, 1, time.Second, 0)
+	if _, err := l.Submit(context.Background(), []float64{1}, 0); err == nil {
+		t.Fatal("expected error for zero stages")
+	}
+}

@@ -1,0 +1,171 @@
+package sched
+
+import "fmt"
+
+// Greedy is the RTDeepIoT-k scheduler (paper Section III): it plans a
+// timeline of k stage selections by repeatedly choosing the (task,
+// stage) with maximum predicted differential utility, executes the
+// timeline, then re-plans with fresh confidence observations. Utility of
+// a task is the confidence of its current answer (0 while unanswered);
+// the differential utility of running its next stage is the predicted
+// confidence gain.
+type Greedy struct {
+	// K is the lookahead: how many selections are planned per round.
+	K int
+	// Pred supplies confidence forecasts.
+	Pred Predictor
+
+	label    string
+	timeline []int // planned task IDs, consumed front to back
+}
+
+// NewGreedy builds an RTDeepIoT-k policy.
+func NewGreedy(k int, pred Predictor, label string) *Greedy {
+	if k < 1 {
+		panic(fmt.Sprintf("sched: lookahead k=%d must be ≥1", k))
+	}
+	return &Greedy{K: k, Pred: pred, label: label}
+}
+
+// Name implements Policy.
+func (g *Greedy) Name() string { return g.label }
+
+// Pick implements Policy.
+func (g *Greedy) Pick(now Ticks, tasks []*TaskState) int {
+	for {
+		// Consume the planned timeline first, skipping entries that
+		// became stale (task finalized, expired, or picked up already).
+		for len(g.timeline) > 0 {
+			id := g.timeline[0]
+			g.timeline = g.timeline[1:]
+			for i, t := range tasks {
+				if t.Task.ID == id && t.Runnable(now) {
+					return i
+				}
+			}
+		}
+		if !g.plan(now, tasks) {
+			return -1
+		}
+	}
+}
+
+// plan rebuilds the timeline; returns false when no task is plannable.
+func (g *Greedy) plan(now Ticks, tasks []*TaskState) bool {
+	// Virtual per-task state advanced as the plan grows, so a k≥2 plan
+	// can schedule consecutive stages of the same task using predicted
+	// confidences.
+	type virt struct {
+		idx    int
+		last   int // last (virtually) executed stage index; −1 if none
+		prev   float64
+		cur    float64
+		left   int
+		total  int
+		weight float64
+	}
+	var cands []*virt
+	for i, t := range tasks {
+		if !t.Runnable(now) {
+			continue
+		}
+		v := &virt{
+			idx: i, last: t.Executed - 1,
+			prev: t.PrevConf, cur: t.Conf,
+			left: t.Remaining(), total: t.Task.NumStages,
+			weight: t.Task.EffectiveWeight(),
+		}
+		cands = append(cands, v)
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	for n := 0; n < g.K; n++ {
+		var best *virt
+		bestGain := 0.0
+		for _, v := range cands {
+			if v.left == 0 {
+				continue
+			}
+			next := v.last + 1
+			var predicted float64
+			if v.last < 0 {
+				predicted = g.Pred.Prior(next)
+			} else {
+				predicted = g.Pred.Predict(v.last, v.prev, v.cur, next)
+			}
+			gain := (predicted - v.cur) * v.weight
+			if best == nil || gain > bestGain {
+				best, bestGain = v, gain
+			}
+		}
+		if best == nil {
+			break
+		}
+		g.timeline = append(g.timeline, tasks[best.idx].Task.ID)
+		next := best.last + 1
+		var predicted float64
+		if best.last < 0 {
+			predicted = g.Pred.Prior(next)
+		} else {
+			predicted = g.Pred.Predict(best.last, best.prev, best.cur, next)
+		}
+		best.prev, best.cur = best.cur, predicted
+		best.last = next
+		best.left--
+	}
+	return len(g.timeline) > 0
+}
+
+// RoundRobin is the paper's stage-level round-robin baseline: it cycles
+// through tasks, executing one stage per visit.
+type RoundRobin struct {
+	cursor int
+}
+
+// NewRoundRobin builds the RR baseline.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "RR" }
+
+// Pick implements Policy.
+func (r *RoundRobin) Pick(now Ticks, tasks []*TaskState) int {
+	n := len(tasks)
+	if n == 0 {
+		return -1
+	}
+	for probe := 0; probe < n; probe++ {
+		i := (r.cursor + probe) % n
+		if tasks[i].Runnable(now) {
+			r.cursor = i + 1
+			return i
+		}
+	}
+	return -1
+}
+
+// FIFO is the paper's first-come-first-served baseline: tasks run all
+// stages to the end in arrival order.
+type FIFO struct{}
+
+// NewFIFO builds the FIFO baseline.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Policy.
+func (FIFO) Name() string { return "FIFO" }
+
+// Pick implements Policy.
+func (FIFO) Pick(now Ticks, tasks []*TaskState) int {
+	best := -1
+	for i, t := range tasks {
+		if !t.Runnable(now) {
+			continue
+		}
+		if best == -1 || t.Arrival < tasks[best].Arrival ||
+			(t.Arrival == tasks[best].Arrival && t.Task.ID < tasks[best].Task.ID) {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"fmt"
+
+	"eugene/internal/gp"
+	"eugene/internal/tensor"
+)
+
+// GPPredictor predicts future-stage confidence with per-stage-pair
+// Gaussian-process regressions approximated by piecewise-linear
+// functions (paper Section III-B). Entry curve[from][to] maps observed
+// confidence at stage `from` to predicted confidence at stage `to`.
+type GPPredictor struct {
+	priors []float64
+	curves [][]*gp.PiecewiseLinear
+	// Regs holds the underlying exact GPs; retained for evaluation
+	// (Table III) and confidence-interval queries.
+	Regs [][]*gp.Regressor
+}
+
+// GPPredictorConfig controls GP fitting.
+type GPPredictorConfig struct {
+	Kernel gp.Kernel
+	// MaxPoints caps GP training points (O(n³) fitting).
+	MaxPoints int
+	// Segments is the piecewise-linear resolution (paper: the profile
+	// grid {0, 1/M, ..., 1}).
+	Segments int
+	// Seed drives the training-point subsample.
+	Seed int64
+}
+
+// DefaultGPPredictorConfig returns the configuration used by the
+// experiments.
+func DefaultGPPredictorConfig() GPPredictorConfig {
+	return GPPredictorConfig{
+		Kernel:    gp.DefaultKernel(),
+		MaxPoints: 300,
+		Segments:  10,
+		Seed:      1,
+	}
+}
+
+// NewGPPredictor fits GP regressions on training-set confidence curves:
+// curves is a samples×stages matrix of observed confidences (from
+// staged.Model.ConfidenceCurves).
+func NewGPPredictor(curves *tensor.Matrix, cfg GPPredictorConfig) (*GPPredictor, error) {
+	stages := curves.Cols
+	if stages < 1 {
+		return nil, fmt.Errorf("sched: confidence curves have no stages")
+	}
+	if curves.Rows < 4 {
+		return nil, fmt.Errorf("sched: %d curve samples is too few", curves.Rows)
+	}
+	p := &GPPredictor{
+		priors: make([]float64, stages),
+		curves: make([][]*gp.PiecewiseLinear, stages),
+		Regs:   make([][]*gp.Regressor, stages),
+	}
+	for s := 0; s < stages; s++ {
+		var sum float64
+		for i := 0; i < curves.Rows; i++ {
+			sum += curves.At(i, s)
+		}
+		p.priors[s] = sum / float64(curves.Rows)
+		p.curves[s] = make([]*gp.PiecewiseLinear, stages)
+		p.Regs[s] = make([]*gp.Regressor, stages)
+	}
+	for from := 0; from < stages; from++ {
+		for to := from + 1; to < stages; to++ {
+			x := make([]float64, curves.Rows)
+			y := make([]float64, curves.Rows)
+			for i := 0; i < curves.Rows; i++ {
+				x[i] = curves.At(i, from)
+				y[i] = curves.At(i, to)
+			}
+			reg, err := gp.Fit(cfg.Kernel, x, y, cfg.MaxPoints, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("sched: fitting GP %d→%d: %w", from, to, err)
+			}
+			pwl, err := gp.ProfileRegressor(reg, cfg.Segments)
+			if err != nil {
+				return nil, fmt.Errorf("sched: profiling GP %d→%d: %w", from, to, err)
+			}
+			p.Regs[from][to] = reg
+			p.curves[from][to] = pwl
+		}
+	}
+	return p, nil
+}
+
+// Prior implements Predictor.
+func (p *GPPredictor) Prior(stage int) float64 {
+	if stage < 0 || stage >= len(p.priors) {
+		panic(fmt.Sprintf("sched: prior for stage %d of %d", stage, len(p.priors)))
+	}
+	return p.priors[stage]
+}
+
+// Predict implements Predictor. prev is unused: the GP conditions only
+// on the latest observation, as in the paper's GP1→2, GP1→3, GP2→3
+// models.
+func (p *GPPredictor) Predict(last int, _, cur float64, target int) float64 {
+	if target <= last {
+		return cur
+	}
+	if target >= len(p.priors) {
+		panic(fmt.Sprintf("sched: predict target %d of %d stages", target, len(p.priors)))
+	}
+	v := p.curves[last][target].At(cur)
+	return clamp01(v)
+}
+
+// NumStages returns the number of stages the predictor covers.
+func (p *GPPredictor) NumStages() int { return len(p.priors) }
+
+// DCPredictor is the paper's simplified variant: it assumes confidence
+// keeps increasing with the slope observed in the current stage.
+type DCPredictor struct {
+	priors []float64
+}
+
+// NewDCPredictor uses the same training priors as the GP predictor but
+// extrapolates linearly instead of regressing.
+func NewDCPredictor(priors []float64) *DCPredictor {
+	return &DCPredictor{priors: append([]float64(nil), priors...)}
+}
+
+// Prior implements Predictor.
+func (d *DCPredictor) Prior(stage int) float64 {
+	if stage < 0 || stage >= len(d.priors) {
+		panic(fmt.Sprintf("sched: prior for stage %d of %d", stage, len(d.priors)))
+	}
+	return d.priors[stage]
+}
+
+// Predict implements Predictor: confidence at target = cur + slope ×
+// (target − last), slope = cur − prev, clamped to [0, 1].
+func (d *DCPredictor) Predict(last int, prev, cur float64, target int) float64 {
+	if target <= last {
+		return cur
+	}
+	slope := cur - prev
+	return clamp01(cur + slope*float64(target-last))
+}
+
+// Priors extracts per-stage mean confidences from training curves;
+// shared by both predictors.
+func Priors(curves *tensor.Matrix) []float64 {
+	priors := make([]float64, curves.Cols)
+	for s := 0; s < curves.Cols; s++ {
+		var sum float64
+		for i := 0; i < curves.Rows; i++ {
+			sum += curves.At(i, s)
+		}
+		priors[s] = sum / float64(curves.Rows)
+	}
+	return priors
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

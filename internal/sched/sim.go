@@ -1,0 +1,225 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// SimConfig describes one closed-loop simulation: Concurrency tasks are
+// kept in the system (a finished or expired task is immediately replaced
+// until TotalTasks have been issued), Workers execute one stage at a
+// time, each stage costs StageCost ticks, and every task must finish
+// within Deadline ticks of its arrival (the paper's maximum latency
+// constraint, enforced by the daemon).
+type SimConfig struct {
+	Workers     int
+	Concurrency int
+	TotalTasks  int
+	StageCost   Ticks
+	Deadline    Ticks
+}
+
+// Validate reports an error for degenerate configurations.
+func (c SimConfig) Validate() error {
+	switch {
+	case c.Workers < 1:
+		return fmt.Errorf("sched: workers %d must be ≥1", c.Workers)
+	case c.Concurrency < 1:
+		return fmt.Errorf("sched: concurrency %d must be ≥1", c.Concurrency)
+	case c.TotalTasks < 1:
+		return fmt.Errorf("sched: total tasks %d must be ≥1", c.TotalTasks)
+	case c.StageCost < 1:
+		return fmt.Errorf("sched: stage cost %d must be ≥1", c.StageCost)
+	case c.Deadline < c.StageCost:
+		return fmt.Errorf("sched: deadline %d shorter than one stage (%d)", c.Deadline, c.StageCost)
+	}
+	return nil
+}
+
+// TaskSource supplies tasks on demand; Next is called once per issued
+// task. Implementations typically wrap a test set and a staged model.
+type TaskSource interface {
+	Next(id int) *Task
+}
+
+// TaskSourceFunc adapts a function to the TaskSource interface.
+type TaskSourceFunc func(id int) *Task
+
+// Next implements TaskSource.
+func (f TaskSourceFunc) Next(id int) *Task { return f(id) }
+
+// event kinds for the simulator, in processing order at equal
+// timestamps: a stage finishing exactly at the deadline counts, and
+// replacement arrivals are admitted last.
+const (
+	evStageDone = iota + 1
+	evDeadline
+	evArrival
+)
+
+type event struct {
+	at   Ticks
+	kind int
+	seq  int // tie-break for determinism
+	task *TaskState
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulate runs the closed-loop experiment under the given policy and
+// returns per-task outcomes. It is single-goroutine and fully
+// deterministic: model execution happens inline at stage-completion
+// events.
+func Simulate(cfg SimConfig, policy Policy, source TaskSource) (*Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil || source == nil {
+		return nil, fmt.Errorf("sched: nil policy or source")
+	}
+	var (
+		events  eventHeap
+		seq     int
+		active  []*TaskState
+		metrics Metrics
+		idle    = cfg.Workers
+		issued  int
+		done    int
+	)
+	push := func(at Ticks, kind int, t *TaskState) {
+		seq++
+		heap.Push(&events, &event{at: at, kind: kind, seq: seq, task: t})
+	}
+	arrive := func(at Ticks) {
+		if issued >= cfg.TotalTasks {
+			return
+		}
+		task := source.Next(issued)
+		if task.NumStages < 1 || task.Run == nil {
+			panic(fmt.Sprintf("sched: source produced invalid task %d", issued))
+		}
+		task.ID = issued
+		issued++
+		rel := cfg.Deadline
+		if task.RelDeadline > 0 {
+			rel = task.RelDeadline
+		}
+		st := &TaskState{Task: task, Arrival: at, Deadline: at + rel, Pred: -1}
+		push(at, evArrival, st)
+	}
+	finalize := func(now Ticks, t *TaskState, expired bool) {
+		if t.Finalized {
+			return
+		}
+		t.Finalized = true
+		done++
+		metrics.Outcomes = append(metrics.Outcomes, TaskOutcome{
+			ID:       t.Task.ID,
+			Class:    t.Task.Class,
+			Stages:   t.Executed,
+			Correct:  t.Executed > 0 && t.Pred == t.Task.Label,
+			Answered: t.Executed > 0,
+			Expired:  expired,
+			Latency:  now - t.Arrival,
+		})
+		// Closed loop: replace the departed task.
+		arrive(now)
+	}
+	dispatch := func(now Ticks) {
+		for idle > 0 {
+			i := policy.Pick(now, active)
+			if i < 0 {
+				return
+			}
+			t := active[i]
+			if !t.Runnable(now) {
+				panic(fmt.Sprintf("sched: policy %q picked non-runnable task %d", policy.Name(), t.Task.ID))
+			}
+			t.InFlight = true
+			t.Aborted = false
+			idle--
+			push(now+cfg.StageCost, evStageDone, t)
+		}
+	}
+
+	for i := 0; i < cfg.Concurrency && i < cfg.TotalTasks; i++ {
+		arrive(0)
+	}
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(*event)
+		now := e.at
+		t := e.task
+		switch e.kind {
+		case evArrival:
+			active = append(active, t)
+			push(t.Deadline, evDeadline, t)
+			dispatch(now)
+		case evStageDone:
+			if t.Finalized {
+				// The deadline daemon interrupted this stage; the
+				// worker was already reclaimed.
+				continue
+			}
+			res := t.Task.Run(t.Executed)
+			t.PrevConf = t.Conf
+			t.Conf = res.Conf
+			t.Pred = res.Pred
+			t.Executed++
+			t.InFlight = false
+			idle++
+			if t.Remaining() == 0 {
+				finalize(now, t, false)
+			}
+			dispatch(now)
+		case evDeadline:
+			if t.Finalized {
+				continue
+			}
+			if t.InFlight {
+				// Interrupt the in-flight stage: the daemon signals
+				// the worker, which returns to the pool immediately.
+				t.Aborted = true
+				t.InFlight = false
+				idle++
+			}
+			finalize(now, t, true)
+			dispatch(now)
+		}
+		// Compact the active list occasionally so Pick scans stay
+		// proportional to live tasks.
+		if len(active) > 4*cfg.Concurrency {
+			live := active[:0]
+			for _, a := range active {
+				if !a.Finalized {
+					live = append(live, a)
+				}
+			}
+			active = live
+		}
+	}
+	if done != issued {
+		return nil, fmt.Errorf("sched: simulation finalized %d of %d issued tasks", done, issued)
+	}
+	return &metrics, nil
+}

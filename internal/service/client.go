@@ -1,0 +1,130 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"eugene/internal/dataset"
+)
+
+// Client is the Go client for a Eugene server.
+type Client struct {
+	// Base is the server URL, e.g. "http://localhost:8080".
+	Base string
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Train uploads data and trains a model.
+func (c *Client) Train(ctx context.Context, name string, req TrainRequest) (*TrainResponse, error) {
+	var out TrainResponse
+	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/train", name), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Calibrate runs entropy calibration on held-out data.
+func (c *Client) Calibrate(ctx context.Context, name string, data *dataset.Set) (float64, error) {
+	var out CalibrateResponse
+	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/calibrate", name), FromSet(data), &out); err != nil {
+		return 0, err
+	}
+	return out.Alpha, nil
+}
+
+// BuildPredictor fits the GP confidence predictor.
+func (c *Client) BuildPredictor(ctx context.Context, name string, data *dataset.Set) error {
+	return c.post(ctx, fmt.Sprintf("/v1/models/%s/predictor", name), FromSet(data), &map[string]string{})
+}
+
+// Infer submits one sample for scheduled inference.
+func (c *Client) Infer(ctx context.Context, name string, input []float64) (*InferResponse, error) {
+	var out InferResponse
+	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/infer", name), InferRequest{Input: input}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Models lists registered models.
+func (c *Client) Models(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/models", nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: listing models: %w", err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Models []string `json:"models"`
+	}
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return out.Models, nil
+}
+
+// Healthy probes the server.
+func (c *Client) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("service: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service: health check: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("service: health check status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("service: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("service: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("service: server error (%d): %s", resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("service: server status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service: decoding response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+// Package service exposes the Eugene core over HTTP/JSON — the network
+// face of "deep intelligence as a service" (paper Section II): clients
+// upload labeled data for training, request calibration and predictor
+// builds, and submit inference tasks that the RTDeepIoT scheduler
+// executes under a latency constraint. A matching Go client lives in
+// client.go.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"eugene/internal/calib"
+	"eugene/internal/core"
+	"eugene/internal/dataset"
+	"eugene/internal/sched"
+	"eugene/internal/tensor"
+)
+
+// DataPayload is the wire form of a labeled dataset: one flattened
+// row-major feature matrix plus labels ("data pools" in the paper's
+// service-model discussion).
+type DataPayload struct {
+	Dim    int       `json:"dim"`
+	X      []float64 `json:"x"`
+	Labels []int     `json:"labels"`
+}
+
+// ToSet validates and converts the payload.
+func (p *DataPayload) ToSet() (*dataset.Set, error) {
+	if p.Dim < 1 {
+		return nil, fmt.Errorf("service: dim %d must be positive", p.Dim)
+	}
+	if len(p.X) != p.Dim*len(p.Labels) {
+		return nil, fmt.Errorf("service: %d values for %d samples of dim %d", len(p.X), len(p.Labels), p.Dim)
+	}
+	if len(p.Labels) == 0 {
+		return nil, errors.New("service: empty dataset")
+	}
+	return &dataset.Set{
+		X:      tensor.FromSlice(len(p.Labels), p.Dim, p.X),
+		Labels: p.Labels,
+	}, nil
+}
+
+// FromSet converts a dataset to its wire form.
+func FromSet(s *dataset.Set) DataPayload {
+	return DataPayload{Dim: s.X.Cols, X: s.X.Data, Labels: s.Labels}
+}
+
+// TrainRequest asks the service to train a model.
+type TrainRequest struct {
+	Data    DataPayload `json:"data"`
+	Classes int         `json:"classes"`
+	// Hidden, Stages, Blocks optionally override the default model
+	// shape (0 = default).
+	Hidden int   `json:"hidden,omitempty"`
+	Stages int   `json:"stages,omitempty"`
+	Blocks int   `json:"blocks,omitempty"`
+	Epochs int   `json:"epochs,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
+}
+
+// TrainResponse reports training results.
+type TrainResponse struct {
+	Name      string    `json:"name"`
+	StageAccs []float64 `json:"stage_accs"`
+}
+
+// InferRequest submits one sample for scheduled inference.
+type InferRequest struct {
+	Input []float64 `json:"input"`
+}
+
+// InferResponse is the scheduler's answer.
+type InferResponse struct {
+	Pred      int     `json:"pred"`
+	Conf      float64 `json:"conf"`
+	Stages    int     `json:"stages"`
+	Expired   bool    `json:"expired"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// CalibrateResponse reports the chosen entropy weight.
+type CalibrateResponse struct {
+	Alpha float64 `json:"alpha"`
+}
+
+// ErrorResponse is the JSON error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server wraps a core.Service with HTTP handlers.
+type Server struct {
+	svc *core.Service
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP front end.
+func NewServer(svc *core.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/models/{name}/train", s.handleTrain)
+	s.mux.HandleFunc("POST /v1/models/{name}/calibrate", s.handleCalibrate)
+	s.mux.HandleFunc("POST /v1/models/{name}/predictor", s.handlePredictor)
+	s.mux.HandleFunc("POST /v1/models/{name}/infer", s.handleInfer)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"models": s.svc.Models()})
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req TrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	set, err := req.Data.ToSet()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Classes < 2 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("classes %d must be ≥2", req.Classes))
+		return
+	}
+	opts := core.DefaultTrainOptions(set.X.Cols, req.Classes)
+	if req.Hidden > 0 {
+		opts.Model.Hidden = req.Hidden
+	}
+	if req.Stages > 0 {
+		opts.Model.StageCount = req.Stages
+	}
+	if req.Blocks > 0 {
+		opts.Model.BlocksPerStage = req.Blocks
+	}
+	if req.Epochs > 0 {
+		opts.Train.Epochs = req.Epochs
+	}
+	if req.Seed != 0 {
+		opts.Seed = req.Seed
+	}
+	entry, err := s.svc.Train(name, set, opts)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TrainResponse{Name: entry.Name, StageAccs: entry.StageAccs})
+}
+
+func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var payload DataPayload
+	if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	set, err := payload.ToSet()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	alpha, err := s.svc.Calibrate(name, set, calib.DefaultEntropyCalibConfig())
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CalibrateResponse{Alpha: alpha})
+}
+
+func (s *Server) handlePredictor(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var payload DataPayload
+	if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	set, err := payload.ToSet()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.BuildPredictor(name, set, sched.DefaultGPPredictorConfig()); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Input) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty input"))
+		return
+	}
+	resp, err := s.svc.Infer(r.Context(), name, req.Input)
+	if err != nil && !errors.Is(err, sched.ErrUnanswered) {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InferResponse{
+		Pred:      resp.Pred,
+		Conf:      resp.Conf,
+		Stages:    resp.Stages,
+		Expired:   resp.Expired,
+		LatencyMS: float64(resp.Latency.Microseconds()) / 1000,
+	})
+}
+
+func statusFor(err error) int {
+	if strings.Contains(err.Error(), "unknown model") {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors at this point can only be I/O failures the
+	// client already observes.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eugene/internal/core"
+	"eugene/internal/dataset"
+)
+
+func testServer(t *testing.T) (*Client, *dataset.Set, *dataset.Set) {
+	t.Helper()
+	svc, err := core.NewService(core.Config{
+		Workers: 2, Deadline: time.Second, QueueDepth: 32, Lookahead: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(ts.Close)
+	cfg := dataset.SynthConfig{
+		Classes: 3, Dim: 10, ModesPerClass: 1,
+		TrainSize: 200, TestSize: 100,
+		NoiseLo: 0.4, NoiseHi: 1.0, Overlap: 0.1,
+	}
+	train, test, err := dataset.SynthCIFAR(cfg, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewClient(ts.URL), train, test
+}
+
+func trainDemo(t *testing.T, c *Client, train *dataset.Set) {
+	t.Helper()
+	resp, err := c.Train(context.Background(), "demo", TrainRequest{
+		Data:    FromSet(train),
+		Classes: 3,
+		Hidden:  16,
+		Blocks:  1,
+		Epochs:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.StageAccs) != 3 {
+		t.Fatalf("stage accs = %v", resp.StageAccs)
+	}
+	if resp.StageAccs[2] < 0.5 {
+		t.Fatalf("final stage train accuracy %v too low", resp.StageAccs[2])
+	}
+}
+
+func TestHealthAndModels(t *testing.T) {
+	c, train, _ := testServer(t)
+	if err := c.Healthy(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	models, err := c.Models(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 0 {
+		t.Fatalf("models before training = %v", models)
+	}
+	trainDemo(t, c, train)
+	models, err = c.Models(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0] != "demo" {
+		t.Fatalf("models = %v", models)
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	c, train, test := testServer(t)
+	trainDemo(t, c, train)
+	if _, err := c.Calibrate(context.Background(), "demo", test); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BuildPredictor(context.Background(), "demo", train); err != nil {
+		t.Fatal(err)
+	}
+	var right, total int
+	for i := 0; i < 30; i++ {
+		x, y := test.Sample(i)
+		resp, err := c.Infer(context.Background(), "demo", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Stages == 0 {
+			t.Fatalf("request %d executed no stages", i)
+		}
+		total++
+		if resp.Pred == y {
+			right++
+		}
+	}
+	if acc := float64(right) / float64(total); acc < 0.5 {
+		t.Fatalf("served accuracy %v too low", acc)
+	}
+}
+
+func TestInferUnknownModelIs404(t *testing.T) {
+	c, _, _ := testServer(t)
+	_, err := c.Infer(context.Background(), "ghost", []float64{1, 2})
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("expected 404 error, got %v", err)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	c, train, _ := testServer(t)
+	// Bad class count.
+	if _, err := c.Train(context.Background(), "bad", TrainRequest{
+		Data: FromSet(train), Classes: 1,
+	}); err == nil {
+		t.Fatal("expected class-count error")
+	}
+	// Mismatched payload.
+	if _, err := c.Train(context.Background(), "bad", TrainRequest{
+		Data:    DataPayload{Dim: 4, X: []float64{1, 2}, Labels: []int{0}},
+		Classes: 2,
+	}); err == nil {
+		t.Fatal("expected payload error")
+	}
+}
+
+func TestInferValidation(t *testing.T) {
+	c, train, _ := testServer(t)
+	trainDemo(t, c, train)
+	if _, err := c.Infer(context.Background(), "demo", nil); err == nil {
+		t.Fatal("expected empty-input error")
+	}
+}
+
+func TestDataPayloadRoundTrip(t *testing.T) {
+	cfg := dataset.SynthConfig{
+		Classes: 2, Dim: 3, ModesPerClass: 1,
+		TrainSize: 5, TestSize: 2,
+		NoiseLo: 0.1, NoiseHi: 0.2, Overlap: 0,
+	}
+	set, _, err := dataset.SynthCIFAR(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := FromSet(set)
+	back, err := payload.ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != set.Len() || back.X.Cols != set.X.Cols {
+		t.Fatalf("round trip shape %dx%d", back.Len(), back.X.Cols)
+	}
+	for i := range set.X.Data {
+		if back.X.Data[i] != set.X.Data[i] {
+			t.Fatal("round trip data mismatch")
+		}
+	}
+	// Invalid payloads.
+	bad := DataPayload{Dim: 0}
+	if _, err := bad.ToSet(); err == nil {
+		t.Fatal("expected dim error")
+	}
+	bad = DataPayload{Dim: 2, X: []float64{1}, Labels: []int{0}}
+	if _, err := bad.ToSet(); err == nil {
+		t.Fatal("expected length error")
+	}
+}

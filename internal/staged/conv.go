@@ -1,0 +1,121 @@
+package staged
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eugene/internal/nn"
+	"eugene/internal/tensor"
+)
+
+// ConvConfig describes a convolutional staged network with the exact
+// structure of the paper's Figure 3: a bottom convolutional stem, then
+// stages of residually connected convolutional layers, each stage ending
+// in a global-average-pool + softmax exit classifier.
+type ConvConfig struct {
+	// Channels, Height, Width describe the input image.
+	Channels, Height, Width int
+	// Filters is the trunk's channel count.
+	Filters int
+	// Classes is the number of output classes.
+	Classes int
+	// StageCount is the number of exit stages (paper: 3).
+	StageCount int
+	// BlocksPerStage is the number of residual conv blocks per stage
+	// (paper: 3 shortcut connections per stage).
+	BlocksPerStage int
+	// Kernel is the square kernel size (paper: 3).
+	Kernel int
+}
+
+// DefaultConvConfig sizes a Figure 3-style network for small synthetic
+// images. Pure-Go conv training is O(HW·C²·K²) per sample, so keep the
+// inputs tiny (8×8) for tests and examples.
+func DefaultConvConfig(channels, height, width, classes int) ConvConfig {
+	return ConvConfig{
+		Channels:       channels,
+		Height:         height,
+		Width:          width,
+		Filters:        8,
+		Classes:        classes,
+		StageCount:     3,
+		BlocksPerStage: 1,
+		Kernel:         3,
+	}
+}
+
+// Validate reports an error for degenerate configurations.
+func (c ConvConfig) Validate() error {
+	switch {
+	case c.Channels < 1 || c.Height < 1 || c.Width < 1:
+		return fmt.Errorf("staged: bad conv input %dx%dx%d", c.Channels, c.Height, c.Width)
+	case c.Filters < 1:
+		return fmt.Errorf("staged: filters %d must be positive", c.Filters)
+	case c.Classes < 2:
+		return fmt.Errorf("staged: classes %d must be ≥2", c.Classes)
+	case c.StageCount < 1 || c.BlocksPerStage < 1:
+		return fmt.Errorf("staged: stages %d×%d must be positive", c.StageCount, c.BlocksPerStage)
+	case c.Kernel < 1 || c.Kernel%2 == 0:
+		return fmt.Errorf("staged: kernel %d must be odd and positive", c.Kernel)
+	}
+	return nil
+}
+
+// NewConv builds the Figure 3 convolutional staged network: the trunk
+// keeps spatial resolution (same padding, stride 1), residual shortcuts
+// span pairs of conv layers, and each exit head is GlobalAvgPool +
+// Dense — the "simple softmax classifier ... using the end-of-stage
+// aggregated features" of the paper.
+func NewConv(rng *rand.Rand, cfg ConvConfig) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shape := func(in, out int) tensor.ConvShape {
+		return tensor.ConvShape{
+			InChannels:  in,
+			OutChannels: out,
+			Height:      cfg.Height,
+			Width:       cfg.Width,
+			Kernel:      cfg.Kernel,
+			Stride:      1,
+			Pad:         cfg.Kernel / 2,
+		}
+	}
+	stemConv, err := nn.NewConv2D(rng, shape(cfg.Channels, cfg.Filters))
+	if err != nil {
+		return nil, err
+	}
+	plane := cfg.Height * cfg.Width
+	width := cfg.Filters * plane
+	m := &Model{
+		In:      cfg.Channels * plane,
+		Hidden:  width,
+		Classes: cfg.Classes,
+		Stem:    nn.NewSequential(stemConv, nn.NewReLU()),
+	}
+	for s := 0; s < cfg.StageCount; s++ {
+		m.Widths = append(m.Widths, width)
+		var blocks []nn.Layer
+		for b := 0; b < cfg.BlocksPerStage; b++ {
+			c1, err := nn.NewConv2D(rng, shape(cfg.Filters, cfg.Filters))
+			if err != nil {
+				return nil, err
+			}
+			c2, err := nn.NewConv2D(rng, shape(cfg.Filters, cfg.Filters))
+			if err != nil {
+				return nil, err
+			}
+			body := nn.NewSequential(c1, nn.NewReLU(), c2)
+			blocks = append(blocks, nn.NewResidual(body), nn.NewReLU())
+		}
+		head := nn.NewSequential(
+			nn.NewGlobalAvgPool(cfg.Filters, plane),
+			nn.NewDense(rng, cfg.Filters, cfg.Classes),
+		)
+		m.Stages = append(m.Stages, &Stage{
+			Body: nn.NewSequential(blocks...),
+			Head: head,
+		})
+	}
+	return m, nil
+}

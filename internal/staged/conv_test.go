@@ -1,0 +1,118 @@
+package staged
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eugene/internal/dataset"
+)
+
+func TestConvConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*ConvConfig)
+	}{
+		{"zero channels", func(c *ConvConfig) { c.Channels = 0 }},
+		{"zero filters", func(c *ConvConfig) { c.Filters = 0 }},
+		{"one class", func(c *ConvConfig) { c.Classes = 1 }},
+		{"zero stages", func(c *ConvConfig) { c.StageCount = 0 }},
+		{"even kernel", func(c *ConvConfig) { c.Kernel = 2 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConvConfig(3, 8, 8, 4)
+			tc.mutate(&cfg)
+			if _, err := NewConv(rand.New(rand.NewSource(1)), cfg); err == nil {
+				t.Fatal("expected config error")
+			}
+		})
+	}
+}
+
+func TestConvStagedPredictShapes(t *testing.T) {
+	cfg := DefaultConvConfig(2, 6, 6, 3)
+	m, err := NewConv(rand.New(rand.NewSource(2)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStages() != 3 {
+		t.Fatalf("stages = %d", m.NumStages())
+	}
+	x := make([]float64, 2*6*6)
+	rng := rand.New(rand.NewSource(3))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	outs := m.Predict(x, 2)
+	for s, o := range outs {
+		var sum float64
+		for _, p := range o.Probs {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("stage %d probs sum %v", s, sum)
+		}
+	}
+	// Runner must work with the spatial hidden state too.
+	r := m.NewRunner(x)
+	for s := 0; !r.Done(); s++ {
+		got := r.RunStage()
+		if got.Pred != outs[s].Pred || math.Abs(got.Conf-outs[s].Conf) > 1e-9 {
+			t.Fatalf("runner stage %d diverges from Predict", s)
+		}
+	}
+}
+
+// TestConvStagedTrains verifies the Figure 3 conv network learns a tiny
+// image task end to end (deep supervision through conv stages).
+func TestConvStagedTrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conv training")
+	}
+	dcfg := dataset.SynthConfig{
+		Classes: 3, Dim: 2 * 6 * 6, ModesPerClass: 1,
+		TrainSize: 150, TestSize: 60,
+		NoiseLo: 0.3, NoiseHi: 0.8, Overlap: 0.05,
+	}
+	train, test, err := dataset.SynthCIFAR(dcfg, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConvConfig(2, 6, 6, 3)
+	cfg.Filters = 6
+	m, err := NewConv(rand.New(rand.NewSource(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := DefaultTrainConfig()
+	tcfg.Epochs = 10
+	tcfg.LR = 0.03
+	if _, err := m.Train(tcfg, train); err != nil {
+		t.Fatal(err)
+	}
+	acc := m.EvalStageAccuracy(test, m.NumStages()-1)
+	if acc < 0.6 {
+		t.Fatalf("conv staged accuracy %v, want ≥0.6", acc)
+	}
+}
+
+func TestConvStagedClone(t *testing.T) {
+	cfg := DefaultConvConfig(1, 5, 5, 2)
+	m, err := NewConv(rand.New(rand.NewSource(5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	x := make([]float64, 25)
+	for i := range x {
+		x[i] = 0.3
+	}
+	a := m.Predict(x, 2)
+	b := c.Predict(x, 2)
+	for s := range a {
+		if a[s].Pred != b[s].Pred || math.Abs(a[s].Conf-b[s].Conf) > 1e-12 {
+			t.Fatalf("clone diverges at stage %d", s)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package staged
+
+import (
+	"fmt"
+
+	"eugene/internal/tensor"
+)
+
+// Runner executes one sample through a model stage by stage, retaining
+// the hidden activation between stages. It is the in-process equivalent
+// of the paper's worker process: the scheduler decides when (and whether)
+// each next stage runs.
+//
+// A Runner borrows the model it was created from; because layers own
+// scratch buffers, all Runners of one *Model must run on the same
+// goroutine. For parallel serving, give each worker its own model clone.
+type Runner struct {
+	model  *Model
+	hidden []float64
+	next   int
+	probs  *tensor.Matrix
+	last   StageOutput
+	hasOut bool
+}
+
+// NewRunner prepares stage-by-stage execution of x. The stem runs lazily
+// with the first stage.
+func (m *Model) NewRunner(x []float64) *Runner {
+	if len(x) != m.In {
+		panic(fmt.Sprintf("staged: runner input width %d, want %d", len(x), m.In))
+	}
+	return &Runner{
+		model:  m,
+		hidden: append([]float64(nil), x...),
+		probs:  tensor.NewMatrix(1, m.Classes),
+	}
+}
+
+// NextStage returns the index of the next stage to execute, or
+// NumStages() if the task is complete.
+func (r *Runner) NextStage() int { return r.next }
+
+// Done reports whether every stage has executed.
+func (r *Runner) Done() bool { return r.next >= len(r.model.Stages) }
+
+// Last returns the most recent exit output; ok is false before any stage
+// has run.
+func (r *Runner) Last() (StageOutput, bool) { return r.last, r.hasOut }
+
+// RunStage executes the next stage and returns its exit output.
+// It panics if the runner is already done.
+func (r *Runner) RunStage() StageOutput {
+	if r.Done() {
+		panic("staged: RunStage on completed runner")
+	}
+	hidden, out := r.model.ExecStage(r.hidden, r.next)
+	r.hidden = hidden
+	r.last = out
+	r.hasOut = true
+	r.next++
+	return r.last
+}
+
+// ExecStage executes one stage of the model on an explicit hidden state:
+// for stage 0, hidden is the raw input sample; for stage s>0 it is the
+// trunk activation returned by stage s−1. It returns the new hidden
+// state and the stage's exit output. Because the hidden state is
+// caller-owned, a task can migrate between worker-local model clones
+// across stages — the mechanism the live executor uses.
+func (m *Model) ExecStage(hidden []float64, stage int) ([]float64, StageOutput) {
+	if stage < 0 || stage >= len(m.Stages) {
+		panic(fmt.Sprintf("staged: ExecStage stage %d outside [0,%d)", stage, len(m.Stages)))
+	}
+	wantIn := m.In
+	if stage > 0 {
+		wantIn = m.Widths[stage-1]
+	}
+	if len(hidden) != wantIn {
+		panic(fmt.Sprintf("staged: ExecStage stage %d input width %d, want %d", stage, len(hidden), wantIn))
+	}
+	in := tensor.FromSlice(1, len(hidden), hidden)
+	var h *tensor.Matrix
+	if stage == 0 {
+		h = m.Stem.Forward(in, false)
+	} else {
+		h = in
+	}
+	s := m.Stages[stage]
+	h = s.Body.Forward(h, false)
+	// Copy the hidden state out of the layer-owned buffer so the next
+	// stage survives other tasks of this model interleaving.
+	next := append([]float64(nil), h.Row(0)...)
+	probs := tensor.NewMatrix(1, m.Classes)
+	logits := s.Head.Forward(h, false)
+	tensor.Softmax(probs, logits)
+	pred, conf := tensor.ArgMax(probs.Row(0))
+	return next, StageOutput{
+		Stage: stage,
+		Pred:  pred,
+		Conf:  conf,
+		Probs: probs.Row(0),
+	}
+}

@@ -1,0 +1,291 @@
+// Package staged implements Eugene's multi-exit neural networks
+// (paper Figure 3): a trunk divided into stages, each stage ending in a
+// thin softmax classifier head. Intermediate heads let the scheduler stop
+// execution early once confidence is high enough, and expose the
+// per-stage (prediction, confidence) tuples the RTDeepIoT scheduler
+// consumes.
+package staged
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eugene/internal/nn"
+	"eugene/internal/tensor"
+)
+
+// Stage is one segment of the trunk plus its exit classifier.
+type Stage struct {
+	Body nn.Layer // hidden → hidden
+	Head nn.Layer // hidden → classes (logits)
+}
+
+// Model is a stem plus a sequence of stages. It is not safe for
+// concurrent use; serve concurrently by cloning one model per worker
+// (mirroring the paper's pool of worker processes).
+type Model struct {
+	Stem    nn.Layer
+	Stages  []*Stage
+	In      int
+	Hidden  int
+	Classes int
+	// Widths is the trunk width at each stage's output.
+	Widths []int
+}
+
+// Config describes the paper-style staged residual network.
+type Config struct {
+	// In is the input feature width.
+	In int
+	// Hidden is the trunk width.
+	Hidden int
+	// Classes is the number of output classes.
+	Classes int
+	// StageCount is the number of stages (paper: 3).
+	StageCount int
+	// BlocksPerStage is the number of residual blocks per stage
+	// (paper: 3 shortcut connections per stage).
+	BlocksPerStage int
+	// StageWidths optionally sets a per-stage trunk width (length must
+	// equal StageCount); nil means every stage uses Hidden. A
+	// narrow-to-wide ladder mirrors real convolutional trunks, where
+	// early exits see cheaper, less expressive features — the source
+	// of the accuracy-vs-depth trade-off the scheduler exploits.
+	StageWidths []int
+	// HeadBottlenecks optionally gives stage s's exit head a
+	// Dense(width→HeadBottlenecks[s])+ReLU bottleneck before its
+	// softmax layer (0 = plain linear head). Thin early heads cap the
+	// accuracy of shallow exits without constraining the trunk,
+	// producing the accuracy-vs-depth gradient the scheduler exploits
+	// (the paper's "thin softmax function layer" at each stage).
+	HeadBottlenecks []int
+	// HeadDropout is the dropout rate inside each classifier head;
+	// nonzero rates enable the RDeepSense MC-dropout baseline.
+	HeadDropout float64
+}
+
+// DefaultConfig mirrors the paper's three-stage residual network at
+// SynthCIFAR scale.
+func DefaultConfig(in, classes int) Config {
+	return Config{
+		In:             in,
+		Hidden:         96,
+		Classes:        classes,
+		StageCount:     3,
+		BlocksPerStage: 2,
+		HeadDropout:    0.15,
+	}
+}
+
+// Validate reports an error for degenerate configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.In < 1 || c.Hidden < 1 || c.Classes < 2:
+		return fmt.Errorf("staged: bad dims in=%d hidden=%d classes=%d", c.In, c.Hidden, c.Classes)
+	case c.StageCount < 1:
+		return fmt.Errorf("staged: need ≥1 stage, got %d", c.StageCount)
+	case c.BlocksPerStage < 1:
+		return fmt.Errorf("staged: need ≥1 block per stage, got %d", c.BlocksPerStage)
+	case c.HeadDropout < 0 || c.HeadDropout >= 1:
+		return fmt.Errorf("staged: head dropout %v outside [0,1)", c.HeadDropout)
+	}
+	if c.StageWidths != nil {
+		if len(c.StageWidths) != c.StageCount {
+			return fmt.Errorf("staged: %d stage widths for %d stages", len(c.StageWidths), c.StageCount)
+		}
+		for i, w := range c.StageWidths {
+			if w < 1 {
+				return fmt.Errorf("staged: stage %d width %d must be positive", i, w)
+			}
+		}
+	}
+	if c.HeadBottlenecks != nil {
+		if len(c.HeadBottlenecks) != c.StageCount {
+			return fmt.Errorf("staged: %d head bottlenecks for %d stages", len(c.HeadBottlenecks), c.StageCount)
+		}
+		for i, w := range c.HeadBottlenecks {
+			if w < 0 {
+				return fmt.Errorf("staged: stage %d head bottleneck %d must be ≥0", i, w)
+			}
+		}
+	}
+	return nil
+}
+
+// New builds a staged residual MLP per the configuration. Weights are
+// deterministic given rng.
+func New(rng *rand.Rand, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	widths := cfg.StageWidths
+	if widths == nil {
+		widths = make([]int, cfg.StageCount)
+		for i := range widths {
+			widths[i] = cfg.Hidden
+		}
+	}
+	m := &Model{
+		In:      cfg.In,
+		Hidden:  cfg.Hidden,
+		Classes: cfg.Classes,
+		Widths:  append([]int(nil), widths...),
+		Stem:    nn.NewSequential(nn.NewDense(rng, cfg.In, widths[0]), nn.NewReLU()),
+	}
+	for s := 0; s < cfg.StageCount; s++ {
+		w := widths[s]
+		var blocks []nn.Layer
+		if s > 0 && widths[s-1] != w {
+			// Projection between stages of different width.
+			blocks = append(blocks, nn.NewDense(rng, widths[s-1], w), nn.NewReLU())
+		}
+		for b := 0; b < cfg.BlocksPerStage; b++ {
+			body := nn.NewSequential(
+				nn.NewDense(rng, w, w),
+				nn.NewReLU(),
+				nn.NewDense(rng, w, w),
+			)
+			blocks = append(blocks, nn.NewResidual(body), nn.NewReLU())
+		}
+		var head []nn.Layer
+		headIn := w
+		if cfg.HeadBottlenecks != nil && cfg.HeadBottlenecks[s] > 0 {
+			head = append(head, nn.NewDense(rng, w, cfg.HeadBottlenecks[s]), nn.NewReLU())
+			headIn = cfg.HeadBottlenecks[s]
+		}
+		if cfg.HeadDropout > 0 {
+			head = append(head, nn.NewDropout(rng, cfg.HeadDropout))
+		}
+		head = append(head, nn.NewDense(rng, headIn, cfg.Classes))
+		m.Stages = append(m.Stages, &Stage{
+			Body: nn.NewSequential(blocks...),
+			Head: nn.NewSequential(head...),
+		})
+	}
+	return m, nil
+}
+
+// NumStages returns the number of exit stages.
+func (m *Model) NumStages() int { return len(m.Stages) }
+
+// Clone deep-copies the model for use by another goroutine.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		Stem:    m.Stem.Clone(),
+		In:      m.In,
+		Hidden:  m.Hidden,
+		Classes: m.Classes,
+		Widths:  append([]int(nil), m.Widths...),
+	}
+	for _, s := range m.Stages {
+		c.Stages = append(c.Stages, &Stage{Body: s.Body.Clone(), Head: s.Head.Clone()})
+	}
+	return c
+}
+
+// Params returns every trainable parameter (trunk and heads).
+func (m *Model) Params() []nn.Param {
+	ps := m.Stem.Params()
+	for _, s := range m.Stages {
+		ps = append(ps, s.Body.Params()...)
+		ps = append(ps, s.Head.Params()...)
+	}
+	return ps
+}
+
+// HeadParams returns only the exit-classifier parameters; calibration
+// fine-tuning (paper Eq. 4) updates these while freezing the trunk.
+func (m *Model) HeadParams() []nn.Param {
+	var ps []nn.Param
+	for _, s := range m.Stages {
+		ps = append(ps, s.Head.Params()...)
+	}
+	return ps
+}
+
+// StageOutput is the per-exit result tuple the paper's workers report to
+// the scheduler: arg-max prediction and its softmax confidence.
+type StageOutput struct {
+	Stage int       `json:"stage"`
+	Pred  int       `json:"pred"`
+	Conf  float64   `json:"conf"`
+	Probs []float64 `json:"probs,omitempty"`
+}
+
+// ForwardAll runs the batch through every stage and returns per-stage
+// logits. When train is true, activations are cached for Backward.
+func (m *Model) ForwardAll(x *tensor.Matrix, train bool) []*tensor.Matrix {
+	h := m.Stem.Forward(x, train)
+	logits := make([]*tensor.Matrix, len(m.Stages))
+	for i, s := range m.Stages {
+		h = s.Body.Forward(h, train)
+		logits[i] = s.Head.Forward(h, train)
+	}
+	return logits
+}
+
+// Backward propagates per-stage logit gradients (deep supervision)
+// through heads and trunk, accumulating parameter gradients.
+func (m *Model) Backward(gradLogits []*tensor.Matrix) {
+	if len(gradLogits) != len(m.Stages) {
+		panic(fmt.Sprintf("staged: got %d gradients for %d stages", len(gradLogits), len(m.Stages)))
+	}
+	var gTrunk *tensor.Matrix
+	for i := len(m.Stages) - 1; i >= 0; i-- {
+		s := m.Stages[i]
+		g := s.Head.Backward(gradLogits[i])
+		if gTrunk != nil {
+			// Combine gradient from this head with gradient flowing
+			// back from deeper stages.
+			sum := tensor.NewMatrix(g.Rows, g.Cols)
+			tensor.Add(sum, g, gTrunk)
+			g = sum
+		}
+		gTrunk = s.Body.Backward(g)
+	}
+	m.Stem.Backward(gTrunk)
+}
+
+// Predict runs one sample through stages [0, upTo] (inclusive) and
+// returns the outputs of every executed stage. upTo = NumStages()-1 runs
+// the full network.
+func (m *Model) Predict(x []float64, upTo int) []StageOutput {
+	if upTo < 0 || upTo >= len(m.Stages) {
+		panic(fmt.Sprintf("staged: stage %d outside [0,%d)", upTo, len(m.Stages)))
+	}
+	in := tensor.FromSlice(1, len(x), x)
+	h := m.Stem.Forward(in, false)
+	outs := make([]StageOutput, 0, upTo+1)
+	probs := tensor.NewMatrix(1, m.Classes)
+	for i := 0; i <= upTo; i++ {
+		s := m.Stages[i]
+		h = s.Body.Forward(h, false)
+		logits := s.Head.Forward(h, false)
+		tensor.Softmax(probs, logits)
+		pred, conf := tensor.ArgMax(probs.Row(0))
+		outs = append(outs, StageOutput{
+			Stage: i,
+			Pred:  pred,
+			Conf:  conf,
+			Probs: append([]float64(nil), probs.Row(0)...),
+		})
+	}
+	return outs
+}
+
+// StageCostFLOPs estimates the floating-point cost of executing stage l
+// on one sample (body plus head), from parameter counts. The scheduler
+// uses these as relative stage costs.
+func (m *Model) StageCostFLOPs(l int) float64 {
+	if l < 0 || l >= len(m.Stages) {
+		panic(fmt.Sprintf("staged: stage %d outside [0,%d)", l, len(m.Stages)))
+	}
+	var flops float64
+	for _, p := range m.Stages[l].Body.Params() {
+		flops += 2 * float64(len(p.Value))
+	}
+	for _, p := range m.Stages[l].Head.Params() {
+		flops += 2 * float64(len(p.Value))
+	}
+	return flops
+}

@@ -1,0 +1,162 @@
+package tensor
+
+import "fmt"
+
+// ConvShape describes a 2-D convolution with square kernels, "same"
+// semantics controlled by Pad, and stride Stride. Input tensors are laid
+// out as channel-major planes: index = (c*H + y)*W + x.
+type ConvShape struct {
+	InChannels  int
+	OutChannels int
+	Height      int
+	Width       int
+	Kernel      int
+	Stride      int
+	Pad         int
+}
+
+// OutHeight returns the output plane height.
+func (s ConvShape) OutHeight() int { return (s.Height+2*s.Pad-s.Kernel)/s.Stride + 1 }
+
+// OutWidth returns the output plane width.
+func (s ConvShape) OutWidth() int { return (s.Width+2*s.Pad-s.Kernel)/s.Stride + 1 }
+
+// FLOPs returns the multiply-accumulate count (counting each MAC as two
+// floating-point operations) for one forward pass of this convolution.
+func (s ConvShape) FLOPs() float64 {
+	return 2 * float64(s.OutHeight()) * float64(s.OutWidth()) *
+		float64(s.OutChannels) * float64(s.InChannels) * float64(s.Kernel*s.Kernel)
+}
+
+// Validate reports an error if the shape is degenerate.
+func (s ConvShape) Validate() error {
+	switch {
+	case s.InChannels <= 0 || s.OutChannels <= 0:
+		return fmt.Errorf("tensor: conv channels must be positive, got in=%d out=%d", s.InChannels, s.OutChannels)
+	case s.Height <= 0 || s.Width <= 0:
+		return fmt.Errorf("tensor: conv input %dx%d must be positive", s.Height, s.Width)
+	case s.Kernel <= 0 || s.Stride <= 0:
+		return fmt.Errorf("tensor: conv kernel=%d stride=%d must be positive", s.Kernel, s.Stride)
+	case s.Pad < 0:
+		return fmt.Errorf("tensor: conv pad %d must be non-negative", s.Pad)
+	case s.OutHeight() <= 0 || s.OutWidth() <= 0:
+		return fmt.Errorf("tensor: conv output shape %dx%d is empty", s.OutHeight(), s.OutWidth())
+	}
+	return nil
+}
+
+// Im2Col expands input (one sample, layout (c*H+y)*W+x) into the patch
+// matrix dst with OutHeight*OutWidth rows and InChannels*Kernel*Kernel
+// columns, so convolution becomes a single MatMulT against the kernel
+// matrix. dst must be pre-sized; out-of-bounds taps read as zero padding.
+func Im2Col(dst *Matrix, s ConvShape, input []float64) {
+	oh, ow := s.OutHeight(), s.OutWidth()
+	patch := s.InChannels * s.Kernel * s.Kernel
+	if dst.Rows != oh*ow || dst.Cols != patch {
+		panic(fmt.Sprintf("tensor: Im2Col dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, oh*ow, patch))
+	}
+	if len(input) != s.InChannels*s.Height*s.Width {
+		panic(fmt.Sprintf("tensor: Im2Col input length %d, want %d", len(input), s.InChannels*s.Height*s.Width))
+	}
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			out := dst.Row(row)
+			col := 0
+			for c := 0; c < s.InChannels; c++ {
+				plane := input[c*s.Height*s.Width:]
+				for ky := 0; ky < s.Kernel; ky++ {
+					iy := oy*s.Stride + ky - s.Pad
+					for kx := 0; kx < s.Kernel; kx++ {
+						ix := ox*s.Stride + kx - s.Pad
+						if iy >= 0 && iy < s.Height && ix >= 0 && ix < s.Width {
+							out[col] = plane[iy*s.Width+ix]
+						} else {
+							out[col] = 0
+						}
+						col++
+					}
+				}
+			}
+			row++
+		}
+	}
+}
+
+// Col2Im scatters the patch-gradient matrix grad (same shape as the
+// Im2Col output) back into the input-gradient buffer dst, accumulating
+// overlapping taps. dst must have length InChannels*Height*Width and is
+// zeroed first.
+func Col2Im(dst []float64, s ConvShape, grad *Matrix) {
+	oh, ow := s.OutHeight(), s.OutWidth()
+	patch := s.InChannels * s.Kernel * s.Kernel
+	if grad.Rows != oh*ow || grad.Cols != patch {
+		panic(fmt.Sprintf("tensor: Col2Im grad is %dx%d, want %dx%d", grad.Rows, grad.Cols, oh*ow, patch))
+	}
+	if len(dst) != s.InChannels*s.Height*s.Width {
+		panic(fmt.Sprintf("tensor: Col2Im dst length %d, want %d", len(dst), s.InChannels*s.Height*s.Width))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			g := grad.Row(row)
+			col := 0
+			for c := 0; c < s.InChannels; c++ {
+				plane := dst[c*s.Height*s.Width:]
+				for ky := 0; ky < s.Kernel; ky++ {
+					iy := oy*s.Stride + ky - s.Pad
+					for kx := 0; kx < s.Kernel; kx++ {
+						ix := ox*s.Stride + kx - s.Pad
+						if iy >= 0 && iy < s.Height && ix >= 0 && ix < s.Width {
+							plane[iy*s.Width+ix] += g[col]
+						}
+						col++
+					}
+				}
+			}
+			row++
+		}
+	}
+}
+
+// Conv2D runs a direct (reference) convolution of input by kernels.
+// kernels is OutChannels×(InChannels·Kernel·Kernel); output is written as
+// channel-major planes into out, which must have length
+// OutChannels·OutHeight·OutWidth. This is the slow reference used to
+// validate the im2col fast path in tests.
+func Conv2D(out []float64, s ConvShape, input []float64, kernels *Matrix) {
+	oh, ow := s.OutHeight(), s.OutWidth()
+	patch := s.InChannels * s.Kernel * s.Kernel
+	if kernels.Rows != s.OutChannels || kernels.Cols != patch {
+		panic(fmt.Sprintf("tensor: Conv2D kernels %dx%d, want %dx%d", kernels.Rows, kernels.Cols, s.OutChannels, patch))
+	}
+	if len(out) != s.OutChannels*oh*ow {
+		panic(fmt.Sprintf("tensor: Conv2D out length %d, want %d", len(out), s.OutChannels*oh*ow))
+	}
+	for oc := 0; oc < s.OutChannels; oc++ {
+		k := kernels.Row(oc)
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var sum float64
+				col := 0
+				for c := 0; c < s.InChannels; c++ {
+					plane := input[c*s.Height*s.Width:]
+					for ky := 0; ky < s.Kernel; ky++ {
+						iy := oy*s.Stride + ky - s.Pad
+						for kx := 0; kx < s.Kernel; kx++ {
+							ix := ox*s.Stride + kx - s.Pad
+							if iy >= 0 && iy < s.Height && ix >= 0 && ix < s.Width {
+								sum += k[col] * plane[iy*s.Width+ix]
+							}
+							col++
+						}
+					}
+				}
+				out[(oc*oh+oy)*ow+ox] = sum
+			}
+		}
+	}
+}

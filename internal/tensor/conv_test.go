@@ -1,0 +1,195 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvShapeValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		shape   ConvShape
+		wantErr bool
+	}{
+		{"valid", ConvShape{3, 8, 8, 8, 3, 1, 1}, false},
+		{"zero in channels", ConvShape{0, 8, 8, 8, 3, 1, 1}, true},
+		{"zero out channels", ConvShape{3, 0, 8, 8, 3, 1, 1}, true},
+		{"zero height", ConvShape{3, 8, 0, 8, 3, 1, 1}, true},
+		{"zero kernel", ConvShape{3, 8, 8, 8, 0, 1, 1}, true},
+		{"negative pad", ConvShape{3, 8, 8, 8, 3, 1, -1}, true},
+		{"kernel larger than input", ConvShape{3, 8, 2, 2, 5, 1, 0}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.shape.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() err = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestConvShapeOutputDims(t *testing.T) {
+	s := ConvShape{InChannels: 3, OutChannels: 4, Height: 8, Width: 10, Kernel: 3, Stride: 1, Pad: 1}
+	if s.OutHeight() != 8 || s.OutWidth() != 10 {
+		t.Fatalf("same-pad output = %dx%d, want 8x10", s.OutHeight(), s.OutWidth())
+	}
+	s.Stride = 2
+	if s.OutHeight() != 4 || s.OutWidth() != 5 {
+		t.Fatalf("stride-2 output = %dx%d, want 4x5", s.OutHeight(), s.OutWidth())
+	}
+}
+
+func TestConvShapeFLOPs(t *testing.T) {
+	// Table I configuration CNN1: 8 in, 32 out, 3x3, 224x224, same pad.
+	// Under the standard 2·MACs convention this is 231.2 MFLOPs. (The
+	// paper reports 452.4 M under its own convention; ratios between
+	// configs are identical.)
+	cnn1 := ConvShape{InChannels: 8, OutChannels: 32, Height: 224, Width: 224, Kernel: 3, Stride: 1, Pad: 1}
+	cnn2 := ConvShape{InChannels: 32, OutChannels: 8, Height: 224, Width: 224, Kernel: 3, Stride: 1, Pad: 1}
+	if math.Abs(cnn1.FLOPs()/1e6-231.2) > 1.0 {
+		t.Fatalf("CNN1 FLOPs = %.1f M, want ≈231.2 M", cnn1.FLOPs()/1e6)
+	}
+	if cnn1.FLOPs() != cnn2.FLOPs() {
+		t.Fatalf("CNN1 and CNN2 must have identical FLOPs: %v vs %v", cnn1.FLOPs(), cnn2.FLOPs())
+	}
+}
+
+// TestIm2ColMatchesDirectConv is the core correctness check: convolution
+// by im2col+matmul must equal the direct reference convolution.
+func TestIm2ColMatchesDirectConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []ConvShape{
+		{InChannels: 1, OutChannels: 1, Height: 5, Width: 5, Kernel: 3, Stride: 1, Pad: 1},
+		{InChannels: 3, OutChannels: 4, Height: 6, Width: 7, Kernel: 3, Stride: 1, Pad: 1},
+		{InChannels: 2, OutChannels: 3, Height: 8, Width: 8, Kernel: 3, Stride: 2, Pad: 0},
+		{InChannels: 4, OutChannels: 2, Height: 9, Width: 5, Kernel: 5, Stride: 1, Pad: 2},
+	}
+	for _, s := range shapes {
+		input := make([]float64, s.InChannels*s.Height*s.Width)
+		for i := range input {
+			input[i] = rng.NormFloat64()
+		}
+		patch := s.InChannels * s.Kernel * s.Kernel
+		kernels := randomMatrix(rng, s.OutChannels, patch)
+
+		want := make([]float64, s.OutChannels*s.OutHeight()*s.OutWidth())
+		Conv2D(want, s, input, kernels)
+
+		cols := NewMatrix(s.OutHeight()*s.OutWidth(), patch)
+		Im2Col(cols, s, input)
+		out := NewMatrix(cols.Rows, s.OutChannels)
+		MatMulT(out, cols, kernels)
+
+		oh, ow := s.OutHeight(), s.OutWidth()
+		for oc := 0; oc < s.OutChannels; oc++ {
+			for p := 0; p < oh*ow; p++ {
+				got := out.At(p, oc)
+				w := want[oc*oh*ow+p]
+				if math.Abs(got-w) > 1e-9 {
+					t.Fatalf("shape %+v: mismatch at oc=%d p=%d: %v vs %v", s, oc, p, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestCol2ImAdjoint verifies that Col2Im is the adjoint of Im2Col:
+// <Im2Col(x), g> == <x, Col2Im(g)> for all x, g. This is exactly the
+// property backprop through the convolution relies on.
+func TestCol2ImAdjoint(t *testing.T) {
+	s := ConvShape{InChannels: 2, OutChannels: 1, Height: 6, Width: 6, Kernel: 3, Stride: 1, Pad: 1}
+	patch := s.InChannels * s.Kernel * s.Kernel
+	rows := s.OutHeight() * s.OutWidth()
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, s.InChannels*s.Height*s.Width)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		g := randomMatrix(rng, rows, patch)
+
+		cols := NewMatrix(rows, patch)
+		Im2Col(cols, s, x)
+		lhs := Dot(cols.Data, g.Data)
+
+		back := make([]float64, len(x))
+		Col2Im(back, s, g)
+		rhs := Dot(x, back)
+		return math.Abs(lhs-rhs) <= 1e-8*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvLinearity: conv(a*x + b*y) == a*conv(x) + b*conv(y).
+func TestConvLinearity(t *testing.T) {
+	s := ConvShape{InChannels: 2, OutChannels: 3, Height: 5, Width: 5, Kernel: 3, Stride: 1, Pad: 1}
+	rng := rand.New(rand.NewSource(11))
+	patch := s.InChannels * s.Kernel * s.Kernel
+	kernels := randomMatrix(rng, s.OutChannels, patch)
+	n := s.InChannels * s.Height * s.Width
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	const a, b = 2.5, -1.25
+	combo := make([]float64, n)
+	for i := range combo {
+		combo[i] = a*x[i] + b*y[i]
+	}
+	outN := s.OutChannels * s.OutHeight() * s.OutWidth()
+	cx := make([]float64, outN)
+	cy := make([]float64, outN)
+	cc := make([]float64, outN)
+	Conv2D(cx, s, x, kernels)
+	Conv2D(cy, s, y, kernels)
+	Conv2D(cc, s, combo, kernels)
+	for i := range cc {
+		want := a*cx[i] + b*cy[i]
+		if math.Abs(cc[i]-want) > 1e-9 {
+			t.Fatalf("linearity violated at %d: %v vs %v", i, cc[i], want)
+		}
+	}
+}
+
+func TestIm2ColZeroPadding(t *testing.T) {
+	s := ConvShape{InChannels: 1, OutChannels: 1, Height: 3, Width: 3, Kernel: 3, Stride: 1, Pad: 1}
+	input := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}
+	cols := NewMatrix(9, 9)
+	Im2Col(cols, s, input)
+	// Top-left output position: 4 of the 9 taps are in-bounds.
+	var nonzero int
+	for _, v := range cols.Row(0) {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 4 {
+		t.Fatalf("corner patch has %d non-zero taps, want 4", nonzero)
+	}
+}
+
+func BenchmarkIm2ColConv8x8(b *testing.B) {
+	s := ConvShape{InChannels: 8, OutChannels: 16, Height: 8, Width: 8, Kernel: 3, Stride: 1, Pad: 1}
+	rng := rand.New(rand.NewSource(1))
+	input := make([]float64, s.InChannels*s.Height*s.Width)
+	for i := range input {
+		input[i] = rng.NormFloat64()
+	}
+	patch := s.InChannels * s.Kernel * s.Kernel
+	kernels := randomMatrix(rng, s.OutChannels, patch)
+	cols := NewMatrix(s.OutHeight()*s.OutWidth(), patch)
+	out := NewMatrix(cols.Rows, s.OutChannels)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(cols, s, input)
+		MatMulT(out, cols, kernels)
+	}
+}
