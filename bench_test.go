@@ -1,14 +1,18 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation (one benchmark per artifact; see DESIGN.md §4). Each
-// iteration reproduces the full experiment; the shared trained model is
-// built once per process. Results print via b.Log at -v, and
-// cmd/benchtab renders the same tables with paper values side by side.
+// evaluation (one benchmark per artifact), plus serving-path throughput
+// benchmarks. Each evaluation iteration reproduces the full experiment;
+// the shared trained model is built once per process. Results print via
+// b.Log at -v, and cmd/benchtab renders the same tables with paper
+// values side by side.
 package eugene
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
+	"eugene/internal/dataset"
 	"eugene/internal/experiments"
 )
 
@@ -28,6 +32,89 @@ func benchLab(b *testing.B) *experiments.Lab {
 		b.Fatal(labErr)
 	}
 	return benchL
+}
+
+var (
+	serveOnce sync.Once
+	serveSvc  *Service
+	serveSet  *Set
+	serveErr  error
+)
+
+// benchServe trains one small model behind a 4-worker service, shared
+// across the serving benchmarks.
+func benchServe(b *testing.B) (*Service, *Set) {
+	b.Helper()
+	serveOnce.Do(func() {
+		// Paper-scale-ish stages: wide enough that per-stage compute
+		// dominates scheduling overhead, as in real serving.
+		cfg := dataset.SynthConfig{
+			Classes: 3, Dim: 32, ModesPerClass: 1,
+			TrainSize: 200, TestSize: 100,
+			NoiseLo: 0.4, NoiseHi: 1.0, Overlap: 0.1,
+		}
+		train, test, err := dataset.SynthCIFAR(cfg, 17)
+		if err != nil {
+			serveErr = err
+			return
+		}
+		svc, err := NewService(Config{Workers: 4, Deadline: time.Second, QueueDepth: 256, Lookahead: 1})
+		if err != nil {
+			serveErr = err
+			return
+		}
+		opts := DefaultTrainOptions(32, 3)
+		opts.Model.Hidden = 256
+		opts.Model.BlocksPerStage = 2
+		opts.Train.Epochs = 2
+		if _, err := svc.Train("bench", train, opts); err != nil {
+			serveErr = err
+			return
+		}
+		serveSvc, serveSet = svc, test
+	})
+	if serveErr != nil {
+		b.Fatal(serveErr)
+	}
+	return serveSvc, serveSet
+}
+
+// BenchmarkInferSequentialVsBatch compares N one-at-a-time Infer calls
+// against a single InferBatch over the same inputs at 4 workers: the
+// batch path enqueues every task in one scheduler interaction and keeps
+// all workers busy, where the sequential path pays one full
+// submit/answer round trip per sample. The req/s metric is the
+// headline; batched must beat sequential.
+func BenchmarkInferSequentialVsBatch(b *testing.B) {
+	svc, test := benchServe(b)
+	const batch = 64
+	inputs := make([][]float64, batch)
+	for i := range inputs {
+		inputs[i], _ = test.Sample(i % test.Len())
+	}
+	ctx := context.Background()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range inputs {
+				if _, err := svc.Infer(ctx, "bench", x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resps, err := svc.InferBatch(ctx, "bench", inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resps) != batch {
+				b.Fatalf("%d responses", len(resps))
+			}
+		}
+		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "req/s")
+	})
 }
 
 // BenchmarkTable1ConvProfile regenerates Table I: nonlinear conv-layer

@@ -4,6 +4,7 @@
 //
 //	eugenectl [-addr http://localhost:8080] health
 //	eugenectl [-addr ...] models
+//	eugenectl [-addr ...] stats
 //	eugenectl [-addr ...] infer -model NAME -input 0.1,0.2,...
 package main
 
@@ -12,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -31,7 +33,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: eugenectl [-addr URL] health|models|infer ...")
+		return fmt.Errorf("usage: eugenectl [-addr URL] health|models|stats|infer ...")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -50,6 +52,26 @@ func run() error {
 		}
 		for _, m := range models {
 			fmt.Println(m)
+		}
+		return nil
+	case "stats":
+		stats, err := client.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if len(stats) == 0 {
+			fmt.Println("no models serving")
+			return nil
+		}
+		names := make([]string, 0, len(stats))
+		for name := range stats {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := stats[name]
+			fmt.Printf("%s: submitted=%d answered=%d expired=%d unanswered=%d queue=%d p50=%.2fms p99=%.2fms\n",
+				name, st.Submitted, st.Answered, st.Expired, st.Unanswered, st.QueueDepth, st.P50MS, st.P99MS)
 		}
 		return nil
 	case "infer":

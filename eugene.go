@@ -23,9 +23,10 @@
 //	alpha, err := svc.Calibrate("my-model", calibData)
 //	err = svc.BuildPredictor("my-model", data)
 //	resp, err := svc.Infer(ctx, "my-model", sample)
+//	resps, err := svc.InferBatch(ctx, "my-model", samples)
 //
-// See examples/ for complete programs and DESIGN.md / EXPERIMENTS.md for
-// the reproduction methodology.
+// See examples/ for complete programs and README.md for the build,
+// quickstart, and HTTP API reference.
 package eugene
 
 import (
@@ -59,6 +60,9 @@ type ModelEntry = core.ModelEntry
 // classification, its calibrated confidence, how many stages actually
 // ran, and whether the deadline cut execution short.
 type Response = sched.Response
+
+// LiveStats is a snapshot of one model's serving counters.
+type LiveStats = sched.LiveStats
 
 // Set is a labeled dataset (one sample per row).
 type Set = dataset.Set
@@ -148,6 +152,18 @@ func (s *Service) BuildPredictor(name string, data *Set) error {
 func (s *Service) Infer(ctx context.Context, name string, input []float64) (Response, error) {
 	return s.inner.Infer(ctx, name, input)
 }
+
+// InferBatch schedules len(inputs) requests in one scheduler interaction
+// and blocks until all are answered or expired. Responses are in input
+// order; per-task expiry is reported via Response.Expired rather than an
+// error, so one late task does not hide the other answers.
+func (s *Service) InferBatch(ctx context.Context, name string, inputs [][]float64) ([]Response, error) {
+	return s.inner.InferBatch(ctx, name, inputs)
+}
+
+// Stats returns per-model serving counters (submitted/answered/expired,
+// queue depth, p50/p99 latency) for every model with an active pool.
+func (s *Service) Stats() map[string]LiveStats { return s.inner.Stats() }
 
 // Reduce trains a reduced hot-class model for caching on a device.
 func (s *Service) Reduce(name string, data *Set, hotClasses []int, hidden, epochs int) (*SubsetModel, error) {

@@ -1,0 +1,3 @@
+module eugene
+
+go 1.24

@@ -8,6 +8,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -20,7 +21,10 @@ import (
 	"eugene/internal/staged"
 )
 
-// ModelEntry is one registered model and its serving state.
+// ModelEntry is one registered model and its serving state. Published
+// entries are immutable: Calibrate and BuildPredictor swap in fresh
+// copies (copy-on-write) rather than mutating in place, so a reader
+// holding an entry pointer can use it lock-free.
 type ModelEntry struct {
 	Name string
 	// Model is the (calibrated, if Calibrate ran) staged network.
@@ -65,9 +69,13 @@ type Service struct {
 	cfg Config
 
 	mu      sync.RWMutex
+	closed  bool
 	models  map[string]*ModelEntry
 	serving map[string]*sched.Live
 }
+
+// ErrClosed is returned for operations on a closed service.
+var ErrClosed = errors.New("core: service closed")
 
 // NewService builds an empty service.
 func NewService(cfg Config) (*Service, error) {
@@ -147,15 +155,29 @@ func (s *Service) Calibrate(name string, calibSet *dataset.Set, cfg calib.Entrop
 	if err != nil {
 		return 0, err
 	}
-	calibrated, alpha, err := calib.EntropyCalibrate(entry.Model, calibSet, cfg)
+	// Work on a private clone: forward passes mutate layer scratch
+	// buffers, and the published model may be serving concurrent
+	// Calibrate/BuildPredictor calls.
+	calibrated, alpha, err := calib.EntropyCalibrate(entry.Model.Clone(), calibSet, cfg)
 	if err != nil {
 		return 0, fmt.Errorf("core: calibrating %q: %w", name, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	entry.Model = calibrated
-	entry.Alpha = alpha
-	entry.Pred = nil // stale: confidences changed
+	if cur, ok := s.models[name]; !ok || cur.Model != entry.Model {
+		// The model was retrained or replaced while calibration ran;
+		// publishing the calibrated old model would clobber it.
+		return 0, fmt.Errorf("core: model %q changed during calibration; retry", name)
+	}
+	// Copy-on-write: publish a fresh entry so readers holding the old
+	// pointer keep a consistent (model, predictor) pair. Pred is
+	// deliberately dropped — the confidences changed.
+	s.models[name] = &ModelEntry{
+		Name:      name,
+		Model:     calibrated,
+		Alpha:     alpha,
+		StageAccs: entry.StageAccs,
+	}
 	if live, ok := s.serving[name]; ok {
 		live.Stop()
 		delete(s.serving, name)
@@ -170,14 +192,25 @@ func (s *Service) BuildPredictor(name string, data *dataset.Set, cfg sched.GPPre
 	if err != nil {
 		return err
 	}
-	curves, _ := entry.Model.ConfidenceCurves(data)
+	// Clone for the same reason as Calibrate: keep forward-pass scratch
+	// buffers off the shared registry model.
+	curves, _ := entry.Model.Clone().ConfidenceCurves(data)
 	pred, err := sched.NewGPPredictor(curves, cfg)
 	if err != nil {
 		return fmt.Errorf("core: fitting predictor for %q: %w", name, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	entry.Pred = pred
+	cur, ok := s.models[name]
+	if !ok || cur.Model != entry.Model {
+		// The model was retrained or recalibrated while the predictor
+		// was fitting; installing it would pair a predictor with the
+		// wrong confidence surface.
+		return fmt.Errorf("core: model %q changed during predictor build; retry", name)
+	}
+	next := *cur
+	next.Pred = pred
+	s.models[name] = &next
 	if live, ok := s.serving[name]; ok {
 		live.Stop()
 		delete(s.serving, name)
@@ -187,13 +220,68 @@ func (s *Service) BuildPredictor(name string, data *dataset.Set, cfg sched.GPPre
 
 // Infer schedules one inference request on the named model's worker pool
 // and blocks until it is answered or expires. The pool and scheduler are
-// started lazily on first use.
+// started lazily on first use. If the pool is torn down mid-request by a
+// concurrent Calibrate/Train (Submit returns sched.ErrStopped), the
+// request retries once on the freshly started pool.
 func (s *Service) Infer(ctx context.Context, name string, input []float64) (sched.Response, error) {
+	entry, err := s.get(name)
+	if err != nil {
+		return sched.Response{}, err
+	}
+	if err := checkWidth(name, entry.Model.In, input); err != nil {
+		return sched.Response{}, err
+	}
 	live, stages, err := s.liveFor(name)
 	if err != nil {
 		return sched.Response{}, err
 	}
-	return live.Submit(ctx, input, stages)
+	resp, err := live.Submit(ctx, input, stages)
+	if errors.Is(err, sched.ErrStopped) {
+		if live, stages, err = s.liveFor(name); err != nil {
+			return sched.Response{}, err
+		}
+		return live.Submit(ctx, input, stages)
+	}
+	return resp, err
+}
+
+// InferBatch schedules len(inputs) requests in one scheduler interaction
+// and blocks until all are answered or expired. Responses are in input
+// order; per-task expiry is reported via Response.Expired /
+// Response.Unanswered, not an error. Like Infer, a pool stopped by a
+// concurrent recalibration triggers one retry on the fresh pool.
+func (s *Service) InferBatch(ctx context.Context, name string, inputs [][]float64) ([]sched.Response, error) {
+	entry, err := s.get(name)
+	if err != nil {
+		return nil, err
+	}
+	for i, in := range inputs {
+		if err := checkWidth(name, entry.Model.In, in); err != nil {
+			return nil, fmt.Errorf("batch index %d: %w", i, err)
+		}
+	}
+	live, stages, err := s.liveFor(name)
+	if err != nil {
+		return nil, err
+	}
+	resps, err := live.SubmitBatch(ctx, inputs, stages)
+	if errors.Is(err, sched.ErrStopped) {
+		if live, stages, err = s.liveFor(name); err != nil {
+			return nil, err
+		}
+		return live.SubmitBatch(ctx, inputs, stages)
+	}
+	return resps, err
+}
+
+// checkWidth rejects inputs whose width does not match the model: an
+// undersized sample would otherwise panic a worker goroutine mid-stage
+// and take the whole process down.
+func checkWidth(name string, want int, input []float64) error {
+	if len(input) != want {
+		return fmt.Errorf("core: model %q wants input width %d, got %d", name, want, len(input))
+	}
+	return nil
 }
 
 // execAdapter adapts a staged model clone to sched.StageExecutor.
@@ -211,6 +299,8 @@ func (e execAdapter) ExecStage(hidden []float64, stage int) ([]float64, sched.St
 func (e execAdapter) NumStages() int { return e.m.NumStages() }
 
 // liveFor returns (starting if necessary) the live executor for a model.
+// Entries are immutable once published, so reading entry.Model outside
+// the lock is safe.
 func (s *Service) liveFor(name string) (*sched.Live, int, error) {
 	s.mu.RLock()
 	entry, ok := s.models[name]
@@ -224,6 +314,15 @@ func (s *Service) liveFor(name string) (*sched.Live, int, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
+	// Re-read the entry: it may have been swapped (calibration, retrain)
+	// between the RLock and here, and the pool must serve the current
+	// model.
+	if entry, ok = s.models[name]; !ok {
+		return nil, 0, fmt.Errorf("core: unknown model %q", name)
+	}
 	if live = s.serving[name]; live != nil { // raced; someone else started it
 		return live, entry.Model.NumStages(), nil
 	}
@@ -275,13 +374,38 @@ func (s *Service) Models() []string {
 	return names
 }
 
-// Entry returns the registry entry for a model.
-func (s *Service) Entry(name string) (*ModelEntry, error) { return s.get(name) }
+// Entry returns a snapshot of the registry entry for a model. The
+// struct fields and the StageAccs slice are the caller's to mutate; the
+// Model and Pred pointers still reference the published (immutable)
+// objects and must be treated as read-only.
+func (s *Service) Entry(name string) (*ModelEntry, error) {
+	entry, err := s.get(name)
+	if err != nil {
+		return nil, err
+	}
+	cp := *entry
+	cp.StageAccs = append([]float64(nil), entry.StageAccs...)
+	return &cp, nil
+}
 
-// Close stops all serving pools.
+// Stats returns per-model serving counters for every model with an
+// active pool (models never inferred against report no stats).
+func (s *Service) Stats() map[string]sched.LiveStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]sched.LiveStats, len(s.serving))
+	for n, live := range s.serving {
+		out[n] = live.Stats()
+	}
+	return out
+}
+
+// Close stops all serving pools; subsequent inferences fail with
+// ErrClosed rather than restarting pools.
 func (s *Service) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	for n, live := range s.serving {
 		live.Stop()
 		delete(s.serving, n)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"eugene/internal/tensor"
 )
@@ -247,14 +248,29 @@ func (d *Dropout) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 // Params implements Layer.
 func (d *Dropout) Params() []Param { return nil }
 
+// cloneMu guards rng draws during Clone: cloning seeds the child from
+// the parent rng, a published model may be cloned from several
+// goroutines at once (serving pool start-up racing a recalibration), and
+// the *rand.Rand may be shared by every stochastic layer of one model —
+// so the guard must be global, not per layer. Forward/Backward stay
+// unguarded; they are owner-goroutine-only by design.
+var cloneMu sync.Mutex
+
 // Clone implements Layer.
 func (d *Dropout) Clone() Layer {
-	return &Dropout{Rate: d.Rate, MC: d.MC, rng: rand.New(rand.NewSource(d.rng.Int63()))}
+	cloneMu.Lock()
+	seed := d.rng.Int63()
+	cloneMu.Unlock()
+	return &Dropout{Rate: d.Rate, MC: d.MC, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Reseed resets the dropout RNG; used to make Monte-Carlo evaluation
 // deterministic.
-func (d *Dropout) Reseed(seed int64) { d.rng = rand.New(rand.NewSource(seed)) }
+func (d *Dropout) Reseed(seed int64) {
+	cloneMu.Lock()
+	d.rng = rand.New(rand.NewSource(seed))
+	cloneMu.Unlock()
+}
 
 // ensure returns m if it already has the requested shape, otherwise a new
 // matrix. Reuses buffers across batches of identical size.

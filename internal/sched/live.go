@@ -1,9 +1,11 @@
 package sched
 
 import (
+	"container/heap"
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +56,10 @@ type Response struct {
 	Latency time.Duration
 }
 
+// Unanswered reports whether the task expired before any stage ran; the
+// batch paths use it in place of the per-call ErrUnanswered.
+func (r Response) Unanswered() bool { return r.Expired && r.Stages == 0 }
+
 // ErrUnanswered is returned when a task's deadline passed before any
 // stage could execute.
 var ErrUnanswered = errors.New("sched: deadline before first stage completed")
@@ -61,33 +67,87 @@ var ErrUnanswered = errors.New("sched: deadline before first stage completed")
 // ErrStopped is returned for submissions after Stop.
 var ErrStopped = errors.New("sched: executor stopped")
 
+// latReservoir is the size of the latency window Stats percentiles are
+// computed from (the most recent finishes).
+const latReservoir = 1024
+
+// LiveStats is a point-in-time snapshot of one executor's serving
+// counters. Answered and Expired can overlap: a task that ran some but
+// not all stages before its deadline counts in both.
+type LiveStats struct {
+	// Submitted counts tasks accepted by Submit/SubmitBatch.
+	Submitted uint64 `json:"submitted"`
+	// Answered counts finished tasks with ≥1 executed stage.
+	Answered uint64 `json:"answered"`
+	// Expired counts tasks finished by the deadline daemon (or whose
+	// last result arrived past the deadline).
+	Expired uint64 `json:"expired"`
+	// Unanswered counts tasks that expired before any stage ran.
+	Unanswered uint64 `json:"unanswered"`
+	// QueueDepth is the number of tasks currently in the system
+	// (queued or executing).
+	QueueDepth int `json:"queue_depth"`
+	// P50 and P99 are latency percentiles over the last latReservoir
+	// finished tasks.
+	P50 time.Duration `json:"p50"`
+	P99 time.Duration `json:"p99"`
+}
+
 type liveTask struct {
-	state  *TaskState
-	hidden []float64
-	done   chan Response
-	start  time.Time
+	state     *TaskState
+	hidden    []float64
+	done      chan Response
+	start     time.Time
+	expiresAt time.Time
+}
+
+// deadlineHeap orders in-system tasks by wall-clock expiry; the
+// scheduler's single deadline timer always tracks the minimum. Finalized
+// tasks are removed lazily when they surface at the root.
+type deadlineHeap []*liveTask
+
+func (h deadlineHeap) Len() int           { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool { return h[i].expiresAt.Before(h[j].expiresAt) }
+func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(*liveTask)) }
+func (h *deadlineHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
 }
 
 // Live is the real-time counterpart of Simulate: a scheduler goroutine
 // drives a pool of worker goroutines (each with its own model clone)
-// under a Policy, and a deadline daemon interrupts overdue tasks. It
-// mirrors the paper's user-space scheduler + TensorFlow process pool +
-// named-pipe reporting, with channels in place of pipes.
+// under a Policy, and a deadline daemon — one timer over a min-heap of
+// expiries — interrupts overdue tasks. It mirrors the paper's user-space
+// scheduler + TensorFlow process pool + named-pipe reporting, with
+// channels in place of pipes.
 type Live struct {
 	cfg    LiveConfig
 	policy Policy
 
 	nextID   int64
 	submitCh chan *liveTask
+	batchCh  chan []*liveTask
 	resultCh chan workerResult
-	freeCh   chan int
-	expiryCh chan *liveTask
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
 	workCh []chan workItem
 	epoch  time.Time
+
+	statsMu    sync.Mutex
+	submitted  uint64
+	answered   uint64
+	expired    uint64
+	unanswered uint64
+	inSystem   int
+	lats       [latReservoir]time.Duration
+	latCount   uint64
 }
 
 type workItem struct {
@@ -119,9 +179,8 @@ func NewLive(cfg LiveConfig, policy Policy, executors []StageExecutor) (*Live, e
 		cfg:      cfg,
 		policy:   policy,
 		submitCh: make(chan *liveTask, cfg.QueueDepth),
+		batchCh:  make(chan []*liveTask),
 		resultCh: make(chan workerResult),
-		freeCh:   make(chan int, cfg.Workers),
-		expiryCh: make(chan *liveTask, cfg.QueueDepth),
 		stopCh:   make(chan struct{}),
 		epoch:    time.Now(),
 	}
@@ -136,24 +195,95 @@ func NewLive(cfg LiveConfig, policy Policy, executors []StageExecutor) (*Live, e
 	return l, nil
 }
 
-// Submit enqueues one task and blocks until it is answered, expires, or
-// ctx is done.
-func (l *Live) Submit(ctx context.Context, input []float64, numStages int) (Response, error) {
-	if numStages < 1 {
-		return Response{}, fmt.Errorf("sched: task needs ≥1 stage")
-	}
+// newTask builds an admitted task record stamped with the shared
+// per-executor deadline.
+func (l *Live) newTask(input []float64, numStages int) *liveTask {
 	now := time.Now()
-	t := &liveTask{
+	return &liveTask{
 		state: &TaskState{
 			Task:     &Task{ID: int(atomic.AddInt64(&l.nextID, 1)), NumStages: numStages},
 			Arrival:  Ticks(now.Sub(l.epoch)),
 			Deadline: Ticks(now.Add(l.cfg.Deadline).Sub(l.epoch)),
 			Pred:     -1,
 		},
-		hidden: append([]float64(nil), input...),
-		done:   make(chan Response, 1),
-		start:  now,
+		hidden:    append([]float64(nil), input...),
+		done:      make(chan Response, 1),
+		start:     now,
+		expiresAt: now.Add(l.cfg.Deadline),
 	}
+}
+
+// admitCount records n accepted tasks for Stats. It is called BEFORE
+// the scheduler send: once the scheduler has the task it may finish it
+// (decrementing inSystem) before a post-send increment would run,
+// which would let Stats observe a negative queue depth. A failed send
+// is rolled back with unadmit.
+func (l *Live) admitCount(n int) {
+	l.statsMu.Lock()
+	l.submitted += uint64(n)
+	l.inSystem += n
+	l.statsMu.Unlock()
+}
+
+// unadmit rolls back admitCount when the scheduler never received the
+// tasks (stopped executor, cancelled context).
+func (l *Live) unadmit(n int) {
+	l.statsMu.Lock()
+	l.submitted -= uint64(n)
+	l.inSystem -= n
+	l.statsMu.Unlock()
+}
+
+// recordFinish folds one finished task into the serving counters.
+func (l *Live) recordFinish(stages int, expired bool, lat time.Duration) {
+	l.statsMu.Lock()
+	if stages > 0 {
+		l.answered++
+	}
+	if expired {
+		l.expired++
+		if stages == 0 {
+			l.unanswered++
+		}
+	}
+	l.lats[l.latCount%latReservoir] = lat
+	l.latCount++
+	l.inSystem--
+	l.statsMu.Unlock()
+}
+
+// Stats returns a snapshot of the executor's serving counters. Safe to
+// call concurrently with Submit/SubmitBatch.
+func (l *Live) Stats() LiveStats {
+	l.statsMu.Lock()
+	s := LiveStats{
+		Submitted:  l.submitted,
+		Answered:   l.answered,
+		Expired:    l.expired,
+		Unanswered: l.unanswered,
+		QueueDepth: l.inSystem,
+	}
+	n := int(l.latCount)
+	if n > latReservoir {
+		n = latReservoir
+	}
+	lats := append([]time.Duration(nil), l.lats[:n]...)
+	l.statsMu.Unlock()
+	if n > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		s.P50 = lats[n/2]
+		s.P99 = lats[min(n-1, n*99/100)]
+	}
+	return s
+}
+
+// Submit enqueues one task and blocks until it is answered, expires, or
+// ctx is done.
+func (l *Live) Submit(ctx context.Context, input []float64, numStages int) (Response, error) {
+	if numStages < 1 {
+		return Response{}, fmt.Errorf("sched: task needs ≥1 stage")
+	}
+	t := l.newTask(input, numStages)
 	// Refuse new work once stopped; the scheduler no longer drains the
 	// submit queue.
 	select {
@@ -161,24 +291,76 @@ func (l *Live) Submit(ctx context.Context, input []float64, numStages int) (Resp
 		return Response{}, ErrStopped
 	default:
 	}
+	l.admitCount(1)
 	select {
 	case l.submitCh <- t:
 	case <-l.stopCh:
+		l.unadmit(1)
 		return Response{}, ErrStopped
 	case <-ctx.Done():
+		l.unadmit(1)
 		return Response{}, ctx.Err()
 	}
 	select {
 	case r := <-t.done:
-		if !r.Expired || r.Stages > 0 {
-			return r, nil
+		if r.Unanswered() {
+			return r, ErrUnanswered
 		}
-		return r, ErrUnanswered
+		return r, nil
 	case <-l.stopCh:
 		return Response{}, ErrStopped
 	case <-ctx.Done():
 		return Response{}, ctx.Err()
 	}
+}
+
+// SubmitBatch enqueues len(inputs) tasks in one scheduler interaction
+// and blocks until every task is answered or expires. Responses are in
+// input order; per-task expiry is reported through Response.Expired /
+// Response.Unanswered rather than an error, so one late task does not
+// hide the other answers. The error is reserved for whole-batch
+// failures (stopped executor, cancelled context).
+func (l *Live) SubmitBatch(ctx context.Context, inputs [][]float64, numStages int) ([]Response, error) {
+	if numStages < 1 {
+		return nil, fmt.Errorf("sched: task needs ≥1 stage")
+	}
+	if len(inputs) == 0 {
+		return nil, nil
+	}
+	if len(inputs) > l.cfg.QueueDepth {
+		return nil, fmt.Errorf("sched: batch of %d exceeds queue depth %d", len(inputs), l.cfg.QueueDepth)
+	}
+	batch := make([]*liveTask, len(inputs))
+	for i, in := range inputs {
+		batch[i] = l.newTask(in, numStages)
+	}
+	select {
+	case <-l.stopCh:
+		return nil, ErrStopped
+	default:
+	}
+	l.admitCount(len(batch))
+	select {
+	case l.batchCh <- batch:
+	case <-l.stopCh:
+		l.unadmit(len(batch))
+		return nil, ErrStopped
+	case <-ctx.Done():
+		l.unadmit(len(batch))
+		return nil, ctx.Err()
+	}
+	out := make([]Response, len(batch))
+	for i, t := range batch {
+		select {
+		case r := <-t.done:
+			out[i] = r
+		case <-l.stopCh:
+			return nil, ErrStopped
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
 }
 
 // Stop shuts the executor down and waits for its goroutines. Queued
@@ -205,17 +387,23 @@ func (l *Live) worker(id int, exec StageExecutor) {
 	}
 }
 
-// schedule is the single scheduler goroutine: it owns all task state.
+// schedule is the single scheduler goroutine: it owns all task state and
+// the deadline daemon (one timer armed to the min-heap's earliest
+// expiry, instead of one runtime timer per request).
 func (l *Live) schedule() {
 	defer l.wg.Done()
 	var (
-		tasks   []*liveTask
-		idle    []int
-		pending = make(map[*TaskState]*liveTask)
+		tasks    []*liveTask
+		idle     []int
+		pending  = make(map[*TaskState]*liveTask)
+		expiries deadlineHeap
 	)
 	for w := 0; w < l.cfg.Workers; w++ {
 		idle = append(idle, w)
 	}
+	daemon := time.NewTimer(time.Hour)
+	daemon.Stop()
+	defer daemon.Stop()
 	now := func() Ticks { return Ticks(time.Since(l.epoch)) }
 	finish := func(t *liveTask, expired bool) {
 		if t.state.Finalized {
@@ -223,14 +411,34 @@ func (l *Live) schedule() {
 		}
 		t.state.Finalized = true
 		delete(pending, t.state)
+		lat := time.Since(t.start)
+		l.recordFinish(t.state.Executed, expired, lat)
 		t.done <- Response{
 			Pred:    t.state.Pred,
 			Conf:    t.state.Conf,
 			Stages:  t.state.Executed,
 			Expired: expired,
-			Latency: time.Since(t.start),
+			Latency: lat,
 		}
 	}
+	// rearm points the single deadline timer at the earliest live
+	// expiry, dropping finalized tasks off the heap root.
+	rearm := func() {
+		for len(expiries) > 0 && expiries[0].state.Finalized {
+			heap.Pop(&expiries)
+		}
+		daemon.Stop()
+		if len(expiries) > 0 {
+			daemon.Reset(time.Until(expiries[0].expiresAt))
+		}
+	}
+	admit := func(t *liveTask) {
+		tasks = append(tasks, t)
+		pending[t.state] = t
+		heap.Push(&expiries, t)
+	}
+	// dispatch hands work to every idle worker the policy has a
+	// runnable task for — all idle workers are filled in one pass.
 	dispatch := func() {
 		states := make([]*TaskState, len(tasks))
 		for i, t := range tasks {
@@ -267,15 +475,14 @@ func (l *Live) schedule() {
 	for {
 		select {
 		case t := <-l.submitCh:
-			tasks = append(tasks, t)
-			pending[t.state] = t
-			daemonTask := t
-			time.AfterFunc(l.cfg.Deadline, func() {
-				select {
-				case l.expiryCh <- daemonTask:
-				case <-l.stopCh:
-				}
-			})
+			admit(t)
+			rearm()
+			dispatch()
+		case batch := <-l.batchCh:
+			for _, t := range batch {
+				admit(t)
+			}
+			rearm()
 			dispatch()
 		case r := <-l.resultCh:
 			idle = append(idle, r.worker)
@@ -292,19 +499,30 @@ func (l *Live) schedule() {
 			st.InFlight = false
 			if st.Remaining() == 0 || now() >= st.Deadline {
 				finish(r.task, st.Remaining() > 0)
+				rearm()
 			}
 			compact()
 			dispatch()
-		case t := <-l.expiryCh:
-			if t.state.Finalized {
-				continue
+		case <-daemon.C:
+			// The in-flight stage of an expired task, if any, is
+			// abandoned: its result will arrive and be ignored, and the
+			// worker returns to the pool then (unlike the simulator we
+			// cannot preempt a goroutine mid-matmul; the paper's daemon
+			// likewise only interrupts between TensorFlow ops).
+			wall := time.Now()
+			for len(expiries) > 0 {
+				t := expiries[0]
+				if t.state.Finalized {
+					heap.Pop(&expiries)
+					continue
+				}
+				if t.expiresAt.After(wall) {
+					break
+				}
+				heap.Pop(&expiries)
+				finish(t, true)
 			}
-			// The in-flight stage, if any, is abandoned: its result
-			// will arrive and be ignored, and the worker returns to
-			// the pool then (unlike the simulator we cannot preempt a
-			// goroutine mid-matmul; the paper's daemon likewise only
-			// interrupts between TensorFlow ops).
-			finish(t, true)
+			rearm()
 			compact()
 			dispatch()
 		case <-l.stopCh:

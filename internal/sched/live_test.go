@@ -141,4 +141,103 @@ func TestLiveSubmitValidation(t *testing.T) {
 	if _, err := l.Submit(context.Background(), []float64{1}, 0); err == nil {
 		t.Fatal("expected error for zero stages")
 	}
+	if _, err := l.SubmitBatch(context.Background(), [][]float64{{1}}, 0); err == nil {
+		t.Fatal("expected batch error for zero stages")
+	}
+}
+
+func TestLiveSubmitBatch(t *testing.T) {
+	l := newTestLive(t, 4, time.Second, time.Millisecond)
+	inputs := make([][]float64, 16)
+	for i := range inputs {
+		inputs[i] = []float64{float64(i)}
+	}
+	resps, err := l.SubmitBatch(context.Background(), inputs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != len(inputs) {
+		t.Fatalf("%d responses for %d inputs", len(resps), len(inputs))
+	}
+	for i, r := range resps {
+		if r.Stages != 3 || r.Expired {
+			t.Fatalf("batch item %d: %+v, want 3 stages not expired", i, r)
+		}
+		if r.Pred != 2 {
+			t.Fatalf("batch item %d pred %d, want stage-2 output", i, r.Pred)
+		}
+	}
+	if resps, err := l.SubmitBatch(context.Background(), nil, 3); err != nil || len(resps) != 0 {
+		t.Fatalf("empty batch: %v, %v", resps, err)
+	}
+}
+
+func TestLiveSubmitBatchBoundedByQueueDepth(t *testing.T) {
+	l := newTestLive(t, 2, time.Second, 0) // QueueDepth 64
+	inputs := make([][]float64, 65)
+	for i := range inputs {
+		inputs[i] = []float64{1}
+	}
+	if _, err := l.SubmitBatch(context.Background(), inputs, 3); err == nil {
+		t.Fatal("expected queue-depth error for oversized batch")
+	}
+	if s := l.Stats(); s.Submitted != 0 || s.QueueDepth != 0 {
+		t.Fatalf("rejected batch leaked into stats: %+v", s)
+	}
+}
+
+func TestLiveSubmitBatchAfterStop(t *testing.T) {
+	l := newTestLive(t, 2, time.Second, 0)
+	l.Stop()
+	if _, err := l.SubmitBatch(context.Background(), [][]float64{{1}, {2}}, 3); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestLiveExpiryUnanswered(t *testing.T) {
+	// One worker whose single in-flight stage outlives the deadline:
+	// the deadline daemon must finalize the task with zero stages and
+	// Submit must surface ErrUnanswered.
+	l := newTestLive(t, 1, 20*time.Millisecond, 200*time.Millisecond)
+	resp, err := l.Submit(context.Background(), []float64{1}, 3)
+	if err != ErrUnanswered {
+		t.Fatalf("err = %v, want ErrUnanswered", err)
+	}
+	if !resp.Expired || resp.Stages != 0 || !resp.Unanswered() {
+		t.Fatalf("response %+v, want expired with zero stages", resp)
+	}
+}
+
+func TestLiveStats(t *testing.T) {
+	l := newTestLive(t, 2, time.Second, time.Millisecond)
+	if s := l.Stats(); s.Submitted != 0 || s.QueueDepth != 0 {
+		t.Fatalf("fresh stats %+v", s)
+	}
+	const n = 8
+	inputs := make([][]float64, n)
+	for i := range inputs {
+		inputs[i] = []float64{float64(i)}
+	}
+	if _, err := l.SubmitBatch(context.Background(), inputs, 3); err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.Submitted != n || s.Answered != n || s.Expired != 0 || s.Unanswered != 0 {
+		t.Fatalf("stats %+v, want %d submitted and answered", s, n)
+	}
+	if s.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after all tasks finished", s.QueueDepth)
+	}
+	if s.P50 <= 0 || s.P99 < s.P50 {
+		t.Fatalf("percentiles p50=%v p99=%v", s.P50, s.P99)
+	}
+}
+
+func TestLiveStatsCountsExpiry(t *testing.T) {
+	l := newTestLive(t, 1, 20*time.Millisecond, 200*time.Millisecond)
+	_, _ = l.Submit(context.Background(), []float64{1}, 3)
+	s := l.Stats()
+	if s.Expired != 1 || s.Unanswered != 1 {
+		t.Fatalf("stats %+v, want 1 expired and unanswered", s)
+	}
 }

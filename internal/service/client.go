@@ -60,6 +60,34 @@ func (c *Client) Infer(ctx context.Context, name string, input []float64) (*Infe
 	return &out, nil
 }
 
+// InferBatch submits several samples in one scheduler interaction and
+// returns one result per input, in order.
+func (c *Client) InferBatch(ctx context.Context, name string, inputs [][]float64) ([]InferResponse, error) {
+	var out InferBatchResponse
+	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/infer-batch", name), InferBatchRequest{Inputs: inputs}, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Stats fetches per-model serving counters.
+func (c *Client) Stats(ctx context.Context) (map[string]ModelStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/stats", nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: fetching stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return out.Models, nil
+}
+
 // Models lists registered models.
 func (c *Client) Models(ctx context.Context) ([]string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/models", nil)

@@ -84,6 +84,35 @@ type InferResponse struct {
 	LatencyMS float64 `json:"latency_ms"`
 }
 
+// InferBatchRequest submits several samples in one scheduler
+// interaction.
+type InferBatchRequest struct {
+	Inputs [][]float64 `json:"inputs"`
+}
+
+// InferBatchResponse returns one answer per input, in order. Per-task
+// expiry is reported via the result's Expired/Stages fields.
+type InferBatchResponse struct {
+	Results []InferResponse `json:"results"`
+}
+
+// ModelStats is the wire form of one model's serving counters.
+type ModelStats struct {
+	Submitted  uint64  `json:"submitted"`
+	Answered   uint64  `json:"answered"`
+	Expired    uint64  `json:"expired"`
+	Unanswered uint64  `json:"unanswered"`
+	QueueDepth int     `json:"queue_depth"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+}
+
+// StatsResponse reports serving counters for every actively served
+// model.
+type StatsResponse struct {
+	Models map[string]ModelStats `json:"models"`
+}
+
 // CalibrateResponse reports the chosen entropy weight.
 type CalibrateResponse struct {
 	Alpha float64 `json:"alpha"`
@@ -109,6 +138,8 @@ func NewServer(svc *core.Service) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}/calibrate", s.handleCalibrate)
 	s.mux.HandleFunc("POST /v1/models/{name}/predictor", s.handlePredictor)
 	s.mux.HandleFunc("POST /v1/models/{name}/infer", s.handleInfer)
+	s.mux.HandleFunc("POST /v1/models/{name}/infer-batch", s.handleInferBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
 
@@ -227,9 +258,66 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleInferBatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req InferBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Inputs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	for i, in := range req.Inputs {
+		if len(in) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty input at index %d", i))
+			return
+		}
+	}
+	resps, err := s.svc.InferBatch(r.Context(), name, req.Inputs)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	out := InferBatchResponse{Results: make([]InferResponse, len(resps))}
+	for i, resp := range resps {
+		out.Results[i] = InferResponse{
+			Pred:      resp.Pred,
+			Conf:      resp.Conf,
+			Stages:    resp.Stages,
+			Expired:   resp.Expired,
+			LatencyMS: float64(resp.Latency.Microseconds()) / 1000,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	stats := s.svc.Stats()
+	out := StatsResponse{Models: make(map[string]ModelStats, len(stats))}
+	for name, st := range stats {
+		out.Models[name] = ModelStats{
+			Submitted:  st.Submitted,
+			Answered:   st.Answered,
+			Expired:    st.Expired,
+			Unanswered: st.Unanswered,
+			QueueDepth: st.QueueDepth,
+			P50MS:      float64(st.P50.Microseconds()) / 1000,
+			P99MS:      float64(st.P99.Microseconds()) / 1000,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func statusFor(err error) int {
-	if strings.Contains(err.Error(), "unknown model") {
+	switch {
+	case strings.Contains(err.Error(), "unknown model"):
 		return http.StatusNotFound
+	case strings.Contains(err.Error(), "input width"):
+		return http.StatusBadRequest
+	case strings.Contains(err.Error(), "exceeds queue depth"):
+		return http.StatusTooManyRequests
 	}
 	return http.StatusInternalServerError
 }

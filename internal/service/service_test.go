@@ -105,6 +105,92 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 }
 
+func TestInferBatchEndpoint(t *testing.T) {
+	c, train, test := testServer(t)
+	trainDemo(t, c, train)
+	inputs := make([][]float64, 10)
+	want := make([]int, len(inputs))
+	for i := range inputs {
+		inputs[i], want[i] = test.Sample(i)
+	}
+	results, err := c.InferBatch(context.Background(), "demo", inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(inputs) {
+		t.Fatalf("%d results for %d inputs", len(results), len(inputs))
+	}
+	var right int
+	for i, r := range results {
+		if r.Stages == 0 {
+			t.Fatalf("batch item %d executed no stages", i)
+		}
+		if r.Pred == want[i] {
+			right++
+		}
+	}
+	if right == 0 {
+		t.Fatal("batch never right")
+	}
+}
+
+func TestInferBatchValidation(t *testing.T) {
+	c, train, _ := testServer(t)
+	trainDemo(t, c, train)
+	if _, err := c.InferBatch(context.Background(), "demo", nil); err == nil {
+		t.Fatal("expected empty-batch error")
+	}
+	if _, err := c.InferBatch(context.Background(), "demo", [][]float64{{1, 2}, {}}); err == nil {
+		t.Fatal("expected empty-input error")
+	}
+	if _, err := c.InferBatch(context.Background(), "ghost", [][]float64{{1}}); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("expected 404 error, got %v", err)
+	}
+	// Wrong input width must be a 400, not a worker panic.
+	if _, err := c.InferBatch(context.Background(), "demo", [][]float64{{1, 2}}); err == nil ||
+		!strings.Contains(err.Error(), "400") {
+		t.Fatalf("expected 400 width error, got %v", err)
+	}
+	if _, err := c.Infer(context.Background(), "demo", []float64{1, 2}); err == nil ||
+		!strings.Contains(err.Error(), "400") {
+		t.Fatalf("expected 400 width error, got %v", err)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	c, train, test := testServer(t)
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 0 {
+		t.Fatalf("stats before serving = %v", stats)
+	}
+	trainDemo(t, c, train)
+	x, _ := test.Sample(0)
+	if _, err := c.Infer(context.Background(), "demo", x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InferBatch(context.Background(), "demo", [][]float64{x, x, x}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := stats["demo"]
+	if !ok {
+		t.Fatalf("no stats for demo: %v", stats)
+	}
+	if st.Submitted != 4 || st.Answered != 4 {
+		t.Fatalf("stats %+v, want 4 submitted and answered", st)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d with no traffic in flight", st.QueueDepth)
+	}
+}
+
 func TestInferUnknownModelIs404(t *testing.T) {
 	c, _, _ := testServer(t)
 	_, err := c.Infer(context.Background(), "ghost", []float64{1, 2})
