@@ -7,6 +7,7 @@
 //	benchtab all
 //	benchtab table1|fig2|table2|table3|fig4|table4
 //	benchtab pruning|resilience|labeling|caching|classes|ablation   (extensions)
+//	benchtab serving                               (serving throughput → BENCH_serving.json)
 //	benchtab [-quick] ...                          (reduced scale)
 package main
 
@@ -28,6 +29,8 @@ func main() {
 
 func run() error {
 	quick := flag.Bool("quick", false, "reduced-scale configuration (fast, less faithful)")
+	out := flag.String("out", "BENCH_serving.json", "output path for the serving benchmark record")
+	rounds := flag.Int("rounds", 30, "serving benchmark rounds per mode")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -38,6 +41,14 @@ func run() error {
 		want[a] = true
 	}
 	all := want["all"]
+	if want["serving"] {
+		if err := servingBench(*out, *rounds); err != nil {
+			return err
+		}
+		if len(want) == 1 {
+			return nil
+		}
+	}
 	needsLab := all || want["fig2"] || want["table2"] || want["table3"] || want["fig4"] || want["classes"] || want["ablation"]
 
 	var lab *experiments.Lab

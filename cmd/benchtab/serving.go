@@ -1,0 +1,193 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"eugene/internal/core"
+	"eugene/internal/dataset"
+)
+
+// servingConfig records the shape of the serving benchmark so regressions
+// are comparable run to run.
+type servingConfig struct {
+	Workers  int `json:"workers"`
+	Batch    int `json:"batch"`
+	MaxBatch int `json:"max_batch"`
+	Hidden   int `json:"hidden"`
+	Stages   int `json:"stages"`
+	Blocks   int `json:"blocks"`
+	Rounds   int `json:"rounds"`
+}
+
+// servingMode is one side of the sequential-vs-batched comparison.
+type servingMode struct {
+	ReqPerSec    float64 `json:"req_per_sec"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	AllocsPerReq float64 `json:"allocs_per_req"`
+	BytesPerReq  float64 `json:"bytes_per_req"`
+}
+
+// servingRecord is the BENCH_serving.json schema.
+type servingRecord struct {
+	Generated  string        `json:"generated"`
+	Config     servingConfig `json:"config"`
+	Sequential servingMode   `json:"sequential"`
+	Batched    servingMode   `json:"batched"`
+	Speedup    float64       `json:"speedup"`
+	AllocRatio float64       `json:"alloc_ratio"`
+}
+
+// servingBench measures sequential Infer vs coalesced InferBatch
+// throughput on a 1-worker pool (the configuration where batching can
+// only win at the compute layer), records latency percentiles and
+// allocation counts, prints a table, and writes the JSON record.
+func servingBench(out string, rounds int) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	const (
+		batch  = 64
+		hidden = 256
+		blocks = 2
+	)
+	synth := dataset.SynthConfig{
+		Classes: 3, Dim: 32, ModesPerClass: 1,
+		TrainSize: 200, TestSize: 100,
+		NoiseLo: 0.4, NoiseHi: 1.0, Overlap: 0.1,
+	}
+	train, test, err := dataset.SynthCIFAR(synth, 17)
+	if err != nil {
+		return err
+	}
+	inputs := make([][]float64, batch)
+	for i := range inputs {
+		inputs[i], _ = test.Sample(i % test.Len())
+	}
+
+	fmt.Fprintln(os.Stderr, "benchtab: training the serving benchmark model...")
+	newService := func() (*core.Service, error) {
+		svc, err := core.NewService(core.Config{
+			Workers: 1, Deadline: time.Second, QueueDepth: 256,
+			Lookahead: 1, MaxBatch: batch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opts := core.DefaultTrainOptions(synth.Dim, synth.Classes)
+		opts.Model.Hidden = hidden
+		opts.Model.BlocksPerStage = blocks
+		opts.Train.Epochs = 2
+		if _, err := svc.Train("bench", train, opts); err != nil {
+			svc.Close()
+			return nil, err
+		}
+		return svc, nil
+	}
+
+	// Each run round appends the per-request latencies it observed, so
+	// percentiles cover exactly the measured rounds — the warm-up round
+	// (pool start, scratch sizing) is excluded.
+	measure := func(run func(svc *core.Service, lats *[]time.Duration) error) (servingMode, error) {
+		svc, err := newService()
+		if err != nil {
+			return servingMode{}, err
+		}
+		defer svc.Close()
+		var warm []time.Duration
+		if err := run(svc, &warm); err != nil {
+			return servingMode{}, err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		lats := make([]time.Duration, 0, rounds*batch)
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			if err := run(svc, &lats); err != nil {
+				return servingMode{}, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		reqs := float64(rounds * batch)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		n := len(lats)
+		return servingMode{
+			ReqPerSec:    reqs / elapsed.Seconds(),
+			P50MS:        float64(lats[n/2].Microseconds()) / 1000,
+			P99MS:        float64(lats[min(n-1, n*99/100)].Microseconds()) / 1000,
+			AllocsPerReq: float64(after.Mallocs-before.Mallocs) / reqs,
+			BytesPerReq:  float64(after.TotalAlloc-before.TotalAlloc) / reqs,
+		}, nil
+	}
+
+	ctx := context.Background()
+	// Resubmitting the same input slices is legal under the serving
+	// ownership contract: executors only ever read them.
+	seq, err := measure(func(svc *core.Service, lats *[]time.Duration) error {
+		for _, x := range inputs {
+			resp, err := svc.Infer(ctx, "bench", x)
+			if err != nil {
+				return err
+			}
+			*lats = append(*lats, resp.Latency)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("sequential serving bench: %w", err)
+	}
+	bat, err := measure(func(svc *core.Service, lats *[]time.Duration) error {
+		resps, err := svc.InferBatch(ctx, "bench", inputs)
+		if err != nil {
+			return err
+		}
+		if len(resps) != batch {
+			return fmt.Errorf("%d responses for batch of %d", len(resps), batch)
+		}
+		for _, r := range resps {
+			*lats = append(*lats, r.Latency)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("batched serving bench: %w", err)
+	}
+
+	rec := servingRecord{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Config: servingConfig{
+			Workers: 1, Batch: batch, MaxBatch: batch,
+			Hidden: hidden, Stages: 3, Blocks: blocks, Rounds: rounds,
+		},
+		Sequential: seq,
+		Batched:    bat,
+		Speedup:    bat.ReqPerSec / seq.ReqPerSec,
+	}
+	if bat.AllocsPerReq > 0 {
+		rec.AllocRatio = seq.AllocsPerReq / bat.AllocsPerReq
+	}
+
+	fmt.Printf("Serving throughput (1 worker, batch %d, MaxBatch %d, hidden %d)\n", batch, batch, hidden)
+	fmt.Printf("  %-11s %10s %9s %9s %12s\n", "mode", "req/s", "p50 ms", "p99 ms", "allocs/req")
+	fmt.Printf("  %-11s %10.0f %9.2f %9.2f %12.1f\n", "sequential", seq.ReqPerSec, seq.P50MS, seq.P99MS, seq.AllocsPerReq)
+	fmt.Printf("  %-11s %10.0f %9.2f %9.2f %12.1f\n", "batched", bat.ReqPerSec, bat.P50MS, bat.P99MS, bat.AllocsPerReq)
+	fmt.Printf("  speedup %.2fx, %.1fx fewer allocs/req\n", rec.Speedup, rec.AllocRatio)
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", out)
+	return nil
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eugened [-addr :8080] [-workers 4] [-deadline 200ms] [-lookahead 1]
+//	eugened [-addr :8080] [-workers 4] [-deadline 200ms] [-lookahead 1] [-maxbatch 0]
 package main
 
 import (
@@ -30,6 +30,7 @@ func run() error {
 	deadline := flag.Duration("deadline", 200*time.Millisecond, "per-request latency constraint")
 	lookahead := flag.Int("lookahead", 1, "RTDeepIoT scheduler lookahead k")
 	queue := flag.Int("queue", 256, "admission queue depth")
+	maxBatch := flag.Int("maxbatch", 0, "same-stage tasks coalesced per batched forward pass (0 = default, 1 disables)")
 	flag.Parse()
 
 	svc, err := eugene.NewService(eugene.Config{
@@ -37,12 +38,17 @@ func run() error {
 		Deadline:   *deadline,
 		QueueDepth: *queue,
 		Lookahead:  *lookahead,
+		MaxBatch:   *maxBatch,
 	})
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
-	log.Printf("eugened listening on %s (workers=%d deadline=%v k=%d)",
-		*addr, *workers, *deadline, *lookahead)
+	effectiveMaxBatch := *maxBatch
+	if effectiveMaxBatch == 0 {
+		effectiveMaxBatch = eugene.DefaultMaxBatch
+	}
+	log.Printf("eugened listening on %s (workers=%d deadline=%v k=%d maxbatch=%d)",
+		*addr, *workers, *deadline, *lookahead, effectiveMaxBatch)
 	return svc.ListenAndServe(*addr)
 }

@@ -79,6 +79,11 @@ type CalibConfig = calib.EntropyCalibConfig
 // PredictorConfig controls GP confidence-curve fitting.
 type PredictorConfig = sched.GPPredictorConfig
 
+// DefaultMaxBatch is the stage-batch cap used when Config.MaxBatch is 0:
+// how many same-stage tasks the scheduler coalesces into one batched
+// forward pass.
+const DefaultMaxBatch = sched.DefaultMaxBatch
+
 // DefaultConfig returns serving defaults: 4 workers, 200 ms deadline,
 // lookahead 1.
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -148,7 +153,10 @@ func (s *Service) BuildPredictor(name string, data *Set) error {
 }
 
 // Infer schedules one inference request and blocks until it is answered
-// or expires.
+// or expires. Infer takes ownership of input without copying: the caller
+// must not mutate the slice after the call starts, even after an early
+// return (context cancellation, ErrUnanswered) — a stage may still be
+// reading it on a worker. The service itself only ever reads it.
 func (s *Service) Infer(ctx context.Context, name string, input []float64) (Response, error) {
 	return s.inner.Infer(ctx, name, input)
 }
@@ -156,7 +164,9 @@ func (s *Service) Infer(ctx context.Context, name string, input []float64) (Resp
 // InferBatch schedules len(inputs) requests in one scheduler interaction
 // and blocks until all are answered or expired. Responses are in input
 // order; per-task expiry is reported via Response.Expired rather than an
-// error, so one late task does not hide the other answers.
+// error, so one late task does not hide the other answers. Like Infer,
+// it takes ownership of the input slices without copying; do not mutate
+// them after the call starts.
 func (s *Service) InferBatch(ctx context.Context, name string, inputs [][]float64) ([]Response, error) {
 	return s.inner.InferBatch(ctx, name, inputs)
 }

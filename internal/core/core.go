@@ -48,16 +48,22 @@ type Config struct {
 	QueueDepth int
 	// Lookahead is the RTDeepIoT k parameter.
 	Lookahead int
+	// MaxBatch caps how many same-stage tasks the scheduler coalesces
+	// into one batched forward pass (0 = sched.DefaultMaxBatch, 1
+	// disables batching). Larger batches raise throughput under load at
+	// the cost of coarser per-dispatch deadline granularity.
+	MaxBatch int
 }
 
-// DefaultConfig serves with 4 workers, a 200 ms deadline and k = 1.
+// DefaultConfig serves with 4 workers, a 200 ms deadline, k = 1 and the
+// default stage-batch cap.
 func DefaultConfig() Config {
 	return Config{Workers: 4, Deadline: 200 * time.Millisecond, QueueDepth: 256, Lookahead: 1}
 }
 
 // Validate reports an error for degenerate configurations.
 func (c Config) Validate() error {
-	if c.Workers < 1 || c.Deadline <= 0 || c.QueueDepth < 1 || c.Lookahead < 1 {
+	if c.Workers < 1 || c.Deadline <= 0 || c.QueueDepth < 1 || c.Lookahead < 1 || c.MaxBatch < 0 {
 		return fmt.Errorf("core: bad config %+v", c)
 	}
 	return nil
@@ -222,7 +228,10 @@ func (s *Service) BuildPredictor(name string, data *dataset.Set, cfg sched.GPPre
 // and blocks until it is answered or expires. The pool and scheduler are
 // started lazily on first use. If the pool is torn down mid-request by a
 // concurrent Calibrate/Train (Submit returns sched.ErrStopped), the
-// request retries once on the freshly started pool.
+// request retries once on the freshly started pool. Infer takes
+// ownership of input (no defensive copy is made); the caller must not
+// mutate it after the call starts. Executors only ever read it, so the
+// ErrStopped retry can safely resubmit the same slice.
 func (s *Service) Infer(ctx context.Context, name string, input []float64) (sched.Response, error) {
 	entry, err := s.get(name)
 	if err != nil {
@@ -249,7 +258,9 @@ func (s *Service) Infer(ctx context.Context, name string, input []float64) (sche
 // and blocks until all are answered or expired. Responses are in input
 // order; per-task expiry is reported via Response.Expired /
 // Response.Unanswered, not an error. Like Infer, a pool stopped by a
-// concurrent recalibration triggers one retry on the fresh pool.
+// concurrent recalibration triggers one retry on the fresh pool, and
+// ownership of the input slices passes to the service (no defensive
+// copies; do not mutate them after the call starts).
 func (s *Service) InferBatch(ctx context.Context, name string, inputs [][]float64) ([]sched.Response, error) {
 	entry, err := s.get(name)
 	if err != nil {
@@ -284,19 +295,37 @@ func checkWidth(name string, want int, input []float64) error {
 	return nil
 }
 
-// execAdapter adapts a staged model clone to sched.StageExecutor.
+// execAdapter adapts a staged model clone to sched.StageExecutor. Like
+// the model's own scratch, the adapter's result buffer is owned by the
+// single worker goroutine driving it.
 type execAdapter struct {
-	m *staged.Model
+	m   *staged.Model
+	res []sched.StageResult
 }
 
 // ExecStage implements sched.StageExecutor.
-func (e execAdapter) ExecStage(hidden []float64, stage int) ([]float64, sched.StageResult) {
+func (e *execAdapter) ExecStage(hidden []float64, stage int) ([]float64, sched.StageResult) {
 	next, out := e.m.ExecStage(hidden, stage)
 	return next, sched.StageResult{Pred: out.Pred, Conf: out.Conf}
 }
 
+// ExecStageBatch implements sched.StageExecutor: the whole group flows
+// through the model as one batched forward pass. The returned slices are
+// adapter/model scratch, valid until the next Exec call.
+func (e *execAdapter) ExecStageBatch(hidden [][]float64, stage int) ([][]float64, []sched.StageResult) {
+	next, outs := e.m.ExecStageBatch(hidden, stage)
+	if cap(e.res) < len(outs) {
+		e.res = make([]sched.StageResult, len(outs))
+	}
+	e.res = e.res[:len(outs)]
+	for i, o := range outs {
+		e.res[i] = sched.StageResult{Pred: o.Pred, Conf: o.Conf}
+	}
+	return next, e.res
+}
+
 // NumStages implements sched.StageExecutor.
-func (e execAdapter) NumStages() int { return e.m.NumStages() }
+func (e *execAdapter) NumStages() int { return e.m.NumStages() }
 
 // liveFor returns (starting if necessary) the live executor for a model.
 // Entries are immutable once published, so reading entry.Model outside
@@ -336,12 +365,13 @@ func (s *Service) liveFor(name string) (*sched.Live, int, error) {
 	}
 	execs := make([]sched.StageExecutor, s.cfg.Workers)
 	for i := range execs {
-		execs[i] = execAdapter{m: entry.Model.Clone()}
+		execs[i] = &execAdapter{m: entry.Model.Clone()}
 	}
 	lv, err := sched.NewLive(sched.LiveConfig{
 		Workers:    s.cfg.Workers,
 		Deadline:   s.cfg.Deadline,
 		QueueDepth: s.cfg.QueueDepth,
+		MaxBatch:   s.cfg.MaxBatch,
 	}, policy, execs)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: starting pool for %q: %w", name, err)

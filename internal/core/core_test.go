@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"sync"
@@ -54,6 +55,7 @@ func TestConfigValidate(t *testing.T) {
 		{Workers: 1, Deadline: 0, QueueDepth: 1, Lookahead: 1},
 		{Workers: 1, Deadline: time.Second, QueueDepth: 0, Lookahead: 1},
 		{Workers: 1, Deadline: time.Second, QueueDepth: 1, Lookahead: 0},
+		{Workers: 1, Deadline: time.Second, QueueDepth: 1, Lookahead: 1, MaxBatch: -1},
 	}
 	for i, cfg := range bad {
 		if _, err := NewService(cfg); err == nil {
@@ -199,6 +201,51 @@ func TestInferBatch(t *testing.T) {
 // -race: inference traffic runs while Calibrate and BuildPredictor swap
 // entries and tear down serving pools. The copy-on-write registry plus
 // Infer's one-shot ErrStopped retry must keep requests succeeding.
+// TestInferBatchMatchesSequential pins the end-to-end guarantee behind
+// scheduler-level batching: submitting the same inputs one at a time and
+// as one coalesced batch must yield identical predictions and equal (to
+// numerical tolerance) confidences per task — batching must not change
+// answers. The batched path runs whole stage-groups through the SIMD
+// GEMM tile, whose summation order differs from the sequential GEMV's
+// by a few ulps, hence the tolerance on Conf.
+func TestInferBatchMatchesSequential(t *testing.T) {
+	svc, _, test := testService(t)
+	ctx := context.Background()
+	const n = 12
+	inputs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		x, _ := test.Sample(i % test.Len())
+		inputs[i] = x
+	}
+	seq := make([]sched.Response, n)
+	for i, x := range inputs {
+		r, err := svc.Infer(ctx, "demo", append([]float64(nil), x...))
+		if err != nil {
+			t.Fatalf("sequential %d: %v", i, err)
+		}
+		if r.Expired {
+			t.Fatalf("sequential %d expired; deadline too tight for test", i)
+		}
+		seq[i] = r
+	}
+	bat, err := svc.InferBatch(ctx, "demo", inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		if bat[i].Expired {
+			t.Fatalf("batched %d expired; deadline too tight for test", i)
+		}
+		if seq[i].Stages != bat[i].Stages {
+			t.Fatalf("task %d: stages %d sequential vs %d batched", i, seq[i].Stages, bat[i].Stages)
+		}
+		if seq[i].Pred != bat[i].Pred || math.Abs(seq[i].Conf-bat[i].Conf) > 1e-9 {
+			t.Fatalf("task %d: sequential (%d, %v) vs batched (%d, %v)",
+				i, seq[i].Pred, seq[i].Conf, bat[i].Pred, bat[i].Conf)
+		}
+	}
+}
+
 func TestInferConcurrentWithRecalibration(t *testing.T) {
 	svc, train, test := testService(t)
 	ccfg := calib.DefaultEntropyCalibConfig()

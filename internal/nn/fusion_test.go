@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eugene/internal/tensor"
+)
+
+// TestSequentialInferenceFusionMatchesUnfused pins the inference-time
+// Dense→ReLU fusion in Sequential.Forward: the fused path must produce
+// exactly what running the layers one by one (which never fuses)
+// produces, for batch sizes on both sides of the unroll boundary.
+func TestSequentialInferenceFusionMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seq := NewSequential(NewDense(rng, 7, 13), NewReLU(), NewDense(rng, 13, 5), NewReLU())
+	for _, rows := range []int{1, 3, 8} {
+		x := tensor.NewMatrix(rows, 7)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		got := seq.Forward(x, false).Clone()
+		want := x
+		for _, l := range seq.Layers {
+			want = l.Forward(want, false)
+		}
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("rows=%d: fused shape %v, want %v", rows, got, want)
+		}
+		for i := range want.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+				t.Fatalf("rows=%d element %d: fused %v, unfused %v", rows, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestDenseBackwardScratchReuse checks that the persistent gw/gb scratch
+// accumulates gradients identically across repeated Backward calls.
+func TestDenseBackwardScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDense(rng, 4, 3)
+	x := tensor.NewMatrix(2, 4)
+	g := tensor.NewMatrix(2, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	d.Forward(x, true)
+	d.Backward(g)
+	once := append([]float64(nil), d.GradW.Data...)
+	onceB := append([]float64(nil), d.GradB...)
+	d.Forward(x, true)
+	d.Backward(g)
+	for i, v := range d.GradW.Data {
+		if math.Abs(v-2*once[i]) > 1e-12 {
+			t.Fatalf("GradW[%d] = %v after two passes, want %v", i, v, 2*once[i])
+		}
+	}
+	for i, v := range d.GradB {
+		if math.Abs(v-2*onceB[i]) > 1e-12 {
+			t.Fatalf("GradB[%d] = %v after two passes, want %v", i, v, 2*onceB[i])
+		}
+	}
+}

@@ -61,6 +61,8 @@ type Dense struct {
 	x   *tensor.Matrix // cached input
 	out *tensor.Matrix
 	gin *tensor.Matrix
+	gw  *tensor.Matrix // Backward scratch: per-call weight gradient
+	gb  []float64      // Backward scratch: per-call bias gradient
 }
 
 // NewDense constructs a dense layer with He-initialized weights.
@@ -99,18 +101,34 @@ func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	if d.x == nil {
 		panic("nn: Dense.Backward before Forward(train=true)")
 	}
-	// dW += gradOutᵀ · x ; accumulate into GradW.
-	gw := tensor.NewMatrix(d.Out, d.In)
-	tensor.TMatMul(gw, gradOut, d.x)
-	tensor.AXPY(d.GradW, 1, gw)
-	gb := make([]float64, d.Out)
-	tensor.ColSums(gb, gradOut)
+	// dW += gradOutᵀ · x ; accumulate into GradW via persistent scratch.
+	d.gw = ensure(d.gw, d.Out, d.In)
+	tensor.TMatMul(d.gw, gradOut, d.x)
+	tensor.AXPY(d.GradW, 1, d.gw)
+	if len(d.gb) != d.Out {
+		d.gb = make([]float64, d.Out)
+	}
+	tensor.ColSums(d.gb, gradOut)
 	for i := range d.GradB {
-		d.GradB[i] += gb[i]
+		d.GradB[i] += d.gb[i]
 	}
 	d.gin = ensure(d.gin, gradOut.Rows, d.In)
 	tensor.MatMul(d.gin, gradOut, d.W)
 	return d.gin
+}
+
+// forwardReLU computes relu(x·Wᵀ + b) with the fused bias+ReLU kernel,
+// saving the separate ReLU pass over the batch. Inference only: nothing
+// is cached, so Backward must not follow. Used by Sequential.Forward when
+// a ReLU directly follows this layer and train is false.
+func (d *Dense) forwardReLU(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense(%d→%d) got input width %d", d.In, d.Out, x.Cols))
+	}
+	d.out = ensure(d.out, x.Rows, d.Out)
+	tensor.MatMulT(d.out, x, d.W)
+	tensor.AddRowVectorReLU(d.out, d.B)
+	return d.out
 }
 
 // Params implements Layer.
@@ -212,13 +230,14 @@ func NewDropout(rng *rand.Rand, rate float64) *Dropout {
 	return &Dropout{Rate: rate, rng: rng}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. At plain inference dropout is the identity
+// and returns x itself — no copy; downstream layers only read their
+// inputs, so aliasing the previous layer's buffer is safe.
 func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	d.out = ensure(d.out, x.Rows, x.Cols)
 	if !train && !d.MC {
-		copy(d.out.Data, x.Data)
-		return d.out
+		return x
 	}
+	d.out = ensure(d.out, x.Rows, x.Cols)
 	if cap(d.keep) < len(x.Data) {
 		d.keep = make([]float64, len(x.Data))
 	}
@@ -272,11 +291,7 @@ func (d *Dropout) Reseed(seed int64) {
 	cloneMu.Unlock()
 }
 
-// ensure returns m if it already has the requested shape, otherwise a new
-// matrix. Reuses buffers across batches of identical size.
+// ensure is the package-local shorthand for tensor.Ensure.
 func ensure(m *tensor.Matrix, rows, cols int) *tensor.Matrix {
-	if m != nil && m.Rows == rows && m.Cols == cols {
-		return m
-	}
-	return tensor.NewMatrix(rows, cols)
+	return tensor.Ensure(m, rows, cols)
 }

@@ -5,23 +5,36 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// StageExecutor executes one stage of a staged model on an explicit
-// hidden state; staged.Model satisfies this via ExecStage (adapted — see
-// core). Each worker owns one executor (model clone).
+// StageExecutor executes stages of a staged model on explicit hidden
+// states; staged.Model satisfies this via ExecStage/ExecStageBatch
+// (adapted — see core). Each worker owns one executor (model clone).
 type StageExecutor interface {
 	// ExecStage consumes the hidden state from the previous stage (or
 	// the raw input for stage 0) and returns the next hidden state and
-	// the stage's result.
+	// the stage's result. The input slice is only read.
 	ExecStage(hidden []float64, stage int) ([]float64, StageResult)
+	// ExecStageBatch executes one stage for several tasks that are all
+	// at the same stage, one hidden state per row, and returns the new
+	// hidden states and results in matching order. Stage-0 input rows
+	// must only be read (callers retain raw request inputs); rows for
+	// later stages may be reused in place. The returned outer slices
+	// may be executor-owned scratch, valid until the next Exec call.
+	ExecStageBatch(hidden [][]float64, stage int) ([][]float64, []StageResult)
 	// NumStages returns the exit count.
 	NumStages() int
 }
+
+// DefaultMaxBatch is the stage-batch cap used when LiveConfig.MaxBatch
+// is zero: large enough that one dispatch amortizes scheduling and turns
+// per-task GEMVs into one GEMM, small enough that one batch cannot
+// monopolize a worker past typical deadlines.
+const DefaultMaxBatch = 32
 
 // LiveConfig configures the real-time executor.
 type LiveConfig struct {
@@ -32,6 +45,10 @@ type LiveConfig struct {
 	Deadline time.Duration
 	// QueueDepth bounds the submission queue.
 	QueueDepth int
+	// MaxBatch caps how many same-stage pending tasks the scheduler
+	// coalesces into one worker dispatch (one ExecStageBatch call).
+	// 0 means DefaultMaxBatch; 1 disables coalescing.
+	MaxBatch int
 }
 
 // Validate reports an error for degenerate configurations.
@@ -43,6 +60,8 @@ func (c LiveConfig) Validate() error {
 		return fmt.Errorf("sched: live deadline %v must be positive", c.Deadline)
 	case c.QueueDepth < 1:
 		return fmt.Errorf("sched: live queue depth %d must be ≥1", c.QueueDepth)
+	case c.MaxBatch < 0:
+		return fmt.Errorf("sched: live max batch %d must be ≥0", c.MaxBatch)
 	}
 	return nil
 }
@@ -67,9 +86,50 @@ var ErrUnanswered = errors.New("sched: deadline before first stage completed")
 // ErrStopped is returned for submissions after Stop.
 var ErrStopped = errors.New("sched: executor stopped")
 
-// latReservoir is the size of the latency window Stats percentiles are
-// computed from (the most recent finishes).
-const latReservoir = 1024
+// The latency histogram behind Stats percentiles: geometric buckets,
+// latBucketsPerOctave per power of two, spanning 1µs to ~2^40µs (≈13
+// days). Recording a finish is one increment and a Stats call copies a
+// small counter array instead of copying and sorting a reservoir, so
+// pollers of /v1/stats stay off the serving hot path.
+const (
+	latBucketsPerOctave = 8
+	latOctaves          = 40
+	latBuckets          = latOctaves * latBucketsPerOctave
+)
+
+// latBucket maps a latency to its histogram bucket.
+func latBucket(d time.Duration) int {
+	us := float64(d) / float64(time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	b := int(math.Log2(us) * latBucketsPerOctave)
+	if b >= latBuckets {
+		return latBuckets - 1
+	}
+	return b
+}
+
+// latBucketValue returns the upper bound of bucket b, the value reported
+// for percentiles that land in it (≤ one 2^(1/8) step ≈ 9% above the
+// true latency).
+func latBucketValue(b int) time.Duration {
+	us := math.Exp2(float64(b+1) / latBucketsPerOctave)
+	return time.Duration(us * float64(time.Microsecond))
+}
+
+// histPercentile walks the histogram to the bucket containing the given
+// 0-based rank.
+func histPercentile(hist *[latBuckets]uint64, rank uint64) time.Duration {
+	var cum uint64
+	for b := range hist {
+		cum += hist[b]
+		if cum > rank {
+			return latBucketValue(b)
+		}
+	}
+	return 0
+}
 
 // LiveStats is a point-in-time snapshot of one executor's serving
 // counters. Answered and Expired can overlap: a task that ran some but
@@ -87,8 +147,9 @@ type LiveStats struct {
 	// QueueDepth is the number of tasks currently in the system
 	// (queued or executing).
 	QueueDepth int `json:"queue_depth"`
-	// P50 and P99 are latency percentiles over the last latReservoir
-	// finished tasks.
+	// P50 and P99 are latency percentiles over all finished tasks,
+	// read from a geometric histogram (bucket upper bounds, ≈9%
+	// resolution).
 	P50 time.Duration `json:"p50"`
 	P99 time.Duration `json:"p99"`
 }
@@ -146,20 +207,27 @@ type Live struct {
 	expired    uint64
 	unanswered uint64
 	inSystem   int
-	lats       [latReservoir]time.Duration
+	latHist    [latBuckets]uint64
 	latCount   uint64
 }
 
+// workItem is one worker dispatch: a group of tasks all at the same
+// stage, executed as one batched forward pass (or a plain ExecStage when
+// the group is a singleton).
 type workItem struct {
-	task  *liveTask
+	tasks []*liveTask
 	stage int
 }
 
+// workerResult reports one finished dispatch. hidden and res are indexed
+// like tasks; their outer slices may be worker/executor scratch, valid
+// only until the worker is dispatched again (the scheduler consumes them
+// before re-adding the worker to the idle pool's rotation).
 type workerResult struct {
 	worker int
-	task   *liveTask
-	hidden []float64
-	res    StageResult
+	tasks  []*liveTask
+	hidden [][]float64
+	res    []StageResult
 }
 
 // NewLive starts the executor. executors must have length cfg.Workers;
@@ -174,6 +242,9 @@ func NewLive(cfg LiveConfig, policy Policy, executors []StageExecutor) (*Live, e
 	}
 	if len(executors) != cfg.Workers {
 		return nil, fmt.Errorf("sched: %d executors for %d workers", len(executors), cfg.Workers)
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
 	}
 	l := &Live{
 		cfg:      cfg,
@@ -196,7 +267,12 @@ func NewLive(cfg LiveConfig, policy Policy, executors []StageExecutor) (*Live, e
 }
 
 // newTask builds an admitted task record stamped with the shared
-// per-executor deadline.
+// per-executor deadline. The input slice is taken over without copying:
+// Submit/SubmitBatch callers hand freshly allocated slices (HTTP
+// decoding, batch assembly) and must not mutate them afterwards.
+// Executors never write to stage-0 inputs (see StageExecutor), so the
+// slice stays intact even when a task outlives its caller via context
+// cancellation or an executor-stop retry.
 func (l *Live) newTask(input []float64, numStages int) *liveTask {
 	now := time.Now()
 	return &liveTask{
@@ -206,7 +282,7 @@ func (l *Live) newTask(input []float64, numStages int) *liveTask {
 			Deadline: Ticks(now.Add(l.cfg.Deadline).Sub(l.epoch)),
 			Pred:     -1,
 		},
-		hidden:    append([]float64(nil), input...),
+		hidden:    input,
 		done:      make(chan Response, 1),
 		start:     now,
 		expiresAt: now.Add(l.cfg.Deadline),
@@ -246,14 +322,16 @@ func (l *Live) recordFinish(stages int, expired bool, lat time.Duration) {
 			l.unanswered++
 		}
 	}
-	l.lats[l.latCount%latReservoir] = lat
+	l.latHist[latBucket(lat)]++
 	l.latCount++
 	l.inSystem--
 	l.statsMu.Unlock()
 }
 
 // Stats returns a snapshot of the executor's serving counters. Safe to
-// call concurrently with Submit/SubmitBatch.
+// call concurrently with Submit/SubmitBatch: the lock is held only to
+// copy the counters and the fixed-size histogram; percentile selection
+// happens outside it, allocation-free.
 func (l *Live) Stats() LiveStats {
 	l.statsMu.Lock()
 	s := LiveStats{
@@ -263,22 +341,20 @@ func (l *Live) Stats() LiveStats {
 		Unanswered: l.unanswered,
 		QueueDepth: l.inSystem,
 	}
-	n := int(l.latCount)
-	if n > latReservoir {
-		n = latReservoir
-	}
-	lats := append([]time.Duration(nil), l.lats[:n]...)
+	hist := l.latHist
+	n := l.latCount
 	l.statsMu.Unlock()
 	if n > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		s.P50 = lats[n/2]
-		s.P99 = lats[min(n-1, n*99/100)]
+		s.P50 = histPercentile(&hist, n/2)
+		s.P99 = histPercentile(&hist, min(n-1, n*99/100))
 	}
 	return s
 }
 
 // Submit enqueues one task and blocks until it is answered, expires, or
-// ctx is done.
+// ctx is done. Submit takes ownership of input: the caller must not
+// mutate it afterwards (even after an early return on context
+// cancellation, when stages may still be executing against it).
 func (l *Live) Submit(ctx context.Context, input []float64, numStages int) (Response, error) {
 	if numStages < 1 {
 		return Response{}, fmt.Errorf("sched: task needs ≥1 stage")
@@ -319,7 +395,8 @@ func (l *Live) Submit(ctx context.Context, input []float64, numStages int) (Resp
 // input order; per-task expiry is reported through Response.Expired /
 // Response.Unanswered rather than an error, so one late task does not
 // hide the other answers. The error is reserved for whole-batch
-// failures (stopped executor, cancelled context).
+// failures (stopped executor, cancelled context). Like Submit, it takes
+// ownership of the input slices; the caller must not mutate them.
 func (l *Live) SubmitBatch(ctx context.Context, inputs [][]float64, numStages int) ([]Response, error) {
 	if numStages < 1 {
 		return nil, fmt.Errorf("sched: task needs ≥1 stage")
@@ -372,12 +449,35 @@ func (l *Live) Stop() {
 
 func (l *Live) worker(id int, exec StageExecutor) {
 	defer l.wg.Done()
+	// Scratch reused across dispatches. Safe: the scheduler fully
+	// consumes a workerResult before this worker can be dispatched
+	// again (it re-enters the idle pool only in the result handler).
+	var (
+		h1   [1][]float64
+		r1   [1]StageResult
+		rows [][]float64
+	)
 	for {
 		select {
 		case item := <-l.workCh[id]:
-			hidden, res := exec.ExecStage(item.task.hidden, item.stage)
+			var out workerResult
+			if len(item.tasks) == 1 {
+				h, r := exec.ExecStage(item.tasks[0].hidden, item.stage)
+				h1[0], r1[0] = h, r
+				out = workerResult{worker: id, tasks: item.tasks, hidden: h1[:], res: r1[:]}
+			} else {
+				if cap(rows) < len(item.tasks) {
+					rows = make([][]float64, len(item.tasks))
+				}
+				rows = rows[:len(item.tasks)]
+				for i, t := range item.tasks {
+					rows[i] = t.hidden
+				}
+				h, r := exec.ExecStageBatch(rows, item.stage)
+				out = workerResult{worker: id, tasks: item.tasks, hidden: h, res: r}
+			}
 			select {
-			case l.resultCh <- workerResult{worker: id, task: item.task, hidden: hidden, res: res}:
+			case l.resultCh <- out:
 			case <-l.stopCh:
 				return
 			}
@@ -438,11 +538,22 @@ func (l *Live) schedule() {
 		heap.Push(&expiries, t)
 	}
 	// dispatch hands work to every idle worker the policy has a
-	// runnable task for — all idle workers are filled in one pass.
+	// runnable task for — all idle workers are filled in one pass. The
+	// policy picks each dispatch's leader; the scheduler then coalesces
+	// up to MaxBatch−1 more pending tasks at the same stage into the
+	// dispatch, so one worker runs the group as a single batched
+	// forward pass. Co-batched tasks trade strict policy order for
+	// batch throughput; per-task early exit and expiry are still
+	// honored individually when the results come back.
+	var states []*TaskState                      // dispatch scratch
+	groups := make([][]*liveTask, l.cfg.Workers) // per-worker group scratch
 	dispatch := func() {
-		states := make([]*TaskState, len(tasks))
-		for i, t := range tasks {
-			states[i] = t.state
+		if len(idle) == 0 {
+			return
+		}
+		states = states[:0]
+		for _, t := range tasks {
+			states = append(states, t.state)
 		}
 		for len(idle) > 0 {
 			i := l.policy.Pick(now(), states)
@@ -453,9 +564,24 @@ func (l *Live) schedule() {
 			idle = idle[:len(idle)-1]
 			st := states[i]
 			st.InFlight = true
-			t := pending[st]
+			stage := st.Executed
+			group := append(groups[w][:0], pending[st])
+			if l.cfg.MaxBatch > 1 {
+				tnow := now()
+				for j, other := range states {
+					if len(group) >= l.cfg.MaxBatch {
+						break
+					}
+					if j == i || other.Executed != stage || !other.Runnable(tnow) {
+						continue
+					}
+					other.InFlight = true
+					group = append(group, pending[other])
+				}
+			}
+			groups[w] = group
 			select {
-			case l.workCh[w] <- workItem{task: t, stage: st.Executed}:
+			case l.workCh[w] <- workItem{tasks: group, stage: stage}:
 			case <-l.stopCh:
 				// A worker may already have exited; don't deadlock
 				// during shutdown.
@@ -485,20 +611,28 @@ func (l *Live) schedule() {
 			rearm()
 			dispatch()
 		case r := <-l.resultCh:
+			// Consume the result fully before dispatch() can hand the
+			// worker (and its scratch slices) a new group.
 			idle = append(idle, r.worker)
-			st := r.task.state
-			if st.Finalized {
-				dispatch()
-				continue
+			finished := false
+			for i, t := range r.tasks {
+				st := t.state
+				if st.Finalized {
+					// Expired mid-flight; the group's row is discarded.
+					continue
+				}
+				t.hidden = r.hidden[i]
+				st.PrevConf = st.Conf
+				st.Conf = r.res[i].Conf
+				st.Pred = r.res[i].Pred
+				st.Executed++
+				st.InFlight = false
+				if st.Remaining() == 0 || now() >= st.Deadline {
+					finish(t, st.Remaining() > 0)
+					finished = true
+				}
 			}
-			r.task.hidden = r.hidden
-			st.PrevConf = st.Conf
-			st.Conf = r.res.Conf
-			st.Pred = r.res.Pred
-			st.Executed++
-			st.InFlight = false
-			if st.Remaining() == 0 || now() >= st.Deadline {
-				finish(r.task, st.Remaining() > 0)
+			if finished {
 				rearm()
 			}
 			compact()

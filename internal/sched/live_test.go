@@ -24,6 +24,18 @@ func (e *slowExec) ExecStage(hidden []float64, stage int) ([]float64, StageResul
 	return hidden, StageResult{Pred: stage, Conf: 0.5 + 0.15*float64(stage+1)}
 }
 
+func (e *slowExec) ExecStageBatch(hidden [][]float64, stage int) ([][]float64, []StageResult) {
+	// One delay per batched dispatch: batching amortizes compute.
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	res := make([]StageResult, len(hidden))
+	for i := range res {
+		res[i] = StageResult{Pred: stage, Conf: 0.5 + 0.15*float64(stage+1)}
+	}
+	return hidden, res
+}
+
 func newTestLive(t *testing.T, workers int, deadline, delay time.Duration) *Live {
 	t.Helper()
 	execs := make([]StageExecutor, workers)
@@ -121,6 +133,7 @@ func TestLiveConfigValidate(t *testing.T) {
 		{Workers: 0, Deadline: time.Second, QueueDepth: 1},
 		{Workers: 1, Deadline: 0, QueueDepth: 1},
 		{Workers: 1, Deadline: time.Second, QueueDepth: 0},
+		{Workers: 1, Deadline: time.Second, QueueDepth: 1, MaxBatch: -1},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {

@@ -244,6 +244,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty input"))
 		return
 	}
+	// The decoded slice is freshly allocated by the JSON decoder, so
+	// handing ownership to Infer (which makes no defensive copy) is safe.
 	resp, err := s.svc.Infer(r.Context(), name, req.Input)
 	if err != nil && !errors.Is(err, sched.ErrUnanswered) {
 		writeError(w, statusFor(err), err)
@@ -275,6 +277,8 @@ func (s *Server) handleInferBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Like handleInfer, the decoded slices are fresh; InferBatch takes
+	// ownership without copying.
 	resps, err := s.svc.InferBatch(r.Context(), name, req.Inputs)
 	if err != nil {
 		writeError(w, statusFor(err), err)

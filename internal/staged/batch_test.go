@@ -1,0 +1,115 @@
+package staged
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExecStageBatchMatchesExecStage pins the batched forward path to
+// the single-sample path: running B tasks through ExecStageBatch stage
+// by stage must produce the per-task predictions, confidences, and
+// hidden states of B independent ExecStage chains. The batch path's
+// SIMD GEMM tile sums in a different order than the single-row kernel,
+// so values are compared to a tight numerical tolerance rather than
+// bitwise.
+func TestExecStageBatchMatchesExecStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := Config{
+		In: 12, Hidden: 24, Classes: 4,
+		StageCount: 3, BlocksPerStage: 2,
+		StageWidths: []int{16, 24, 24}, // exercise a projection between stages
+	}
+	m, err := New(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Separate clone for the single-sample chains so scratch reuse in
+	// one path cannot mask a bug in the other.
+	single := m.Clone()
+
+	const b = 5
+	inputs := make([][]float64, b)
+	pristine := make([][]float64, b)
+	batchHidden := make([][]float64, b)
+	singleHidden := make([][]float64, b)
+	for i := range inputs {
+		inputs[i] = make([]float64, cfg.In)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.NormFloat64()
+		}
+		pristine[i] = append([]float64(nil), inputs[i]...)
+		batchHidden[i] = inputs[i]
+		singleHidden[i] = inputs[i]
+	}
+
+	for stage := 0; stage < m.NumStages(); stage++ {
+		next, outs := m.ExecStageBatch(batchHidden, stage)
+		if len(next) != b || len(outs) != b {
+			t.Fatalf("stage %d: batch returned %d hidden, %d outputs", stage, len(next), len(outs))
+		}
+		for i := 0; i < b; i++ {
+			wantHidden, want := single.ExecStage(singleHidden[i], stage)
+			singleHidden[i] = wantHidden
+			if outs[i].Pred != want.Pred {
+				t.Fatalf("stage %d task %d: pred %d, want %d", stage, i, outs[i].Pred, want.Pred)
+			}
+			if math.Abs(outs[i].Conf-want.Conf) > 1e-9 {
+				t.Fatalf("stage %d task %d: conf %v, want %v", stage, i, outs[i].Conf, want.Conf)
+			}
+			if len(next[i]) != len(wantHidden) {
+				t.Fatalf("stage %d task %d: hidden width %d, want %d", stage, i, len(next[i]), len(wantHidden))
+			}
+			for j := range wantHidden {
+				if math.Abs(next[i][j]-wantHidden[j]) > 1e-9 {
+					t.Fatalf("stage %d task %d: hidden[%d] = %v, want %v", stage, i, j, next[i][j], wantHidden[j])
+				}
+			}
+		}
+		// The scheduler hands each task its own row back; copy out of
+		// the batch scratch like the live executor does.
+		for i := 0; i < b; i++ {
+			batchHidden[i] = next[i]
+		}
+	}
+
+	// Stage-0 ownership contract: the raw input slices are never
+	// written by the batch path.
+	for i := range inputs {
+		for j := range inputs[i] {
+			if inputs[i][j] != pristine[i][j] {
+				t.Fatalf("input %d mutated at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestExecStageBatchSingleton checks the B=1 and B=0 edges of the batch
+// path.
+func TestExecStageBatchSingleton(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, err := New(rng, Config{In: 6, Hidden: 10, Classes: 3, StageCount: 2, BlocksPerStage: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, o := m.ExecStageBatch(nil, 0); h != nil || o != nil {
+		t.Fatalf("empty batch returned %v, %v", h, o)
+	}
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	next, outs := m.ExecStageBatch([][]float64{x}, 0)
+	if len(next) != 1 || len(outs) != 1 {
+		t.Fatalf("singleton batch returned %d hidden, %d outputs", len(next), len(outs))
+	}
+	wantHidden, want := m.Clone().ExecStage(x, 0)
+	if outs[0].Pred != want.Pred || math.Abs(outs[0].Conf-want.Conf) > 1e-9 {
+		t.Fatalf("singleton (%d, %v), want (%d, %v)", outs[0].Pred, outs[0].Conf, want.Pred, want.Conf)
+	}
+	for j := range wantHidden {
+		if math.Abs(next[0][j]-wantHidden[j]) > 1e-9 {
+			t.Fatalf("singleton hidden[%d] = %v, want %v", j, next[0][j], wantHidden[j])
+		}
+	}
+}

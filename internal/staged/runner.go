@@ -66,18 +66,10 @@ func (r *Runner) RunStage() StageOutput {
 // trunk activation returned by stage s−1. It returns the new hidden
 // state and the stage's exit output. Because the hidden state is
 // caller-owned, a task can migrate between worker-local model clones
-// across stages — the mechanism the live executor uses.
+// across stages — the mechanism the live executor uses. The input slice
+// is only read, never written.
 func (m *Model) ExecStage(hidden []float64, stage int) ([]float64, StageOutput) {
-	if stage < 0 || stage >= len(m.Stages) {
-		panic(fmt.Sprintf("staged: ExecStage stage %d outside [0,%d)", stage, len(m.Stages)))
-	}
-	wantIn := m.In
-	if stage > 0 {
-		wantIn = m.Widths[stage-1]
-	}
-	if len(hidden) != wantIn {
-		panic(fmt.Sprintf("staged: ExecStage stage %d input width %d, want %d", stage, len(hidden), wantIn))
-	}
+	m.checkStageInput(len(hidden), stage)
 	in := tensor.FromSlice(1, len(hidden), hidden)
 	var h *tensor.Matrix
 	if stage == 0 {
@@ -90,7 +82,8 @@ func (m *Model) ExecStage(hidden []float64, stage int) ([]float64, StageOutput) 
 	// Copy the hidden state out of the layer-owned buffer so the next
 	// stage survives other tasks of this model interleaving.
 	next := append([]float64(nil), h.Row(0)...)
-	probs := tensor.NewMatrix(1, m.Classes)
+	m.scrProbs1 = tensor.Ensure(m.scrProbs1, 1, m.Classes)
+	probs := m.scrProbs1
 	logits := s.Head.Forward(h, false)
 	tensor.Softmax(probs, logits)
 	pred, conf := tensor.ArgMax(probs.Row(0))
@@ -98,6 +91,93 @@ func (m *Model) ExecStage(hidden []float64, stage int) ([]float64, StageOutput) 
 		Stage: stage,
 		Pred:  pred,
 		Conf:  conf,
-		Probs: probs.Row(0),
+		Probs: append([]float64(nil), probs.Row(0)...),
+	}
+}
+
+// ExecStageBatch executes one stage for a batch of tasks that are all at
+// the same stage: hidden holds one task's state per row (raw inputs for
+// stage 0, stage s−1 trunk activations otherwise). The whole batch flows
+// through the stem/body/head as single B-row matrix multiplications —
+// one GEMM per Dense layer instead of B GEMVs — which is what makes
+// scheduler-level batching pay at the compute layer.
+//
+// Ownership: input rows are only read for stage 0 (callers may retain
+// raw inputs), while for stage > 0 the output rows reuse the input rows'
+// capacity when wide enough. The returned outer slices and StageOutputs
+// are scratch, valid until the next Exec call on this model; Probs is
+// omitted on this path.
+func (m *Model) ExecStageBatch(hidden [][]float64, stage int) ([][]float64, []StageOutput) {
+	b := len(hidden)
+	if b == 0 {
+		return nil, nil
+	}
+	wantIn := m.In
+	if stage > 0 {
+		wantIn = m.Widths[stage-1]
+	}
+	for _, row := range hidden {
+		m.checkStageInput(len(row), stage)
+	}
+	// Pack task rows into the reused batch matrix.
+	m.scrIn = tensor.Ensure(m.scrIn, b, wantIn)
+	for i, row := range hidden {
+		copy(m.scrIn.Row(i), row)
+	}
+	h := m.scrIn
+	if stage == 0 {
+		h = m.Stem.Forward(h, false)
+	}
+	s := m.Stages[stage]
+	h = s.Body.Forward(h, false)
+	// Unpack the new hidden states into per-task rows. Stage-0 rows are
+	// carved from one fresh slab (the caller's input buffers are never
+	// written); later stages reuse each task's existing buffer in place.
+	outW := m.Widths[stage]
+	if cap(m.scrHid) < b {
+		m.scrHid = make([][]float64, b)
+	}
+	out := m.scrHid[:b]
+	var slab []float64
+	for i := 0; i < b; i++ {
+		dst := hidden[i]
+		if stage == 0 || cap(dst) < outW {
+			if len(slab) < outW {
+				slab = make([]float64, (b-i)*outW)
+			}
+			dst = slab[:outW:outW]
+			slab = slab[outW:]
+		} else {
+			dst = dst[:outW]
+		}
+		copy(dst, h.Row(i))
+		out[i] = dst
+	}
+	logits := s.Head.Forward(h, false)
+	m.scrProbsB = tensor.Ensure(m.scrProbsB, b, m.Classes)
+	tensor.Softmax(m.scrProbsB, logits)
+	if cap(m.scrOuts) < b {
+		m.scrOuts = make([]StageOutput, b)
+	}
+	outs := m.scrOuts[:b]
+	for i := 0; i < b; i++ {
+		pred, conf := tensor.ArgMax(m.scrProbsB.Row(i))
+		outs[i] = StageOutput{Stage: stage, Pred: pred, Conf: conf}
+	}
+	return out, outs
+}
+
+// checkStageInput panics on an out-of-range stage or a hidden-state width
+// that does not match the stage's input width.
+func (m *Model) checkStageInput(got, stage int) {
+	if stage < 0 || stage >= len(m.Stages) {
+		panic(fmt.Sprintf("staged: ExecStage stage %d outside [0,%d)", stage, len(m.Stages)))
+	}
+	wantIn := m.In
+	if stage > 0 {
+		wantIn = m.Widths[stage-1]
+	}
+	if got != wantIn {
+		panic(fmt.Sprintf("staged: ExecStage stage %d input width %d, want %d", stage, got, wantIn))
 	}
 }

@@ -31,6 +31,15 @@ type Model struct {
 	Classes int
 	// Widths is the trunk width at each stage's output.
 	Widths []int
+
+	// Inference scratch reused across ExecStage/ExecStageBatch/Predict
+	// calls (owner-goroutine only, like the layers' own buffers). Clone
+	// deliberately leaves these nil: they are lazily sized on first use.
+	scrIn     *tensor.Matrix
+	scrProbs1 *tensor.Matrix // 1×Classes, single-sample paths
+	scrProbsB *tensor.Matrix // B×Classes, batch path
+	scrOuts   []StageOutput
+	scrHid    [][]float64
 }
 
 // Config describes the paper-style staged residual network.
@@ -256,7 +265,8 @@ func (m *Model) Predict(x []float64, upTo int) []StageOutput {
 	in := tensor.FromSlice(1, len(x), x)
 	h := m.Stem.Forward(in, false)
 	outs := make([]StageOutput, 0, upTo+1)
-	probs := tensor.NewMatrix(1, m.Classes)
+	m.scrProbs1 = tensor.Ensure(m.scrProbs1, 1, m.Classes)
+	probs := m.scrProbs1
 	for i := 0; i <= upTo; i++ {
 		s := m.Stages[i]
 		h = s.Body.Forward(h, false)

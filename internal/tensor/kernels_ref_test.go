@@ -1,0 +1,192 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests pinning the optimized matmul kernels (unrolled
+// inner loops, branchless accumulation, fused bias+ReLU) against naive
+// triple-loop references over randomized shapes, including empty and
+// 1×1 edge cases. Unrolling changes the floating-point summation order,
+// so comparisons allow a small relative tolerance.
+
+func refMatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var sum float64
+			for k := 0; k < a.Cols; k++ {
+				sum += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+func refMatMulT(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var sum float64
+			for k := 0; k < a.Cols; k++ {
+				sum += a.At(i, k) * b.At(j, k)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+func refTMatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Cols, b.Cols)
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var sum float64
+			for k := 0; k < a.Rows; k++ {
+				sum += a.At(k, i) * b.At(k, j)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+func refAddRowVectorReLU(m *Matrix, v []float64) *Matrix {
+	out := m.Clone()
+	for r := 0; r < out.Rows; r++ {
+		for c := 0; c < out.Cols; c++ {
+			out.Set(r, c, math.Max(0, out.At(r, c)+v[c]))
+		}
+	}
+	return out
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// closeEnough compares with a relative-absolute hybrid tolerance that
+// absorbs summation-order differences from the unrolled kernels.
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(1, scale)
+}
+
+func assertMatricesClose(t *testing.T, op string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s shape %dx%d, want %dx%d", op, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if !closeEnough(got.Data[i], want.Data[i]) {
+			t.Fatalf("%s element %d: got %v, want %v", op, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// kernelShapes covers degenerate and unroll-boundary dimensions (the
+// 4-way unrolled loops have distinct paths for n%4 ∈ {0,1,2,3}) plus
+// randomized sizes.
+func kernelShapes(rng *rand.Rand) [][3]int {
+	shapes := [][3]int{
+		{0, 0, 0}, {0, 3, 2}, {1, 0, 1}, {2, 3, 0},
+		{1, 1, 1}, {1, 4, 1}, {2, 5, 3}, {3, 8, 7},
+		{4, 9, 4}, {5, 2, 6}, {7, 16, 5},
+	}
+	for i := 0; i < 8; i++ {
+		shapes = append(shapes, [3]int{rng.Intn(9), rng.Intn(33), rng.Intn(9)})
+	}
+	return shapes
+}
+
+func TestMatMulMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range kernelShapes(rng) {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randMatrix(rng, m, k), randMatrix(rng, k, n)
+		got := NewMatrix(m, n)
+		MatMul(got, a, b)
+		assertMatricesClose(t, "MatMul", got, refMatMul(a, b))
+	}
+}
+
+func TestMatMulTMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, s := range kernelShapes(rng) {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randMatrix(rng, m, k), randMatrix(rng, n, k)
+		got := NewMatrix(m, n)
+		MatMulT(got, a, b)
+		assertMatricesClose(t, "MatMulT", got, refMatMulT(a, b))
+	}
+}
+
+func TestTMatMulMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, s := range kernelShapes(rng) {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randMatrix(rng, k, m), randMatrix(rng, k, n)
+		got := NewMatrix(m, n)
+		TMatMul(got, a, b)
+		assertMatricesClose(t, "TMatMul", got, refTMatMul(a, b))
+	}
+}
+
+func TestAddRowVectorReLUMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, s := range kernelShapes(rng) {
+		rows, cols := s[0], s[2]
+		m := randMatrix(rng, rows, cols)
+		v := make([]float64, cols)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		want := refAddRowVectorReLU(m, v)
+		AddRowVectorReLU(m, v)
+		assertMatricesClose(t, "AddRowVectorReLU", m, want)
+	}
+}
+
+func TestDotMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 16, 33, 100} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		var want float64
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); !closeEnough(got, want) {
+			t.Fatalf("Dot(len %d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestMatMulZeroEntries pins the branchless rewrite: sparse inputs with
+// exact-zero entries must produce the same results as the reference
+// (the old kernels special-cased aik == 0).
+func TestMatMulZeroEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a, b := randMatrix(rng, 6, 8), randMatrix(rng, 8, 5)
+	for i := range a.Data {
+		if i%3 == 0 {
+			a.Data[i] = 0
+		}
+	}
+	got := NewMatrix(6, 5)
+	MatMul(got, a, b)
+	assertMatricesClose(t, "MatMul/sparse", got, refMatMul(a, b))
+	c := randMatrix(rng, 6, 5)
+	gotT := NewMatrix(8, 5)
+	TMatMul(gotT, a, c)
+	assertMatricesClose(t, "TMatMul/sparse", gotT, refTMatMul(a, c))
+}

@@ -1,0 +1,45 @@
+//go:build amd64
+
+package tensor
+
+// hasAVX2FMA gates the AVX2+FMA micro-kernels behind runtime CPU
+// detection: the CPU must advertise FMA and AVX2, and the OS must have
+// enabled XMM/YMM state saving (OSXSAVE + XCR0 bits 1–2). When false,
+// the portable unrolled-scalar kernels run instead.
+var hasAVX2FMA = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+	)
+	if ecx1&fma == 0 || ecx1&osxsave == 0 {
+		return false
+	}
+	if eax, _ := xgetbv(); eax&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0.
+func xgetbv() (eax, edx uint32)
+
+// dot4FMA computes four dot products sharing one right-hand vector:
+// sR = Σ_k aR[k]·b[k] for the first n elements, n a multiple of 8
+// (callers handle the tail). It is the AVX2+FMA body of MatMulT's
+// 4-row register tile — one b load is reused across four batch rows,
+// with two 4-wide FMA accumulator chains per row.
+//
+//go:noescape
+func dot4FMA(a0, a1, a2, a3, b *float64, n int) (s0, s1, s2, s3 float64)

@@ -1,0 +1,94 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dot4FMA(a0, a1, a2, a3, b *float64, n int) (s0, s1, s2, s3 float64)
+//
+// Four simultaneous dot products against one shared b vector, n a
+// multiple of 8. Each row keeps two 4-wide FMA accumulator chains
+// (Y0..Y7) so the loop is bound by the two load ports, not FMA latency;
+// each 32-byte load of b is reused by all four rows.
+TEXT ·dot4FMA(SB), NOSPLIT, $0-80
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ b+32(FP), SI
+	MOVQ n+40(FP), DI
+	SHRQ $3, DI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+loop:
+	TESTQ DI, DI
+	JZ    done
+	VMOVUPD (SI), Y8
+	VMOVUPD 32(SI), Y9
+	VFMADD231PD (R8), Y8, Y0
+	VFMADD231PD 32(R8), Y9, Y1
+	VFMADD231PD (R9), Y8, Y2
+	VFMADD231PD 32(R9), Y9, Y3
+	VFMADD231PD (R10), Y8, Y4
+	VFMADD231PD 32(R10), Y9, Y5
+	VFMADD231PD (R11), Y8, Y6
+	VFMADD231PD 32(R11), Y9, Y7
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	ADDQ $64, SI
+	DECQ DI
+	JMP  loop
+
+done:
+	// Fold the paired chains, then horizontally sum each row.
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y5, Y4, Y4
+	VADDPD Y7, Y6, Y6
+
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD       X8, X0, X0
+	VHADDPD      X0, X0, X0
+	VEXTRACTF128 $1, Y2, X8
+	VADDPD       X8, X2, X2
+	VHADDPD      X2, X2, X2
+	VEXTRACTF128 $1, Y4, X8
+	VADDPD       X8, X4, X4
+	VHADDPD      X4, X4, X4
+	VEXTRACTF128 $1, Y6, X8
+	VADDPD       X8, X6, X6
+	VHADDPD      X6, X6, X6
+	VZEROUPPER
+
+	MOVSD X0, s0+48(FP)
+	MOVSD X2, s1+56(FP)
+	MOVSD X4, s2+64(FP)
+	MOVSD X6, s3+72(FP)
+	RET

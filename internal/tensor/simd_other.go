@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package tensor
+
+// hasAVX2FMA is false off amd64; the portable unrolled-scalar kernels
+// run everywhere.
+const hasAVX2FMA = false
+
+// dot4FMA is never called when hasAVX2FMA is false.
+func dot4FMA(a0, a1, a2, a3, b *float64, n int) (s0, s1, s2, s3 float64) {
+	panic("tensor: dot4FMA without AVX2/FMA support")
+}

@@ -69,8 +69,24 @@ func (m *Matrix) String() string {
 	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
 }
 
+// Ensure returns m reshaped to rows×cols, reusing its backing array when
+// the capacity allows (batch sizes fluctuate dispatch to dispatch on the
+// serving path), otherwise a new matrix. Callers must overwrite every
+// element of the result: stale data from a previous shape is not cleared.
+func Ensure(m *Matrix, rows, cols int) *Matrix {
+	if m != nil && m.Rows == rows && m.Cols == cols {
+		return m
+	}
+	if m != nil && cap(m.Data) >= rows*cols {
+		m.Rows, m.Cols, m.Data = rows, cols, m.Data[:rows*cols]
+		return m
+	}
+	return NewMatrix(rows, cols)
+}
+
 // MatMul computes dst = a·b. dst must be a.Rows×b.Cols and distinct from
-// both operands. It uses a cache-friendly ikj loop ordering.
+// both operands. It uses a cache-friendly ikj loop ordering with a 4-way
+// unrolled axpy inner loop.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -84,20 +100,19 @@ func MatMul(dst, a, b *Matrix) {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		for k := 0; k < a.Cols; k++ {
-			aik := arow[k]
-			if aik == 0 {
-				continue
-			}
-			brow := b.Data[k*n : k*n+n]
-			for j := 0; j < n; j++ {
-				drow[j] += aik * brow[j]
-			}
+			axpyUnrolled(drow, arow[k], b.Data[k*n:k*n+n])
 		}
 	}
 }
 
 // MatMulT computes dst = a·bᵀ, i.e. dst[i][j] = Σ_k a[i][k]·b[j][k].
-// dst must be a.Rows×b.Rows.
+// dst must be a.Rows×b.Rows. This is the layout Dense forward passes
+// use (weights stored out×in), so a row of b is one output neuron's
+// contiguous weight vector. Rows of a are processed in register tiles
+// of four: each weight row is streamed once per four batch samples
+// instead of once per sample, which is what makes a B-row batch
+// materially cheaper than B separate matvecs; single-row calls fall
+// through to the unrolled dot kernel.
 func MatMulT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -105,16 +120,38 @@ func MatMulT(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulT dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
+	n := a.Cols
+	n8 := 0
+	if hasAVX2FMA {
+		n8 = n &^ 7
+	}
+	i := 0
+	for ; i+4 <= a.Rows; i += 4 {
+		a0, a1, a2, a3 := a.Row(i)[:n], a.Row(i + 1)[:n], a.Row(i + 2)[:n], a.Row(i + 3)[:n]
+		d0, d1, d2, d3 := dst.Row(i), dst.Row(i+1), dst.Row(i+2), dst.Row(i+3)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)[:n]
+			var s0, s1, s2, s3 float64
+			k := 0
+			if n8 > 0 {
+				s0, s1, s2, s3 = dot4FMA(&a0[0], &a1[0], &a2[0], &a3[0], &brow[0], n8)
+				k = n8
+			}
+			for ; k < n; k++ {
+				bk := brow[k]
+				s0 += a0[k] * bk
+				s1 += a1[k] * bk
+				s2 += a2[k] * bk
+				s3 += a3[k] * bk
+			}
+			d0[j], d1[j], d2[j], d3[j] = s0, s1, s2, s3
+		}
+	}
+	for ; i < a.Rows; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var sum float64
-			for k := range arow {
-				sum += arow[k] * brow[k]
-			}
-			drow[j] = sum
+			drow[j] = dotUnrolled(arow, b.Row(j))
 		}
 	}
 }
@@ -134,15 +171,44 @@ func TMatMul(dst, a, b *Matrix) {
 		arow := a.Row(k)
 		brow := b.Row(k)
 		for i := 0; i < a.Cols; i++ {
-			aki := arow[i]
-			if aki == 0 {
-				continue
-			}
 			drow := dst.Data[i*n : i*n+n]
-			for j := 0; j < n; j++ {
-				drow[j] += aki * brow[j]
-			}
+			axpyUnrolled(drow, arow[i], brow)
 		}
+	}
+}
+
+// dotUnrolled is the 4-way unrolled inner-product kernel behind Dot and
+// MatMulT. Four independent accumulators break the add-latency dependency
+// chain; lengths must match (callers check).
+func dotUnrolled(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// axpyUnrolled computes dst[i] += alpha*src[i] with a 4-way unrolled
+// loop; lengths must match (callers check).
+func axpyUnrolled(dst []float64, alpha float64, src []float64) {
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
 	}
 }
 
@@ -189,6 +255,41 @@ func AddRowVector(m *Matrix, v []float64) {
 		row := m.Row(r)
 		for c := range row {
 			row[c] += v[c]
+		}
+	}
+}
+
+// AddReLU computes dst[i] = max(0, a[i]+b[i]) element-wise; the fused
+// shortcut-connection + activation kernel (a residual block's output is
+// almost always followed by a ReLU).
+func AddReLU(dst, a, b *Matrix) {
+	checkSameShape("AddReLU", a, b)
+	checkSameShape("AddReLU", dst, a)
+	for i := range a.Data {
+		s := a.Data[i] + b.Data[i]
+		if s < 0 {
+			s = 0
+		}
+		dst.Data[i] = s
+	}
+}
+
+// AddRowVectorReLU adds vector v (length m.Cols) to every row of m and
+// applies ReLU in place: m[r][c] = max(0, m[r][c]+v[c]). Fusing the bias
+// broadcast with the activation saves one full pass over the batch on the
+// Dense→ReLU pairs that dominate the staged-model forward path.
+func AddRowVectorReLU(m *Matrix, v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVectorReLU vector length %d != cols %d", len(v), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			s := row[c] + v[c]
+			if s < 0 {
+				s = 0
+			}
+			row[c] = s
 		}
 	}
 }
@@ -282,11 +383,7 @@ func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var sum float64
-	for i := range a {
-		sum += a[i] * b[i]
-	}
-	return sum
+	return dotUnrolled(a, b)
 }
 
 // Norm2 returns the Euclidean norm of v.
