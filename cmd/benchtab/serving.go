@@ -16,8 +16,6 @@ import (
 // servingConfig records the shape of the serving benchmark so regressions
 // are comparable run to run.
 type servingConfig struct {
-	Workers  int `json:"workers"`
-	Batch    int `json:"batch"`
 	MaxBatch int `json:"max_batch"`
 	Hidden   int `json:"hidden"`
 	Stages   int `json:"stages"`
@@ -25,8 +23,10 @@ type servingConfig struct {
 	Rounds   int `json:"rounds"`
 }
 
-// servingMode is one side of the sequential-vs-batched comparison.
-type servingMode struct {
+// servingCell is one (workers, batch) cell of the scaling matrix.
+type servingCell struct {
+	Workers      int     `json:"workers"`
+	Batch        int     `json:"batch"`
 	ReqPerSec    float64 `json:"req_per_sec"`
 	P50MS        float64 `json:"p50_ms"`
 	P99MS        float64 `json:"p99_ms"`
@@ -34,29 +34,46 @@ type servingMode struct {
 	BytesPerReq  float64 `json:"bytes_per_req"`
 }
 
-// servingRecord is the BENCH_serving.json schema.
-type servingRecord struct {
-	Generated  string        `json:"generated"`
-	Config     servingConfig `json:"config"`
-	Sequential servingMode   `json:"sequential"`
-	Batched    servingMode   `json:"batched"`
-	Speedup    float64       `json:"speedup"`
-	AllocRatio float64       `json:"alloc_ratio"`
+// servingScaling summarizes the ratios the roadmap tracks.
+type servingScaling struct {
+	// BatchedOverSequentialW1 is batch=64 vs batch=1 req/s on one
+	// worker (the compute-layer batching win).
+	BatchedOverSequentialW1 float64 `json:"batched_over_sequential_w1"`
+	// BatchedW4OverW1 is batch=64 req/s at workers=4 vs workers=1 (the
+	// scheduler-scaling win; ~1.0 on a single-core machine).
+	BatchedW4OverW1 float64 `json:"batched_w4_over_w1"`
+	// AllocRatioW4OverW1 is batched allocs/req at workers=4 vs
+	// workers=1 (arena health: should stay ≈1).
+	AllocRatioW4OverW1 float64 `json:"alloc_ratio_w4_over_w1"`
 }
 
-// servingBench measures sequential Infer vs coalesced InferBatch
-// throughput on a 1-worker pool (the configuration where batching can
-// only win at the compute layer), records latency percentiles and
-// allocation counts, prints a table, and writes the JSON record.
+// servingRecord is the BENCH_serving.json schema.
+type servingRecord struct {
+	Generated  string         `json:"generated"`
+	CPUs       int            `json:"cpus"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Config     servingConfig  `json:"config"`
+	Matrix     []servingCell  `json:"matrix"`
+	Scaling    servingScaling `json:"scaling"`
+}
+
+// servingBench measures the scheduler scaling matrix — workers ∈
+// {1,2,4,8} × batch ∈ {1,64} — over one trained model, records latency
+// percentiles and allocation counts per cell, prints a table, and
+// writes the JSON record. batch=1 submits requests one at a time
+// (Submit); batch=64 uses one SubmitBatch per round.
 func servingBench(out string, rounds int) error {
 	if rounds < 1 {
 		rounds = 1
 	}
 	const (
-		batch  = 64
-		hidden = 256
-		blocks = 2
+		batchSize = 64
+		maxBatch  = 32
+		hidden    = 256
+		stages    = 3
+		blocks    = 2
 	)
+	workerCounts := []int{1, 2, 4, 8}
 	synth := dataset.SynthConfig{
 		Classes: 3, Dim: 32, ModesPerClass: 1,
 		TrainSize: 200, TestSize: 100,
@@ -66,60 +83,92 @@ func servingBench(out string, rounds int) error {
 	if err != nil {
 		return err
 	}
-	inputs := make([][]float64, batch)
+	inputs := make([][]float64, batchSize)
 	for i := range inputs {
 		inputs[i], _ = test.Sample(i % test.Len())
 	}
 
+	// One trained model shared by every cell: each service clones it per
+	// worker anyway, and retraining per cell would swamp the benchmark.
 	fmt.Fprintln(os.Stderr, "benchtab: training the serving benchmark model...")
-	newService := func() (*core.Service, error) {
+	opts := core.DefaultTrainOptions(synth.Dim, synth.Classes)
+	opts.Model.Hidden = hidden
+	opts.Model.BlocksPerStage = blocks
+	opts.Train.Epochs = 2
+	trainSvc, err := core.NewService(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	entry, err := trainSvc.Train("bench", train, opts)
+	if err != nil {
+		trainSvc.Close()
+		return err
+	}
+	model := entry.Model
+	trainSvc.Close()
+
+	ctx := context.Background()
+	measure := func(workers, batch int) (servingCell, error) {
 		svc, err := core.NewService(core.Config{
-			Workers: 1, Deadline: time.Second, QueueDepth: 256,
-			Lookahead: 1, MaxBatch: batch,
+			Workers: workers, Deadline: time.Second, QueueDepth: 256,
+			Lookahead: 1, MaxBatch: maxBatch,
 		})
 		if err != nil {
-			return nil, err
-		}
-		opts := core.DefaultTrainOptions(synth.Dim, synth.Classes)
-		opts.Model.Hidden = hidden
-		opts.Model.BlocksPerStage = blocks
-		opts.Train.Epochs = 2
-		if _, err := svc.Train("bench", train, opts); err != nil {
-			svc.Close()
-			return nil, err
-		}
-		return svc, nil
-	}
-
-	// Each run round appends the per-request latencies it observed, so
-	// percentiles cover exactly the measured rounds — the warm-up round
-	// (pool start, scratch sizing) is excluded.
-	measure := func(run func(svc *core.Service, lats *[]time.Duration) error) (servingMode, error) {
-		svc, err := newService()
-		if err != nil {
-			return servingMode{}, err
+			return servingCell{}, err
 		}
 		defer svc.Close()
+		if _, err := svc.Register("bench", model.Clone()); err != nil {
+			return servingCell{}, err
+		}
+		// Resubmitting the same input slices is legal under the serving
+		// ownership contract: executors only ever read them.
+		run := func(lats *[]time.Duration) error {
+			if batch == 1 {
+				for _, x := range inputs {
+					resp, err := svc.Infer(ctx, "bench", x)
+					if err != nil {
+						return err
+					}
+					*lats = append(*lats, resp.Latency)
+				}
+				return nil
+			}
+			resps, err := svc.InferBatch(ctx, "bench", inputs)
+			if err != nil {
+				return err
+			}
+			if len(resps) != batchSize {
+				return fmt.Errorf("%d responses for batch of %d", len(resps), batchSize)
+			}
+			for _, r := range resps {
+				*lats = append(*lats, r.Latency)
+			}
+			return nil
+		}
+		// A warm-up round (pool start, arena sizing) is excluded from
+		// the measured rounds.
 		var warm []time.Duration
-		if err := run(svc, &warm); err != nil {
-			return servingMode{}, err
+		if err := run(&warm); err != nil {
+			return servingCell{}, err
 		}
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		lats := make([]time.Duration, 0, rounds*batch)
+		lats := make([]time.Duration, 0, rounds*batchSize)
 		start := time.Now()
 		for r := 0; r < rounds; r++ {
-			if err := run(svc, &lats); err != nil {
-				return servingMode{}, err
+			if err := run(&lats); err != nil {
+				return servingCell{}, err
 			}
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
-		reqs := float64(rounds * batch)
+		reqs := float64(rounds * batchSize)
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		n := len(lats)
-		return servingMode{
+		return servingCell{
+			Workers:      workers,
+			Batch:        batch,
 			ReqPerSec:    reqs / elapsed.Seconds(),
 			P50MS:        float64(lats[n/2].Microseconds()) / 1000,
 			P99MS:        float64(lats[min(n-1, n*99/100)].Microseconds()) / 1000,
@@ -128,58 +177,47 @@ func servingBench(out string, rounds int) error {
 		}, nil
 	}
 
-	ctx := context.Background()
-	// Resubmitting the same input slices is legal under the serving
-	// ownership contract: executors only ever read them.
-	seq, err := measure(func(svc *core.Service, lats *[]time.Duration) error {
-		for _, x := range inputs {
-			resp, err := svc.Infer(ctx, "bench", x)
-			if err != nil {
-				return err
-			}
-			*lats = append(*lats, resp.Latency)
-		}
-		return nil
-	})
-	if err != nil {
-		return fmt.Errorf("sequential serving bench: %w", err)
-	}
-	bat, err := measure(func(svc *core.Service, lats *[]time.Duration) error {
-		resps, err := svc.InferBatch(ctx, "bench", inputs)
-		if err != nil {
-			return err
-		}
-		if len(resps) != batch {
-			return fmt.Errorf("%d responses for batch of %d", len(resps), batch)
-		}
-		for _, r := range resps {
-			*lats = append(*lats, r.Latency)
-		}
-		return nil
-	})
-	if err != nil {
-		return fmt.Errorf("batched serving bench: %w", err)
-	}
-
 	rec := servingRecord{
-		Generated: time.Now().UTC().Format(time.RFC3339),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Config: servingConfig{
-			Workers: 1, Batch: batch, MaxBatch: batch,
-			Hidden: hidden, Stages: 3, Blocks: blocks, Rounds: rounds,
+			MaxBatch: maxBatch, Hidden: hidden,
+			Stages: stages, Blocks: blocks, Rounds: rounds,
 		},
-		Sequential: seq,
-		Batched:    bat,
-		Speedup:    bat.ReqPerSec / seq.ReqPerSec,
 	}
-	if bat.AllocsPerReq > 0 {
-		rec.AllocRatio = seq.AllocsPerReq / bat.AllocsPerReq
+	cell := make(map[[2]int]servingCell)
+	for _, w := range workerCounts {
+		for _, b := range []int{1, batchSize} {
+			fmt.Fprintf(os.Stderr, "benchtab: serving workers=%d batch=%d...\n", w, b)
+			c, err := measure(w, b)
+			if err != nil {
+				return fmt.Errorf("serving bench workers=%d batch=%d: %w", w, b, err)
+			}
+			rec.Matrix = append(rec.Matrix, c)
+			cell[[2]int{w, b}] = c
+		}
+	}
+	w1, w4 := cell[[2]int{1, batchSize}], cell[[2]int{4, batchSize}]
+	if s := cell[[2]int{1, 1}]; s.ReqPerSec > 0 {
+		rec.Scaling.BatchedOverSequentialW1 = w1.ReqPerSec / s.ReqPerSec
+	}
+	if w1.ReqPerSec > 0 {
+		rec.Scaling.BatchedW4OverW1 = w4.ReqPerSec / w1.ReqPerSec
+	}
+	if w1.AllocsPerReq > 0 {
+		rec.Scaling.AllocRatioW4OverW1 = w4.AllocsPerReq / w1.AllocsPerReq
 	}
 
-	fmt.Printf("Serving throughput (1 worker, batch %d, MaxBatch %d, hidden %d)\n", batch, batch, hidden)
-	fmt.Printf("  %-11s %10s %9s %9s %12s\n", "mode", "req/s", "p50 ms", "p99 ms", "allocs/req")
-	fmt.Printf("  %-11s %10.0f %9.2f %9.2f %12.1f\n", "sequential", seq.ReqPerSec, seq.P50MS, seq.P99MS, seq.AllocsPerReq)
-	fmt.Printf("  %-11s %10.0f %9.2f %9.2f %12.1f\n", "batched", bat.ReqPerSec, bat.P50MS, bat.P99MS, bat.AllocsPerReq)
-	fmt.Printf("  speedup %.2fx, %.1fx fewer allocs/req\n", rec.Speedup, rec.AllocRatio)
+	fmt.Printf("Serving scaling matrix (MaxBatch %d, hidden %d, %d rounds, GOMAXPROCS %d)\n",
+		maxBatch, hidden, rounds, rec.GOMAXPROCS)
+	fmt.Printf("  %-7s %-6s %10s %9s %9s %12s\n", "workers", "batch", "req/s", "p50 ms", "p99 ms", "allocs/req")
+	for _, c := range rec.Matrix {
+		fmt.Printf("  %-7d %-6d %10.0f %9.2f %9.2f %12.1f\n",
+			c.Workers, c.Batch, c.ReqPerSec, c.P50MS, c.P99MS, c.AllocsPerReq)
+	}
+	fmt.Printf("  batched/sequential (1 worker) %.2fx; batched w4/w1 %.2fx; alloc ratio w4/w1 %.2f\n",
+		rec.Scaling.BatchedOverSequentialW1, rec.Scaling.BatchedW4OverW1, rec.Scaling.AllocRatioW4OverW1)
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -31,14 +31,16 @@ func run() error {
 	lookahead := flag.Int("lookahead", 1, "RTDeepIoT scheduler lookahead k")
 	queue := flag.Int("queue", 256, "admission queue depth")
 	maxBatch := flag.Int("maxbatch", 0, "same-stage tasks coalesced per batched forward pass (0 = default, 1 disables)")
+	parallelism := flag.Int("parallelism", 0, "cores one large GEMM may fan out over (0 = GOMAXPROCS, 1 disables)")
 	flag.Parse()
 
 	svc, err := eugene.NewService(eugene.Config{
-		Workers:    *workers,
-		Deadline:   *deadline,
-		QueueDepth: *queue,
-		Lookahead:  *lookahead,
-		MaxBatch:   *maxBatch,
+		Workers:     *workers,
+		Deadline:    *deadline,
+		QueueDepth:  *queue,
+		Lookahead:   *lookahead,
+		MaxBatch:    *maxBatch,
+		Parallelism: *parallelism,
 	})
 	if err != nil {
 		return err
@@ -48,7 +50,7 @@ func run() error {
 	if effectiveMaxBatch == 0 {
 		effectiveMaxBatch = eugene.DefaultMaxBatch
 	}
-	log.Printf("eugened listening on %s (workers=%d deadline=%v k=%d maxbatch=%d)",
-		*addr, *workers, *deadline, *lookahead, effectiveMaxBatch)
+	log.Printf("eugened listening on %s (workers=%d deadline=%v k=%d maxbatch=%d parallelism=%d)",
+		*addr, *workers, *deadline, *lookahead, effectiveMaxBatch, *parallelism)
 	return svc.ListenAndServe(*addr)
 }

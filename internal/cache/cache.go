@@ -9,7 +9,6 @@ package cache
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"eugene/internal/dataset"
 	"eugene/internal/nn"
@@ -56,23 +55,39 @@ func (f *FreqTracker) Share(c int) float64 {
 	return f.counts[c] / f.total
 }
 
-// TopK returns the k most frequent classes (descending share) and their
-// cumulative share.
+// TopK returns the k most frequent classes (descending share, ties
+// broken by lower class id) and their cumulative share. Selection is a
+// bounded partial pass — one scan maintaining the k best by insertion —
+// so hot-set decisions cost O(classes·k) for the small k of a device
+// hot set instead of sorting every class on every call.
 func (f *FreqTracker) TopK(k int) ([]int, float64) {
 	if k > len(f.counts) {
 		k = len(f.counts)
 	}
-	idx := make([]int, len(f.counts))
-	for i := range idx {
-		idx[i] = i
+	if k <= 0 {
+		return []int{}, 0
 	}
-	sort.Slice(idx, func(a, b int) bool { return f.counts[idx[a]] > f.counts[idx[b]] })
-	top := idx[:k]
+	top := make([]int, 0, k)
+	for c, n := range f.counts {
+		if len(top) == k && n <= f.counts[top[k-1]] {
+			continue
+		}
+		i := len(top)
+		if i < k {
+			top = append(top, 0)
+		} else {
+			i = k - 1
+		}
+		for ; i > 0 && n > f.counts[top[i-1]]; i-- {
+			top[i] = top[i-1]
+		}
+		top[i] = c
+	}
 	var share float64
 	for _, c := range top {
 		share += f.Share(c)
 	}
-	return append([]int(nil), top...), share
+	return top, share
 }
 
 // Policy decides when caching a reduced model is worthwhile, adapting

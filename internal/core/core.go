@@ -19,6 +19,7 @@ import (
 	"eugene/internal/dataset"
 	"eugene/internal/sched"
 	"eugene/internal/staged"
+	"eugene/internal/tensor"
 )
 
 // ModelEntry is one registered model and its serving state. Published
@@ -53,6 +54,13 @@ type Config struct {
 	// disables batching). Larger batches raise throughput under load at
 	// the cost of coarser per-dispatch deadline granularity.
 	MaxBatch int
+	// Parallelism caps how many cores one large GEMM may fan out over
+	// (tensor.SetParallelism): 0 leaves the process-wide default
+	// (GOMAXPROCS) untouched, 1 disables intra-op parallelism. Nonzero
+	// values are process-wide — the tensor worker pool is shared by
+	// every service in the process, so only set this from the one
+	// place that owns the decision.
+	Parallelism int
 }
 
 // DefaultConfig serves with 4 workers, a 200 ms deadline, k = 1 and the
@@ -63,7 +71,7 @@ func DefaultConfig() Config {
 
 // Validate reports an error for degenerate configurations.
 func (c Config) Validate() error {
-	if c.Workers < 1 || c.Deadline <= 0 || c.QueueDepth < 1 || c.Lookahead < 1 || c.MaxBatch < 0 {
+	if c.Workers < 1 || c.Deadline <= 0 || c.QueueDepth < 1 || c.Lookahead < 1 || c.MaxBatch < 0 || c.Parallelism < 0 {
 		return fmt.Errorf("core: bad config %+v", c)
 	}
 	return nil
@@ -87,6 +95,9 @@ var ErrClosed = errors.New("core: service closed")
 func NewService(cfg Config) (*Service, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Parallelism > 0 {
+		tensor.SetParallelism(cfg.Parallelism)
 	}
 	return &Service{
 		cfg:     cfg,
@@ -303,17 +314,12 @@ type execAdapter struct {
 	res []sched.StageResult
 }
 
-// ExecStage implements sched.StageExecutor.
-func (e *execAdapter) ExecStage(hidden []float64, stage int) ([]float64, sched.StageResult) {
-	next, out := e.m.ExecStage(hidden, stage)
-	return next, sched.StageResult{Pred: out.Pred, Conf: out.Conf}
-}
-
 // ExecStageBatch implements sched.StageExecutor: the whole group flows
-// through the model as one batched forward pass. The returned slices are
-// adapter/model scratch, valid until the next Exec call.
-func (e *execAdapter) ExecStageBatch(hidden [][]float64, stage int) ([][]float64, []sched.StageResult) {
-	next, outs := e.m.ExecStageBatch(hidden, stage)
+// through the model as one batched forward pass, writing new hidden
+// states into the worker's dst scratch rows when they fit. The returned
+// slices are adapter/model scratch, valid until the next Exec call.
+func (e *execAdapter) ExecStageBatch(hidden [][]float64, stage int, dst [][]float64) ([][]float64, []sched.StageResult) {
+	next, outs := e.m.ExecStageBatch(hidden, stage, dst)
 	if cap(e.res) < len(outs) {
 		e.res = make([]sched.StageResult, len(outs))
 	}

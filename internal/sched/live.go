@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -12,20 +11,27 @@ import (
 )
 
 // StageExecutor executes stages of a staged model on explicit hidden
-// states; staged.Model satisfies this via ExecStage/ExecStageBatch
-// (adapted — see core). Each worker owns one executor (model clone).
+// states; staged.Model satisfies this via ExecStageBatch (adapted — see
+// core). Each worker owns one executor (model clone) and drives it from
+// a single goroutine, so executors may keep internal scratch.
 type StageExecutor interface {
-	// ExecStage consumes the hidden state from the previous stage (or
-	// the raw input for stage 0) and returns the next hidden state and
-	// the stage's result. The input slice is only read.
-	ExecStage(hidden []float64, stage int) ([]float64, StageResult)
 	// ExecStageBatch executes one stage for several tasks that are all
 	// at the same stage, one hidden state per row, and returns the new
-	// hidden states and results in matching order. Stage-0 input rows
-	// must only be read (callers retain raw request inputs); rows for
-	// later stages may be reused in place. The returned outer slices
-	// may be executor-owned scratch, valid until the next Exec call.
-	ExecStageBatch(hidden [][]float64, stage int) ([][]float64, []StageResult)
+	// hidden states and results in matching order (a group of one is
+	// legal and common). Stage-0 input rows must only be read (callers
+	// retain raw request inputs); rows for later stages may be reused in
+	// place.
+	//
+	// dst is the worker-local scratch handle: when non-nil, dst[i] is a
+	// zero-length slice whose capacity the executor should use for task
+	// i's output row (write the stage output there and return
+	// dst[i][:width]) whenever the capacity suffices and the input row
+	// cannot be reused in place. Executors may ignore dst entirely and
+	// return their own buffers; the worker detects which rows were
+	// adopted by pointer identity and recycles the rest. The returned
+	// outer slices may be executor-owned scratch, valid until the next
+	// call.
+	ExecStageBatch(hidden [][]float64, stage int, dst [][]float64) ([][]float64, []StageResult)
 	// NumStages returns the exit count.
 	NumStages() int
 }
@@ -43,10 +49,15 @@ type LiveConfig struct {
 	// Deadline is the maximum latency per task, enforced by the
 	// deadline daemon.
 	Deadline time.Duration
-	// QueueDepth bounds the submission queue.
+	// QueueDepth bounds admission: at most this many Submit tasks may
+	// be in the system at once (excess submitters block, context-
+	// aware), and one SubmitBatch may not exceed it (batches are
+	// admitted atomically rather than counted against the in-system
+	// bound, so concurrent batches cannot deadlock on partial
+	// reservations).
 	QueueDepth int
-	// MaxBatch caps how many same-stage pending tasks the scheduler
-	// coalesces into one worker dispatch (one ExecStageBatch call).
+	// MaxBatch caps how many same-stage pending tasks a worker
+	// coalesces into one dispatch (one ExecStageBatch call).
 	// 0 means DefaultMaxBatch; 1 disables coalescing.
 	MaxBatch int
 }
@@ -139,8 +150,7 @@ type LiveStats struct {
 	Submitted uint64 `json:"submitted"`
 	// Answered counts finished tasks with ≥1 executed stage.
 	Answered uint64 `json:"answered"`
-	// Expired counts tasks finished by the deadline daemon (or whose
-	// last result arrived past the deadline).
+	// Expired counts tasks finished past their deadline.
 	Expired uint64 `json:"expired"`
 	// Unanswered counts tasks that expired before any stage ran.
 	Unanswered uint64 `json:"unanswered"`
@@ -154,80 +164,184 @@ type LiveStats struct {
 	P99 time.Duration `json:"p99"`
 }
 
+// liveTask is one in-system request. Task records are pooled: gen
+// counts incarnations so that stale deadline-heap entries from a
+// previous life can never flag the next one (see expEntry).
+//
+// Ownership discipline: between stages a task belongs to exactly one
+// shard (access under that shard's mutex); during a stage it belongs to
+// the executing worker. Only the owner reads or writes state/hidden and
+// only the owner finalizes, so no per-task lock guards them. The
+// deadline daemon communicates exclusively through the dead flag.
 type liveTask struct {
-	state     *TaskState
+	state     TaskState
+	task      Task
 	hidden    []float64
 	done      chan Response
 	start     time.Time
 	expiresAt time.Time
+	// sem marks tasks holding an admitSem token (single submissions),
+	// released at finalize.
+	sem bool
+	// ownsBuf marks hidden as a worker-arena buffer, recycled when the
+	// task finishes or the executor swaps the row out.
+	ownsBuf bool
+	// dead is set by the deadline daemon and checked lock-free at stage
+	// boundaries: expiry notification never touches shard or dispatch
+	// state.
+	dead atomic.Bool
+	// reuseMu serializes the daemon's gen check against pool reuse; it
+	// is never held while executing or dispatching.
+	reuseMu sync.Mutex
+	gen     uint64
 }
 
-// deadlineHeap orders in-system tasks by wall-clock expiry; the
-// scheduler's single deadline timer always tracks the minimum. Finalized
-// tasks are removed lazily when they surface at the root.
-type deadlineHeap []*liveTask
-
-func (h deadlineHeap) Len() int           { return len(h) }
-func (h deadlineHeap) Less(i, j int) bool { return h[i].expiresAt.Before(h[j].expiresAt) }
-func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(*liveTask)) }
-func (h *deadlineHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return t
+// expEntry is one deadline-heap record. at is stored by value so heap
+// maintenance never dereferences (possibly recycled) tasks; gen is
+// compared under reuseMu before the dead flag is set.
+type expEntry struct {
+	t   *liveTask
+	gen uint64
+	at  time.Time
 }
 
-// Live is the real-time counterpart of Simulate: a scheduler goroutine
-// drives a pool of worker goroutines (each with its own model clone)
-// under a Policy, and a deadline daemon — one timer over a min-heap of
-// expiries — interrupts overdue tasks. It mirrors the paper's user-space
-// scheduler + TensorFlow process pool + named-pipe reporting, with
-// channels in place of pipes.
+// expHeap orders in-system tasks by wall-clock expiry; the deadline
+// daemon's single timer always tracks the minimum. Hand-rolled sift
+// functions instead of container/heap keep entries unboxed (no
+// interface allocation on the submit hot path); with a uniform
+// relative deadline pushes arrive in order and sift-up is O(1).
+type expHeap []expEntry
+
+func (h *expHeap) push(e expEntry) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !s[i].at.Before(s[p].at) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *expHeap) popMin() expEntry {
+	s := *h
+	n := len(s) - 1
+	e := s[0]
+	s[0] = s[n]
+	s[n] = expEntry{}
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s[c+1].at.Before(s[c].at) {
+			c++
+		}
+		if !s[c].at.Before(s[i].at) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return e
+}
+
+// shard is one worker's run queue: ready tasks bucketed by the stage
+// they will run next, so coalescing a same-stage group is one bucket
+// scan instead of a pass over every pending task. count mirrors the
+// bucket total atomically for lock-free "is there work anywhere"
+// checks.
+type shard struct {
+	mu      sync.Mutex
+	buckets [][]*liveTask
+	count   atomic.Int64
+
+	// pick scratch, guarded by mu.
+	states []*TaskState
+	flat   []*liveTask
+}
+
+// putLocked adds a ready task to its stage bucket; callers hold mu and
+// adjust count themselves.
+func (sh *shard) putLocked(t *liveTask) {
+	s := t.state.Executed
+	for len(sh.buckets) <= s {
+		sh.buckets = append(sh.buckets, nil)
+	}
+	sh.buckets[s] = append(sh.buckets[s], t)
+}
+
+// Live is the real-time counterpart of Simulate: a sharded
+// work-stealing executor. Each worker goroutine owns a deque of ready
+// tasks (bucketed per stage), runs policy-picked same-stage groups as
+// batched forward passes, carries survivors straight into their next
+// stage itself (worker-resident continuation — no cross-goroutine
+// handoff between stages), and steals from sibling shards when its own
+// is empty. A deadline daemon — one timer over a min-heap of expiries —
+// flags overdue tasks through per-task atomic bits; owners observe the
+// flag at stage boundaries, so expiry never contends with dispatch. It
+// mirrors the paper's user-space scheduler + TensorFlow process pool +
+// named-pipe reporting, with shared-memory queues in place of pipes.
 type Live struct {
-	cfg    LiveConfig
-	policy Policy
+	cfg LiveConfig
+	// policies holds one Policy per worker: forks of the configured
+	// policy when it implements ForkablePolicy (private pick state, no
+	// lock), else the shared instance in every slot guarded by
+	// policyMu. Per-worker forks keep a k-lookahead timeline coherent:
+	// each plans over its own shard, so planned task IDs stay
+	// resolvable at the next pick instead of being discarded as stale
+	// by a sibling's disjoint task set.
+	policies     []Policy
+	policyShared bool
+	// policyMu serializes Pick calls on a shared (non-forkable) policy.
+	// Picks are per dispatched group, not per task, so this is off the
+	// per-stage hot path.
+	policyMu sync.Mutex
 
-	nextID   int64
-	submitCh chan *liveTask
-	batchCh  chan []*liveTask
-	resultCh chan workerResult
+	nextID atomic.Int64
+	rr     atomic.Uint64 // round-robin shard cursor for admissions
+
+	shards []*shard
+	wake   []chan struct{}
+	parkMu sync.Mutex
+	parked []int
+	// workEpoch increments on every push and every daemon flag; workers
+	// sample it before scanning for work and refuse to park if it moved,
+	// which closes the scan-then-sleep wakeup race.
+	workEpoch atomic.Uint64
+
+	expMu    sync.Mutex
+	expiries expHeap
+	expKick  chan struct{}
+
+	// admitSem is the QueueDepth counting semaphore for single
+	// submissions; tokens are released when the task finalizes.
+	admitSem chan struct{}
+
+	taskPool  sync.Pool // *liveTask
+	batchPool sync.Pool // *[]*liveTask
+	bufPool   sync.Pool // *[]float64: hidden-row overflow shared across workers
+
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+	epoch    time.Time
 
-	workCh []chan workItem
-	epoch  time.Time
-
-	statsMu    sync.Mutex
-	submitted  uint64
-	answered   uint64
-	expired    uint64
-	unanswered uint64
-	inSystem   int
+	// Serving counters: atomics so stats recording never contends on
+	// the submit or finish hot paths; the mutex covers only the latency
+	// histogram.
+	submitted  atomic.Uint64
+	answered   atomic.Uint64
+	expired    atomic.Uint64
+	unanswered atomic.Uint64
+	inSystem   atomic.Int64
+	histMu     sync.Mutex
 	latHist    [latBuckets]uint64
 	latCount   uint64
-}
-
-// workItem is one worker dispatch: a group of tasks all at the same
-// stage, executed as one batched forward pass (or a plain ExecStage when
-// the group is a singleton).
-type workItem struct {
-	tasks []*liveTask
-	stage int
-}
-
-// workerResult reports one finished dispatch. hidden and res are indexed
-// like tasks; their outer slices may be worker/executor scratch, valid
-// only until the worker is dispatched again (the scheduler consumes them
-// before re-adding the worker to the idle pool's rotation).
-type workerResult struct {
-	worker int
-	tasks  []*liveTask
-	hidden [][]float64
-	res    []StageResult
 }
 
 // NewLive starts the executor. executors must have length cfg.Workers;
@@ -248,107 +362,317 @@ func NewLive(cfg LiveConfig, policy Policy, executors []StageExecutor) (*Live, e
 	}
 	l := &Live{
 		cfg:      cfg,
-		policy:   policy,
-		submitCh: make(chan *liveTask, cfg.QueueDepth),
-		batchCh:  make(chan []*liveTask),
-		resultCh: make(chan workerResult),
+		expKick:  make(chan struct{}, 1),
+		admitSem: make(chan struct{}, cfg.QueueDepth),
 		stopCh:   make(chan struct{}),
 		epoch:    time.Now(),
 	}
-	l.workCh = make([]chan workItem, cfg.Workers)
+	l.policies = make([]Policy, cfg.Workers)
+	if f, ok := policy.(ForkablePolicy); ok {
+		l.policies[0] = policy
+		for w := 1; w < cfg.Workers; w++ {
+			l.policies[w] = f.Fork()
+		}
+	} else {
+		l.policyShared = true
+		for w := range l.policies {
+			l.policies[w] = policy
+		}
+	}
+	l.shards = make([]*shard, cfg.Workers)
+	l.wake = make([]chan struct{}, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		l.workCh[w] = make(chan workItem)
+		l.shards[w] = &shard{}
+		l.wake[w] = make(chan struct{}, 1)
+	}
+	for w := 0; w < cfg.Workers; w++ {
 		l.wg.Add(1)
 		go l.worker(w, executors[w])
 	}
 	l.wg.Add(1)
-	go l.schedule()
+	go l.daemon()
 	return l, nil
 }
 
-// newTask builds an admitted task record stamped with the shared
-// per-executor deadline. The input slice is taken over without copying:
-// Submit/SubmitBatch callers hand freshly allocated slices (HTTP
-// decoding, batch assembly) and must not mutate them afterwards.
+func (l *Live) nowTicks() Ticks { return Ticks(time.Since(l.epoch)) }
+
+// getTask checks a task record out of the arena and stamps it with the
+// shared per-executor deadline. The input slice is taken over without
+// copying: Submit/SubmitBatch callers hand freshly allocated slices
+// (HTTP decoding, batch assembly) and must not mutate them afterwards.
 // Executors never write to stage-0 inputs (see StageExecutor), so the
 // slice stays intact even when a task outlives its caller via context
 // cancellation or an executor-stop retry.
-func (l *Live) newTask(input []float64, numStages int) *liveTask {
+func (l *Live) getTask(input []float64, numStages int) *liveTask {
+	t, _ := l.taskPool.Get().(*liveTask)
+	if t == nil {
+		t = &liveTask{done: make(chan Response, 1)}
+	}
 	now := time.Now()
-	return &liveTask{
-		state: &TaskState{
-			Task:     &Task{ID: int(atomic.AddInt64(&l.nextID, 1)), NumStages: numStages},
-			Arrival:  Ticks(now.Sub(l.epoch)),
-			Deadline: Ticks(now.Add(l.cfg.Deadline).Sub(l.epoch)),
-			Pred:     -1,
-		},
-		hidden:    input,
-		done:      make(chan Response, 1),
-		start:     now,
-		expiresAt: now.Add(l.cfg.Deadline),
+	t.reuseMu.Lock()
+	t.gen++
+	t.dead.Store(false)
+	t.reuseMu.Unlock()
+	t.task = Task{ID: int(l.nextID.Add(1)), NumStages: numStages}
+	t.state = TaskState{
+		Task:     &t.task,
+		Arrival:  Ticks(now.Sub(l.epoch)),
+		Deadline: Ticks(now.Add(l.cfg.Deadline).Sub(l.epoch)),
+		Pred:     -1,
+	}
+	t.hidden = input
+	t.ownsBuf = false
+	t.sem = false
+	t.start = now
+	t.expiresAt = now.Add(l.cfg.Deadline)
+	return t
+}
+
+// putTask returns a finished task to the arena. Only the submitter may
+// call it, and only after reading the response: at that point the
+// owner has dropped every reference and the done channel is empty.
+// Stale deadline-heap entries are neutralized by the gen counter.
+func (l *Live) putTask(t *liveTask) {
+	t.hidden = nil
+	t.state.Task = nil
+	l.taskPool.Put(t)
+}
+
+// addExpiry registers tasks with the deadline daemon. Deadlines are
+// uniform, so a push only re-arms the daemon when the heap was empty
+// (or, defensively, when the new expiry precedes the current minimum).
+func (l *Live) addExpiry(tasks ...*liveTask) {
+	l.expMu.Lock()
+	kick := false
+	for _, t := range tasks {
+		if len(l.expiries) == 0 || t.expiresAt.Before(l.expiries[0].at) {
+			kick = true
+		}
+		l.expiries.push(expEntry{t: t, gen: t.gen, at: t.expiresAt})
+	}
+	l.expMu.Unlock()
+	if kick {
+		select {
+		case l.expKick <- struct{}{}:
+		default:
+		}
 	}
 }
 
-// admitCount records n accepted tasks for Stats. It is called BEFORE
-// the scheduler send: once the scheduler has the task it may finish it
-// (decrementing inSystem) before a post-send increment would run,
-// which would let Stats observe a negative queue depth. A failed send
-// is rolled back with unadmit.
-func (l *Live) admitCount(n int) {
-	l.statsMu.Lock()
-	l.submitted += uint64(n)
-	l.inSystem += n
-	l.statsMu.Unlock()
-}
-
-// unadmit rolls back admitCount when the scheduler never received the
-// tasks (stopped executor, cancelled context).
-func (l *Live) unadmit(n int) {
-	l.statsMu.Lock()
-	l.submitted -= uint64(n)
-	l.inSystem -= n
-	l.statsMu.Unlock()
+// daemon is the deadline watchdog: one timer armed to the earliest
+// expiry. Expiring a task is a gen-checked atomic flag set — it never
+// touches shards, task state, or dispatch, so a storm of expiries
+// cannot stall the serving path. Owners observe the flag at the next
+// stage boundary and deliver the expired response with the last
+// completed stage's answer.
+func (l *Live) daemon() {
+	defer l.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var due []expEntry
+	for {
+		select {
+		case <-l.stopCh:
+			return
+		case <-l.expKick:
+		case <-timer.C:
+		}
+		now := time.Now()
+		due = due[:0]
+		l.expMu.Lock()
+		for len(l.expiries) > 0 && !l.expiries[0].at.After(now) {
+			due = append(due, l.expiries.popMin())
+		}
+		var next time.Time
+		if len(l.expiries) > 0 {
+			next = l.expiries[0].at
+		}
+		l.expMu.Unlock()
+		marked := false
+		for _, e := range due {
+			e.t.reuseMu.Lock()
+			if e.t.gen == e.gen {
+				e.t.dead.Store(true)
+				marked = true
+			}
+			e.t.reuseMu.Unlock()
+		}
+		if marked {
+			// Wake everyone: parked workers steal and finalize the
+			// flagged tasks of busy siblings.
+			l.workEpoch.Add(1)
+			l.wakeAll()
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		if !next.IsZero() {
+			timer.Reset(time.Until(next))
+		}
+	}
 }
 
 // recordFinish folds one finished task into the serving counters.
 func (l *Live) recordFinish(stages int, expired bool, lat time.Duration) {
-	l.statsMu.Lock()
 	if stages > 0 {
-		l.answered++
+		l.answered.Add(1)
 	}
 	if expired {
-		l.expired++
+		l.expired.Add(1)
 		if stages == 0 {
-			l.unanswered++
+			l.unanswered.Add(1)
 		}
 	}
+	l.histMu.Lock()
 	l.latHist[latBucket(lat)]++
 	l.latCount++
-	l.inSystem--
-	l.statsMu.Unlock()
+	l.histMu.Unlock()
+	l.inSystem.Add(-1)
+}
+
+// finalize delivers a task's response. Callers must own the task; the
+// buffered channel makes the send non-blocking.
+func (l *Live) finalize(t *liveTask, expired bool) {
+	st := &t.state
+	if st.Finalized {
+		return
+	}
+	st.Finalized = true
+	if t.sem {
+		// Release the admission token; never blocks (the task held it).
+		<-l.admitSem
+		t.sem = false
+	}
+	lat := time.Since(t.start)
+	l.recordFinish(st.Executed, expired, lat)
+	t.done <- Response{
+		Pred:    st.Pred,
+		Conf:    st.Conf,
+		Stages:  st.Executed,
+		Expired: expired,
+		Latency: lat,
+	}
 }
 
 // Stats returns a snapshot of the executor's serving counters. Safe to
-// call concurrently with Submit/SubmitBatch: the lock is held only to
-// copy the counters and the fixed-size histogram; percentile selection
-// happens outside it, allocation-free.
+// call concurrently with Submit/SubmitBatch: the counters are atomics
+// and the lock is held only to copy the fixed-size histogram;
+// percentile selection happens outside it, allocation-free.
 func (l *Live) Stats() LiveStats {
-	l.statsMu.Lock()
 	s := LiveStats{
-		Submitted:  l.submitted,
-		Answered:   l.answered,
-		Expired:    l.expired,
-		Unanswered: l.unanswered,
-		QueueDepth: l.inSystem,
+		Submitted:  l.submitted.Load(),
+		Answered:   l.answered.Load(),
+		Expired:    l.expired.Load(),
+		Unanswered: l.unanswered.Load(),
+		QueueDepth: int(l.inSystem.Load()),
 	}
+	l.histMu.Lock()
 	hist := l.latHist
 	n := l.latCount
-	l.statsMu.Unlock()
+	l.histMu.Unlock()
 	if n > 0 {
 		s.P50 = histPercentile(&hist, n/2)
 		s.P99 = histPercentile(&hist, min(n-1, n*99/100))
 	}
 	return s
+}
+
+// pushShard places a contiguous run of ready tasks on one shard.
+// Callers bump workEpoch and wake workers themselves (once per
+// admission, not once per shard).
+func (l *Live) pushShard(w int, tasks []*liveTask) {
+	sh := l.shards[w]
+	sh.mu.Lock()
+	for _, t := range tasks {
+		sh.putLocked(t)
+	}
+	sh.mu.Unlock()
+	sh.count.Add(int64(len(tasks)))
+}
+
+// wakeOne unparks one worker, preferring pref (the shard that just
+// received work) when it is parked.
+func (l *Live) wakeOne(pref int) {
+	l.parkMu.Lock()
+	if len(l.parked) == 0 {
+		l.parkMu.Unlock()
+		return
+	}
+	idx := len(l.parked) - 1
+	if pref >= 0 {
+		for i, id := range l.parked {
+			if id == pref {
+				idx = i
+				break
+			}
+		}
+	}
+	id := l.parked[idx]
+	l.parked = append(l.parked[:idx], l.parked[idx+1:]...)
+	l.parkMu.Unlock()
+	select {
+	case l.wake[id] <- struct{}{}:
+	default:
+	}
+}
+
+// wakeAll unparks every worker. The sends are non-blocking (buffered
+// tokens), so holding parkMu across them is safe and avoids copying the
+// parked list.
+func (l *Live) wakeAll() {
+	l.parkMu.Lock()
+	for _, id := range l.parked {
+		select {
+		case l.wake[id] <- struct{}{}:
+		default:
+		}
+	}
+	l.parked = l.parked[:0]
+	l.parkMu.Unlock()
+}
+
+// park blocks worker id until new work arrives or the executor stops
+// (false). epoch is the workEpoch sampled before the caller's failed
+// scan: if it moved, work may have been pushed mid-scan and the worker
+// rescans instead of sleeping.
+func (l *Live) park(id int, epoch uint64) bool {
+	l.parkMu.Lock()
+	l.parked = append(l.parked, id)
+	l.parkMu.Unlock()
+	if l.workEpoch.Load() != epoch {
+		l.unpark(id)
+		return true
+	}
+	select {
+	case <-l.wake[id]:
+		return true
+	case <-l.stopCh:
+		l.unpark(id)
+		return false
+	}
+}
+
+// unpark removes id from the parked list (it may already be gone if a
+// producer popped it) and drains any stale wake token.
+func (l *Live) unpark(id int) {
+	l.parkMu.Lock()
+	for i, p := range l.parked {
+		if p == id {
+			l.parked = append(l.parked[:i], l.parked[i+1:]...)
+			break
+		}
+	}
+	l.parkMu.Unlock()
+	select {
+	case <-l.wake[id]:
+	default:
+	}
 }
 
 // Submit enqueues one task and blocks until it is answered, expires, or
@@ -359,26 +683,41 @@ func (l *Live) Submit(ctx context.Context, input []float64, numStages int) (Resp
 	if numStages < 1 {
 		return Response{}, fmt.Errorf("sched: task needs ≥1 stage")
 	}
-	t := l.newTask(input, numStages)
-	// Refuse new work once stopped; the scheduler no longer drains the
-	// submit queue.
+	// Refuse new work once stopped; the shards are no longer drained.
 	select {
 	case <-l.stopCh:
 		return Response{}, ErrStopped
 	default:
 	}
-	l.admitCount(1)
+	// Admission backpressure: block while QueueDepth single submissions
+	// are already in the system.
 	select {
-	case l.submitCh <- t:
+	case l.admitSem <- struct{}{}:
 	case <-l.stopCh:
-		l.unadmit(1)
 		return Response{}, ErrStopped
 	case <-ctx.Done():
-		l.unadmit(1)
 		return Response{}, ctx.Err()
+	}
+	t := l.getTask(input, numStages)
+	t.sem = true
+	l.submitted.Add(1)
+	l.inSystem.Add(1)
+	l.addExpiry(t)
+	w := int(l.rr.Add(1) % uint64(l.cfg.Workers))
+	l.pushShard(w, []*liveTask{t})
+	l.workEpoch.Add(1)
+	l.wakeOne(w)
+	// Close the push-vs-Stop window: if Stop's final sweep ran before
+	// this push, no worker will ever scan the shard again — drain it
+	// here so the task (and the stats it incremented) is finalized.
+	select {
+	case <-l.stopCh:
+		l.drainShard(w)
+	default:
 	}
 	select {
 	case r := <-t.done:
+		l.putTask(t)
 		if r.Unanswered() {
 			return r, ErrUnanswered
 		}
@@ -390,13 +729,14 @@ func (l *Live) Submit(ctx context.Context, input []float64, numStages int) (Resp
 	}
 }
 
-// SubmitBatch enqueues len(inputs) tasks in one scheduler interaction
-// and blocks until every task is answered or expires. Responses are in
-// input order; per-task expiry is reported through Response.Expired /
-// Response.Unanswered rather than an error, so one late task does not
-// hide the other answers. The error is reserved for whole-batch
-// failures (stopped executor, cancelled context). Like Submit, it takes
-// ownership of the input slices; the caller must not mutate them.
+// SubmitBatch enqueues len(inputs) tasks, spread round-robin across the
+// worker shards, and blocks until every task is answered or expires.
+// Responses are in input order; per-task expiry is reported through
+// Response.Expired / Response.Unanswered rather than an error, so one
+// late task does not hide the other answers. The error is reserved for
+// whole-batch failures (stopped executor, cancelled context). Like
+// Submit, it takes ownership of the input slices; the caller must not
+// mutate them.
 func (l *Live) SubmitBatch(ctx context.Context, inputs [][]float64, numStages int) ([]Response, error) {
 	if numStages < 1 {
 		return nil, fmt.Errorf("sched: task needs ≥1 stage")
@@ -407,24 +747,46 @@ func (l *Live) SubmitBatch(ctx context.Context, inputs [][]float64, numStages in
 	if len(inputs) > l.cfg.QueueDepth {
 		return nil, fmt.Errorf("sched: batch of %d exceeds queue depth %d", len(inputs), l.cfg.QueueDepth)
 	}
-	batch := make([]*liveTask, len(inputs))
-	for i, in := range inputs {
-		batch[i] = l.newTask(in, numStages)
-	}
 	select {
 	case <-l.stopCh:
 		return nil, ErrStopped
 	default:
 	}
-	l.admitCount(len(batch))
+	bp, _ := l.batchPool.Get().(*[]*liveTask)
+	if bp == nil {
+		s := make([]*liveTask, 0, len(inputs))
+		bp = &s
+	}
+	batch := (*bp)[:0]
+	for _, in := range inputs {
+		batch = append(batch, l.getTask(in, numStages))
+	}
+	l.submitted.Add(uint64(len(batch)))
+	l.inSystem.Add(int64(len(batch)))
+	l.addExpiry(batch...)
+	// Contiguous chunks per shard keep same-stage groups coalescible
+	// while spreading the batch over every worker. Chunks never drop
+	// below MaxBatch just to touch more shards: a full-size chunk keeps
+	// the GEMM batch wide, and idle workers steal their share anyway.
+	per := (len(batch) + l.cfg.Workers - 1) / l.cfg.Workers
+	if mb := min(len(batch), l.cfg.MaxBatch); per < mb {
+		per = mb
+	}
+	start := int(l.rr.Add(1) % uint64(l.cfg.Workers))
+	for c, off := 0, 0; off < len(batch); c++ {
+		end := min(off+per, len(batch))
+		l.pushShard((start+c)%l.cfg.Workers, batch[off:end])
+		off = end
+	}
+	l.workEpoch.Add(1)
+	l.wakeAll()
+	// Close the push-vs-Stop window (see Submit).
 	select {
-	case l.batchCh <- batch:
 	case <-l.stopCh:
-		l.unadmit(len(batch))
-		return nil, ErrStopped
-	case <-ctx.Done():
-		l.unadmit(len(batch))
-		return nil, ctx.Err()
+		for id := range l.shards {
+			l.drainShard(id)
+		}
+	default:
 	}
 	out := make([]Response, len(batch))
 	for i, t := range batch {
@@ -437,233 +799,352 @@ func (l *Live) SubmitBatch(ctx context.Context, inputs [][]float64, numStages in
 			return nil, ctx.Err()
 		}
 	}
+	for _, t := range batch {
+		l.putTask(t)
+	}
+	*bp = batch
+	l.batchPool.Put(bp)
 	return out, nil
 }
 
 // Stop shuts the executor down and waits for its goroutines. Queued
-// tasks receive ErrStopped-equivalent expired responses.
+// tasks receive expired responses.
 func (l *Live) Stop() {
 	l.stopOnce.Do(func() { close(l.stopCh) })
 	l.wg.Wait()
+	// Workers drain their own shards on exit; this final sweep catches
+	// tasks pushed by submissions racing the shutdown.
+	for id := range l.shards {
+		l.drainShard(id)
+	}
 }
 
+// drainShard finalizes every task still queued on one shard (expired:
+// the executor is stopping).
+func (l *Live) drainShard(id int) {
+	sh := l.shards[id]
+	sh.mu.Lock()
+	for s, b := range sh.buckets {
+		for i, t := range b {
+			l.finalize(t, true)
+			b[i] = nil
+		}
+		sh.buckets[s] = b[:0]
+	}
+	sh.count.Store(0)
+	sh.mu.Unlock()
+}
+
+// workerState is one worker's private dispatch scratch: group/rows/dst
+// slices reused across dispatches and the hidden-row arena. maxW tracks
+// the widest hidden state seen so far; arena rows are sized to it so a
+// task's buffer survives every stage in place.
+type workerState struct {
+	live *Live
+	id   int
+	exec StageExecutor
+
+	group []*liveTask
+	surv  []*liveTask
+	rows  [][]float64
+	dst   [][]float64
+	bufs  [][]float64
+	maxW  int
+}
+
+// maxArenaBufs bounds one worker's lock-free hidden-row freelist;
+// overflow spills to the Live-wide sync.Pool, which also rebalances
+// buffers across workers when stealing moves tasks (the thief finalizes
+// tasks whose rows the victim allocated).
+const maxArenaBufs = 256
+
+func (ws *workerState) getBuf() []float64 {
+	for n := len(ws.bufs); n > 0; n = len(ws.bufs) {
+		b := ws.bufs[n-1]
+		ws.bufs[n-1] = nil
+		ws.bufs = ws.bufs[:n-1]
+		if cap(b) >= ws.maxW {
+			return b[:0]
+		}
+		// Undersized (the observed width grew): drop it.
+	}
+	if p, _ := ws.live.bufPool.Get().(*[]float64); p != nil && cap(*p) >= ws.maxW {
+		return (*p)[:0]
+	}
+	return make([]float64, 0, ws.maxW)
+}
+
+func (ws *workerState) putBuf(b []float64) {
+	if cap(b) < ws.maxW {
+		return
+	}
+	if len(ws.bufs) < maxArenaBufs {
+		ws.bufs = append(ws.bufs, b[:0])
+		return
+	}
+	ws.live.spillBuf(b)
+}
+
+// spillBuf boxes an overflowing arena row into the shared pool. Kept
+// out of putBuf so the &b escape (and its header allocation) is paid
+// only on the overflow path, not on every freelist return.
+func (l *Live) spillBuf(b []float64) {
+	b = b[:0]
+	l.bufPool.Put(&b)
+}
+
+// sameBase reports whether two slices share a backing array.
+func sameBase(a, b []float64) bool {
+	return cap(a) > 0 && cap(b) > 0 && &a[:1][0] == &b[:1][0]
+}
+
+// finish recycles the task's arena row and delivers its response.
+func (ws *workerState) finish(t *liveTask, expired bool) {
+	if t.ownsBuf {
+		ws.putBuf(t.hidden)
+		t.ownsBuf = false
+	}
+	t.hidden = nil
+	ws.live.finalize(t, expired)
+}
+
+// worker is one scheduler worker: drain the local shard (policy-picked
+// same-stage groups, batched), steal when empty, park when the whole
+// system is idle.
 func (l *Live) worker(id int, exec StageExecutor) {
 	defer l.wg.Done()
-	// Scratch reused across dispatches. Safe: the scheduler fully
-	// consumes a workerResult before this worker can be dispatched
-	// again (it re-enters the idle pool only in the result handler).
-	var (
-		h1   [1][]float64
-		r1   [1]StageResult
-		rows [][]float64
-	)
+	ws := &workerState{live: l, id: id, exec: exec}
 	for {
 		select {
-		case item := <-l.workCh[id]:
-			var out workerResult
-			if len(item.tasks) == 1 {
-				h, r := exec.ExecStage(item.tasks[0].hidden, item.stage)
-				h1[0], r1[0] = h, r
-				out = workerResult{worker: id, tasks: item.tasks, hidden: h1[:], res: r1[:]}
-			} else {
-				if cap(rows) < len(item.tasks) {
-					rows = make([][]float64, len(item.tasks))
-				}
-				rows = rows[:len(item.tasks)]
-				for i, t := range item.tasks {
-					rows[i] = t.hidden
-				}
-				h, r := exec.ExecStageBatch(rows, item.stage)
-				out = workerResult{worker: id, tasks: item.tasks, hidden: h, res: r}
-			}
-			select {
-			case l.resultCh <- out:
-			case <-l.stopCh:
+		case <-l.stopCh:
+			l.drainShard(id)
+			return
+		default:
+		}
+		epoch := l.workEpoch.Load()
+		group, stage := ws.takeLocal()
+		if group == nil && ws.steal() {
+			group, stage = ws.takeLocal()
+		}
+		if group == nil {
+			if !l.park(id, epoch) {
+				l.drainShard(id)
 				return
 			}
-		case <-l.stopCh:
-			return
+			continue
 		}
+		ws.run(group, stage)
 	}
 }
 
-// schedule is the single scheduler goroutine: it owns all task state and
-// the deadline daemon (one timer armed to the min-heap's earliest
-// expiry, instead of one runtime timer per request).
-func (l *Live) schedule() {
-	defer l.wg.Done()
-	var (
-		tasks    []*liveTask
-		idle     []int
-		pending  = make(map[*TaskState]*liveTask)
-		expiries deadlineHeap
-	)
-	for w := 0; w < l.cfg.Workers; w++ {
-		idle = append(idle, w)
-	}
-	daemon := time.NewTimer(time.Hour)
-	daemon.Stop()
-	defer daemon.Stop()
-	now := func() Ticks { return Ticks(time.Since(l.epoch)) }
-	finish := func(t *liveTask, expired bool) {
-		if t.state.Finalized {
-			return
-		}
-		t.state.Finalized = true
-		delete(pending, t.state)
-		lat := time.Since(t.start)
-		l.recordFinish(t.state.Executed, expired, lat)
-		t.done <- Response{
-			Pred:    t.state.Pred,
-			Conf:    t.state.Conf,
-			Stages:  t.state.Executed,
-			Expired: expired,
-			Latency: lat,
+// takeLocal sweeps the worker's own shard (finalizing daemon-flagged
+// tasks), asks the policy for a leader among the remaining ready tasks,
+// and coalesces up to MaxBatch same-stage tasks from the leader's
+// bucket into one dispatch group. Returns nil when the policy has
+// nothing runnable.
+func (ws *workerState) takeLocal() ([]*liveTask, int) {
+	l := ws.live
+	sh := l.shards[ws.id]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ws.sweepLocked(sh)
+	states := sh.states[:0]
+	flat := sh.flat[:0]
+	for _, b := range sh.buckets {
+		for _, t := range b {
+			states = append(states, &t.state)
+			flat = append(flat, t)
 		}
 	}
-	// rearm points the single deadline timer at the earliest live
-	// expiry, dropping finalized tasks off the heap root.
-	rearm := func() {
-		for len(expiries) > 0 && expiries[0].state.Finalized {
-			heap.Pop(&expiries)
-		}
-		daemon.Stop()
-		if len(expiries) > 0 {
-			daemon.Reset(time.Until(expiries[0].expiresAt))
-		}
+	sh.states, sh.flat = states, flat
+	if len(flat) == 0 {
+		return nil, 0
 	}
-	admit := func(t *liveTask) {
-		tasks = append(tasks, t)
-		pending[t.state] = t
-		heap.Push(&expiries, t)
+	nowT := l.nowTicks()
+	var i int
+	if l.policyShared {
+		l.policyMu.Lock()
+		i = l.policies[ws.id].Pick(nowT, states)
+		l.policyMu.Unlock()
+	} else {
+		i = l.policies[ws.id].Pick(nowT, states)
 	}
-	// dispatch hands work to every idle worker the policy has a
-	// runnable task for — all idle workers are filled in one pass. The
-	// policy picks each dispatch's leader; the scheduler then coalesces
-	// up to MaxBatch−1 more pending tasks at the same stage into the
-	// dispatch, so one worker runs the group as a single batched
-	// forward pass. Co-batched tasks trade strict policy order for
-	// batch throughput; per-task early exit and expiry are still
-	// honored individually when the results come back.
-	var states []*TaskState                      // dispatch scratch
-	groups := make([][]*liveTask, l.cfg.Workers) // per-worker group scratch
-	dispatch := func() {
-		if len(idle) == 0 {
-			return
-		}
-		states = states[:0]
-		for _, t := range tasks {
-			states = append(states, t.state)
-		}
-		for len(idle) > 0 {
-			i := l.policy.Pick(now(), states)
-			if i < 0 {
-				return
-			}
-			w := idle[len(idle)-1]
-			idle = idle[:len(idle)-1]
-			st := states[i]
-			st.InFlight = true
-			stage := st.Executed
-			group := append(groups[w][:0], pending[st])
-			if l.cfg.MaxBatch > 1 {
-				tnow := now()
-				for j, other := range states {
-					if len(group) >= l.cfg.MaxBatch {
-						break
-					}
-					if j == i || other.Executed != stage || !other.Runnable(tnow) {
-						continue
-					}
-					other.InFlight = true
-					group = append(group, pending[other])
-				}
-			}
-			groups[w] = group
-			select {
-			case l.workCh[w] <- workItem{tasks: group, stage: stage}:
-			case <-l.stopCh:
-				// A worker may already have exited; don't deadlock
-				// during shutdown.
-				return
-			}
-		}
+	if i < 0 {
+		return nil, 0
 	}
-	compact := func() {
-		live := tasks[:0]
-		for _, t := range tasks {
-			if !t.state.Finalized {
-				live = append(live, t)
+	leader := flat[i]
+	stage := leader.state.Executed
+	group := append(ws.group[:0], leader)
+	bucket := sh.buckets[stage]
+	kept := bucket[:0]
+	for _, t := range bucket {
+		if t == leader {
+			continue
+		}
+		if len(group) < l.cfg.MaxBatch && !t.dead.Load() && nowT < t.state.Deadline {
+			group = append(group, t)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	for i := len(kept); i < len(bucket); i++ {
+		bucket[i] = nil
+	}
+	sh.buckets[stage] = kept
+	sh.count.Add(-int64(len(group)))
+	for _, t := range group {
+		t.state.InFlight = true
+	}
+	ws.group = group
+	return group, stage
+}
+
+// sweepLocked finalizes daemon-flagged tasks sitting in the shard.
+// Callers hold sh.mu.
+func (ws *workerState) sweepLocked(sh *shard) {
+	var removed int64
+	for s, b := range sh.buckets {
+		kept := b[:0]
+		for _, t := range b {
+			if t.dead.Load() {
+				ws.finish(t, true)
+				removed++
+				continue
+			}
+			kept = append(kept, t)
+		}
+		for i := len(kept); i < len(b); i++ {
+			b[i] = nil
+		}
+		sh.buckets[s] = kept
+	}
+	if removed > 0 {
+		sh.count.Add(-removed)
+	}
+}
+
+// steal moves roughly half of the fullest bucket of the first non-empty
+// sibling shard into the worker's own shard and reports whether
+// anything moved. Victim locks are never held together with the
+// thief's own, so steals cannot deadlock.
+func (ws *workerState) steal() bool {
+	l := ws.live
+	n := len(l.shards)
+	for off := 1; off < n; off++ {
+		v := (ws.id + off) % n
+		sh := l.shards[v]
+		if sh.count.Load() == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		best, bestN := -1, 0
+		for s, b := range sh.buckets {
+			if len(b) > bestN {
+				best, bestN = s, len(b)
 			}
 		}
-		tasks = live
+		if best < 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		take := (bestN + 1) / 2
+		b := sh.buckets[best]
+		stolen := append(ws.surv[:0], b[bestN-take:]...)
+		for i := bestN - take; i < bestN; i++ {
+			b[i] = nil
+		}
+		sh.buckets[best] = b[:bestN-take]
+		sh.count.Add(-int64(take))
+		sh.mu.Unlock()
+		ws.surv = stolen
+		l.pushShard(ws.id, stolen)
+		return true
 	}
-	for {
-		select {
-		case t := <-l.submitCh:
-			admit(t)
-			rearm()
-			dispatch()
-		case batch := <-l.batchCh:
-			for _, t := range batch {
-				admit(t)
+	return false
+}
+
+// run executes one same-stage group as a batched forward pass, commits
+// the results, and requeues survivors on the worker's own shard — the
+// continuation stays worker-resident, so the next stage needs no
+// cross-goroutine handoff and coalesces with whatever else is pending
+// locally.
+func (ws *workerState) run(group []*liveTask, stage int) {
+	l := ws.live
+	rows := ws.rows[:0]
+	for _, t := range group {
+		rows = append(rows, t.hidden)
+	}
+	ws.rows = rows
+	var dst [][]float64
+	if ws.maxW > 0 {
+		dst = ws.dst[:0]
+		for _, t := range group {
+			// Tasks already riding a full-width arena row reuse it in
+			// place; only the rest (stage-0 inputs, transitional slab
+			// rows) get a fresh arena row to land on.
+			if t.ownsBuf && cap(t.hidden) >= ws.maxW {
+				dst = append(dst, nil)
+			} else {
+				dst = append(dst, ws.getBuf())
 			}
-			rearm()
-			dispatch()
-		case r := <-l.resultCh:
-			// Consume the result fully before dispatch() can hand the
-			// worker (and its scratch slices) a new group.
-			idle = append(idle, r.worker)
-			finished := false
-			for i, t := range r.tasks {
-				st := t.state
-				if st.Finalized {
-					// Expired mid-flight; the group's row is discarded.
-					continue
-				}
-				t.hidden = r.hidden[i]
-				st.PrevConf = st.Conf
-				st.Conf = r.res[i].Conf
-				st.Pred = r.res[i].Pred
-				st.Executed++
-				st.InFlight = false
-				if st.Remaining() == 0 || now() >= st.Deadline {
-					finish(t, st.Remaining() > 0)
-					finished = true
-				}
+		}
+		ws.dst = dst
+	}
+	hidden, res := ws.exec.ExecStageBatch(rows, stage, dst)
+	nowT := l.nowTicks()
+	surv := ws.surv[:0]
+	for i, t := range group {
+		row := hidden[i]
+		if len(row) > ws.maxW {
+			ws.maxW = len(row)
+		}
+		// Arena accounting: adopt the dst row if the executor used it,
+		// recycle it otherwise; recycle the task's previous arena row
+		// if the executor swapped it out.
+		if t.ownsBuf && !sameBase(row, t.hidden) {
+			ws.putBuf(t.hidden)
+			t.ownsBuf = false
+		}
+		if dst != nil {
+			if sameBase(row, dst[i]) {
+				t.ownsBuf = true
+			} else {
+				ws.putBuf(dst[i])
 			}
-			if finished {
-				rearm()
-			}
-			compact()
-			dispatch()
-		case <-daemon.C:
-			// The in-flight stage of an expired task, if any, is
-			// abandoned: its result will arrive and be ignored, and the
-			// worker returns to the pool then (unlike the simulator we
-			// cannot preempt a goroutine mid-matmul; the paper's daemon
-			// likewise only interrupts between TensorFlow ops).
-			wall := time.Now()
-			for len(expiries) > 0 {
-				t := expiries[0]
-				if t.state.Finalized {
-					heap.Pop(&expiries)
-					continue
-				}
-				if t.expiresAt.After(wall) {
-					break
-				}
-				heap.Pop(&expiries)
-				finish(t, true)
-			}
-			rearm()
-			compact()
-			dispatch()
-		case <-l.stopCh:
-			for _, t := range tasks {
-				finish(t, true)
-			}
-			return
+			dst[i] = nil
+		}
+		t.hidden = row
+		st := &t.state
+		st.InFlight = false
+		if t.dead.Load() {
+			// The deadline daemon flagged the task while this stage was
+			// in flight; the result is discarded and the response
+			// carries the last completed stage's answer, like the
+			// paper's daemon interrupting between TensorFlow ops.
+			ws.finish(t, true)
+			continue
+		}
+		st.PrevConf = st.Conf
+		st.Conf = res[i].Conf
+		st.Pred = res[i].Pred
+		st.Executed++
+		if st.Remaining() == 0 {
+			ws.finish(t, false)
+			continue
+		}
+		if nowT >= st.Deadline {
+			ws.finish(t, true)
+			continue
+		}
+		surv = append(surv, t)
+	}
+	ws.surv = surv
+	if len(surv) > 0 {
+		l.pushShard(ws.id, surv)
+		l.workEpoch.Add(1)
+		if len(surv) > 1 {
+			// Surplus continuations: invite a parked sibling to steal.
+			l.wakeOne(-1)
 		}
 	}
 }

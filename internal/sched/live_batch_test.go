@@ -35,15 +35,7 @@ func (e *echoExec) record(n int) {
 	e.mu.Unlock()
 }
 
-func (e *echoExec) ExecStage(hidden []float64, stage int) ([]float64, StageResult) {
-	if e.delay > 0 {
-		time.Sleep(e.delay)
-	}
-	e.record(1)
-	return e.result(hidden, stage)
-}
-
-func (e *echoExec) ExecStageBatch(hidden [][]float64, stage int) ([][]float64, []StageResult) {
+func (e *echoExec) ExecStageBatch(hidden [][]float64, stage int, dst [][]float64) ([][]float64, []StageResult) {
 	// One delay per dispatch, like one batched GEMM.
 	if e.delay > 0 {
 		time.Sleep(e.delay)
@@ -53,6 +45,10 @@ func (e *echoExec) ExecStageBatch(hidden [][]float64, stage int) ([][]float64, [
 	res := make([]StageResult, len(hidden))
 	for i, h := range hidden {
 		next[i], res[i] = e.result(h, stage)
+		// Exercise the worker-arena contract when scratch rows fit.
+		if i < len(dst) && cap(dst[i]) >= len(next[i]) {
+			next[i] = append(dst[i][:0], next[i]...)
+		}
 	}
 	return next, res
 }

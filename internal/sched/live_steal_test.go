@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refEcho replays echoExec's deterministic per-stage function so stress
+// tests can compute every task's expected answer without an executor.
+func refEcho(input []float64, stages int) (pred int, conf float64) {
+	h := append([]float64(nil), input...)
+	for s := 0; s < stages; s++ {
+		pred = int(h[0])
+		conf = 0.4 + 0.1*float64(s) + 0.01*math.Mod(h[0], 7)
+		h[0]++
+	}
+	return pred, conf
+}
+
+// TestLiveWorkStealingStress hammers a steal-heavy 8-worker executor
+// with concurrent Submit and SubmitBatch callers using random stage
+// counts, and checks every completed task's answer against the
+// sequential reference. Run under -race this exercises the sharded
+// deques, stealing, worker-resident continuation, the deadline daemon,
+// and the task/buffer arenas at once.
+func TestLiveWorkStealingStress(t *testing.T) {
+	const (
+		workers   = 8
+		maxBatch  = 4
+		clients   = 12
+		perClient = 40
+	)
+	execs := make([]StageExecutor, workers)
+	for i := range execs {
+		execs[i] = &echoExec{}
+	}
+	l, err := NewLive(LiveConfig{Workers: workers, Deadline: time.Minute, QueueDepth: 512, MaxBatch: maxBatch},
+		NewFIFO(), execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Stop()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	check := func(in []float64, stages int, r Response) error {
+		if r.Expired || r.Stages != stages {
+			return nil // deadline is a minute out; should not happen, caught below via stats
+		}
+		wantPred, wantConf := refEcho(in, stages)
+		if r.Pred != wantPred || math.Abs(r.Conf-wantConf) > 1e-12 {
+			t.Errorf("input %v stages %d: got (%d, %v), want (%d, %v)", in, stages, r.Pred, r.Conf, wantPred, wantConf)
+		}
+		return nil
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				stages := 1 + rng.Intn(3)
+				if rng.Intn(3) == 0 {
+					// Batched submission with a shared stage count.
+					n := 1 + rng.Intn(9)
+					inputs := make([][]float64, n)
+					for j := range inputs {
+						inputs[j] = []float64{float64(rng.Intn(100)), float64(c)}
+					}
+					resps, err := l.SubmitBatch(context.Background(), inputs, stages)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					for j, r := range resps {
+						_ = check(inputs[j], stages, r)
+					}
+					continue
+				}
+				in := []float64{float64(rng.Intn(100)), float64(c)}
+				r, err := l.Submit(context.Background(), in, stages)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_ = check(in, stages, r)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after all clients finished", s.QueueDepth)
+	}
+	if s.Expired != 0 || s.Unanswered != 0 {
+		t.Fatalf("stats %+v: tasks expired under a one-minute deadline", s)
+	}
+	if s.Answered != s.Submitted {
+		t.Fatalf("stats %+v: answered != submitted", s)
+	}
+}
+
+// TestLiveWorkStealingExpiryStress drives the same topology against a
+// deadline most tasks cannot meet: every submission must still get
+// exactly one response, per-task expiry must be reported through the
+// Response, and the counters must balance.
+func TestLiveWorkStealingExpiryStress(t *testing.T) {
+	const workers = 8
+	execs := make([]StageExecutor, workers)
+	for i := range execs {
+		execs[i] = &echoExec{delay: 3 * time.Millisecond}
+	}
+	l, err := NewLive(LiveConfig{Workers: workers, Deadline: 15 * time.Millisecond, QueueDepth: 512, MaxBatch: 8},
+		NewFIFO(), execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Stop()
+
+	var wg sync.WaitGroup
+	const clients = 8
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + c)))
+			for i := 0; i < 10; i++ {
+				n := 1 + rng.Intn(30)
+				inputs := make([][]float64, n)
+				for j := range inputs {
+					inputs[j] = []float64{float64(rng.Intn(50))}
+				}
+				resps, err := l.SubmitBatch(context.Background(), inputs, 3)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if len(resps) != n {
+					t.Errorf("client %d: %d responses for %d inputs", c, len(resps), n)
+					return
+				}
+				for _, r := range resps {
+					if !r.Expired && r.Stages != 3 {
+						t.Errorf("client %d: non-expired task ran %d stages", c, r.Stages)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	s := l.Stats()
+	if s.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after all clients finished", s.QueueDepth)
+	}
+	if s.Answered+s.Unanswered < s.Submitted {
+		t.Fatalf("stats %+v: tasks lost", s)
+	}
+}

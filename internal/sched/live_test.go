@@ -15,20 +15,13 @@ type slowExec struct {
 
 func (e *slowExec) NumStages() int { return 3 }
 
-func (e *slowExec) ExecStage(hidden []float64, stage int) ([]float64, StageResult) {
+func (e *slowExec) ExecStageBatch(hidden [][]float64, stage int, _ [][]float64) ([][]float64, []StageResult) {
+	// One delay per batched dispatch: batching amortizes compute.
 	if e.delay > 0 {
 		time.Sleep(e.delay)
 	}
 	// Confidence grows with stage; prediction encodes the stage count
 	// so tests can check how deep execution went.
-	return hidden, StageResult{Pred: stage, Conf: 0.5 + 0.15*float64(stage+1)}
-}
-
-func (e *slowExec) ExecStageBatch(hidden [][]float64, stage int) ([][]float64, []StageResult) {
-	// One delay per batched dispatch: batching amortizes compute.
-	if e.delay > 0 {
-		time.Sleep(e.delay)
-	}
 	res := make([]StageResult, len(hidden))
 	for i := range res {
 		res[i] = StageResult{Pred: stage, Conf: 0.5 + 0.15*float64(stage+1)}
@@ -204,6 +197,39 @@ func TestLiveSubmitBatchAfterStop(t *testing.T) {
 	l.Stop()
 	if _, err := l.SubmitBatch(context.Background(), [][]float64{{1}, {2}}, 3); err != ErrStopped {
 		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestLiveSubmitBackpressure(t *testing.T) {
+	// QueueDepth 2 with a slow single worker: two submissions fill the
+	// admission semaphore, so a third must block until its context
+	// expires rather than being admitted.
+	execs := []StageExecutor{&slowExec{delay: 100 * time.Millisecond}}
+	l, err := NewLive(LiveConfig{Workers: 1, Deadline: time.Second, QueueDepth: 2},
+		NewFIFO(), execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Stop)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = l.Submit(context.Background(), []float64{1}, 3)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let both occupy the queue
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := l.Submit(ctx, []float64{2}, 3); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded from blocked admission", err)
+	}
+	wg.Wait()
+	// Capacity must be released as tasks finish: a fresh submission is
+	// admitted and answered.
+	if r, err := l.Submit(context.Background(), []float64{3}, 1); err != nil || r.Stages != 1 {
+		t.Fatalf("post-drain submit: %+v, %v", r, err)
 	}
 }
 

@@ -30,6 +30,10 @@ func NewGreedy(k int, pred Predictor, label string) *Greedy {
 // Name implements Policy.
 func (g *Greedy) Name() string { return g.label }
 
+// Fork implements ForkablePolicy: each fork plans its own timeline over
+// its worker's run queue, sharing the (read-only) predictor.
+func (g *Greedy) Fork() Policy { return NewGreedy(g.K, g.Pred, g.label) }
+
 // Pick implements Policy.
 func (g *Greedy) Pick(now Ticks, tasks []*TaskState) int {
 	for {
@@ -129,6 +133,10 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 // Name implements Policy.
 func (r *RoundRobin) Name() string { return "RR" }
 
+// Fork implements ForkablePolicy (a private rotation cursor per
+// worker).
+func (r *RoundRobin) Fork() Policy { return NewRoundRobin() }
+
 // Pick implements Policy.
 func (r *RoundRobin) Pick(now Ticks, tasks []*TaskState) int {
 	n := len(tasks)
@@ -154,6 +162,9 @@ func NewFIFO() *FIFO { return &FIFO{} }
 
 // Name implements Policy.
 func (FIFO) Name() string { return "FIFO" }
+
+// Fork implements ForkablePolicy (FIFO is stateless).
+func (f FIFO) Fork() Policy { return f }
 
 // Pick implements Policy.
 func (FIFO) Pick(now Ticks, tasks []*TaskState) int {

@@ -7,11 +7,14 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 
 	"eugene/internal/calib"
 	"eugene/internal/core"
@@ -326,12 +329,46 @@ func statusFor(err error) int {
 	return http.StatusInternalServerError
 }
 
+// encodeBuf is a pooled JSON encode buffer: responses are marshaled
+// into the buffer (one encoder per buffer, built once) and written with
+// an explicit Content-Length, so the per-request service overhead is a
+// pool round-trip instead of an encoder + scratch allocation.
+type encodeBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encodePool = sync.Pool{New: func() any {
+	e := &encodeBuf{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// encodePoolMaxCap stops one giant response (a dataset echo, say) from
+// pinning its buffer in the pool forever.
+const encodePoolMaxCap = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encodePool.Get().(*encodeBuf)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		// Marshal failures are programming errors (all payloads are
+		// plain structs); keep the old behavior of reporting nothing
+		// past the headers.
+		encodePool.Put(e)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(e.buf.Len()))
 	w.WriteHeader(status)
-	// Encoding errors at this point can only be I/O failures the
-	// client already observes.
-	_ = json.NewEncoder(w).Encode(v)
+	// Write errors at this point can only be I/O failures the client
+	// already observes.
+	_, _ = w.Write(e.buf.Bytes())
+	if e.buf.Cap() <= encodePoolMaxCap {
+		encodePool.Put(e)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

@@ -43,8 +43,18 @@ func TestExecStageBatchMatchesExecStage(t *testing.T) {
 		singleHidden[i] = inputs[i]
 	}
 
+	// Alternate between nil scratch and worker-style reusable rows so
+	// both unpack paths stay covered.
+	scratch := make([][]float64, b)
+	for i := range scratch {
+		scratch[i] = make([]float64, 0, 64)
+	}
 	for stage := 0; stage < m.NumStages(); stage++ {
-		next, outs := m.ExecStageBatch(batchHidden, stage)
+		dst := scratch
+		if stage%2 == 1 {
+			dst = nil
+		}
+		next, outs := m.ExecStageBatch(batchHidden, stage, dst)
 		if len(next) != b || len(outs) != b {
 			t.Fatalf("stage %d: batch returned %d hidden, %d outputs", stage, len(next), len(outs))
 		}
@@ -92,14 +102,14 @@ func TestExecStageBatchSingleton(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h, o := m.ExecStageBatch(nil, 0); h != nil || o != nil {
+	if h, o := m.ExecStageBatch(nil, 0, nil); h != nil || o != nil {
 		t.Fatalf("empty batch returned %v, %v", h, o)
 	}
 	x := make([]float64, 6)
 	for i := range x {
 		x[i] = rng.NormFloat64()
 	}
-	next, outs := m.ExecStageBatch([][]float64{x}, 0)
+	next, outs := m.ExecStageBatch([][]float64{x}, 0, nil)
 	if len(next) != 1 || len(outs) != 1 {
 		t.Fatalf("singleton batch returned %d hidden, %d outputs", len(next), len(outs))
 	}

@@ -102,12 +102,18 @@ func (m *Model) ExecStage(hidden []float64, stage int) ([]float64, StageOutput) 
 // one GEMM per Dense layer instead of B GEMVs — which is what makes
 // scheduler-level batching pay at the compute layer.
 //
+// dst is the caller's (worker-local) scratch handle: when dst[i] has
+// capacity for the stage's output width, task i's new hidden state is
+// written there instead of a freshly carved slab row, which lets the
+// live executor recycle hidden buffers across tasks. dst may be nil or
+// shorter than the batch.
+//
 // Ownership: input rows are only read for stage 0 (callers may retain
 // raw inputs), while for stage > 0 the output rows reuse the input rows'
 // capacity when wide enough. The returned outer slices and StageOutputs
 // are scratch, valid until the next Exec call on this model; Probs is
 // omitted on this path.
-func (m *Model) ExecStageBatch(hidden [][]float64, stage int) ([][]float64, []StageOutput) {
+func (m *Model) ExecStageBatch(hidden [][]float64, stage int, dst [][]float64) ([][]float64, []StageOutput) {
 	b := len(hidden)
 	if b == 0 {
 		return nil, nil
@@ -130,9 +136,10 @@ func (m *Model) ExecStageBatch(hidden [][]float64, stage int) ([][]float64, []St
 	}
 	s := m.Stages[stage]
 	h = s.Body.Forward(h, false)
-	// Unpack the new hidden states into per-task rows. Stage-0 rows are
-	// carved from one fresh slab (the caller's input buffers are never
-	// written); later stages reuse each task's existing buffer in place.
+	// Unpack the new hidden states into per-task rows: reuse the task's
+	// own buffer in place (stage > 0), else the caller's scratch row,
+	// else carve from a fresh slab (the caller's stage-0 input buffers
+	// are never written).
 	outW := m.Widths[stage]
 	if cap(m.scrHid) < b {
 		m.scrHid = make([][]float64, b)
@@ -140,18 +147,21 @@ func (m *Model) ExecStageBatch(hidden [][]float64, stage int) ([][]float64, []St
 	out := m.scrHid[:b]
 	var slab []float64
 	for i := 0; i < b; i++ {
-		dst := hidden[i]
-		if stage == 0 || cap(dst) < outW {
+		row := hidden[i]
+		switch {
+		case stage > 0 && cap(row) >= outW:
+			row = row[:outW]
+		case i < len(dst) && cap(dst[i]) >= outW:
+			row = dst[i][:outW]
+		default:
 			if len(slab) < outW {
 				slab = make([]float64, (b-i)*outW)
 			}
-			dst = slab[:outW:outW]
+			row = slab[:outW:outW]
 			slab = slab[outW:]
-		} else {
-			dst = dst[:outW]
 		}
-		copy(dst, h.Row(i))
-		out[i] = dst
+		copy(row, h.Row(i))
+		out[i] = row
 	}
 	logits := s.Head.Forward(h, false)
 	m.scrProbsB = tensor.Ensure(m.scrProbsB, b, m.Classes)

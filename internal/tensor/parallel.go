@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Intra-op parallelism: large GEMMs split their row range over a shared
+// bounded pool of worker goroutines, so a single scheduler worker can
+// still use every core when it runs a big coalesced batch. The pool is
+// process-wide and submission is non-blocking — when every pool worker
+// is busy (e.g. several serving workers issue large GEMMs at once), the
+// caller simply runs its chunks inline, which degrades to the serial
+// kernel instead of queueing or deadlocking.
+const (
+	// gemmRowTile is the register-tile height of the MatMulT kernel;
+	// parallel splits land on tile boundaries so chunked execution is
+	// bitwise identical to serial execution.
+	gemmRowTile = 4
+	// parallelThreshold is the minimum B×M×K product worth fanning out.
+	// Measured on the serving model shapes (hidden 256): a 32×256 ·
+	// (256×256)ᵀ stage GEMM (~2M mul-adds, ≈100µs serial) parallelizes
+	// well, while per-request matvecs and small heads (<~64K mul-adds,
+	// single-digit µs) lose more to handoff than they gain.
+	parallelThreshold = 1 << 16
+	// maxParallelism bounds the pool (sanity cap, not a tuning knob).
+	maxParallelism = 256
+)
+
+var gemmPool struct {
+	limit   atomic.Int32
+	started atomic.Int32
+	mu      sync.Mutex
+	work    chan func()
+}
+
+func init() {
+	// Default to one goroutine per schedulable core, like a BLAS:
+	// explicit SetParallelism (core.Config.Parallelism, eugened
+	// -parallelism) overrides. Pool workers spawn lazily on the first
+	// over-threshold product, so merely importing tensor starts
+	// nothing.
+	n := runtime.GOMAXPROCS(0)
+	if n > maxParallelism {
+		n = maxParallelism
+	}
+	gemmPool.limit.Store(int32(n))
+	gemmPool.work = make(chan func(), maxParallelism)
+}
+
+// SetParallelism sets how many goroutines (including the caller) one
+// large kernel may use. n ≤ 0 selects 1 (serial). The setting is
+// process-wide; raising it is cheap, lowering it only shrinks future
+// fan-out (idle pool workers cost a few KB each).
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxParallelism {
+		n = maxParallelism
+	}
+	gemmPool.limit.Store(int32(n))
+}
+
+// Parallelism returns the current intra-op parallelism limit.
+func Parallelism() int { return int(gemmPool.limit.Load()) }
+
+// ensureWorkers lazily grows the pool to n-1 goroutines (the caller is
+// the nth); the atomic fast path keeps the steady state lock-free.
+func ensureWorkers(n int) {
+	if int(gemmPool.started.Load()) >= n-1 {
+		return
+	}
+	gemmPool.mu.Lock()
+	for int(gemmPool.started.Load()) < n-1 {
+		go func() {
+			for f := range gemmPool.work {
+				f()
+			}
+		}()
+		gemmPool.started.Add(1)
+	}
+	gemmPool.mu.Unlock()
+}
+
+// matMulTParallel splits dst's rows into up to p tile-aligned chunks,
+// dispatches all but the first to the pool (falling back inline when
+// the pool is saturated), computes the first chunk itself, and waits.
+func matMulTParallel(dst, a, b *Matrix, p int) {
+	ensureWorkers(p)
+	chunk := (a.Rows + p - 1) / p
+	chunk = (chunk + gemmRowTile - 1) &^ (gemmRowTile - 1)
+	var wg sync.WaitGroup
+	for lo := chunk; lo < a.Rows; lo += chunk {
+		lo, hi := lo, min(lo+chunk, a.Rows)
+		wg.Add(1)
+		f := func() {
+			matMulTRange(dst, a, b, lo, hi)
+			wg.Done()
+		}
+		select {
+		case gemmPool.work <- f:
+		default:
+			f()
+		}
+	}
+	matMulTRange(dst, a, b, 0, min(chunk, a.Rows))
+	wg.Wait()
+}

@@ -1,0 +1,88 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestMatMulTParallelMatchesSerial pins the row-partitioned parallel
+// GEMM to the serial kernel. Chunks split on register-tile boundaries,
+// so results must be bitwise identical, not merely close.
+func TestMatMulTParallelMatchesSerial(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range []struct{ m, n, k int }{
+		{64, 96, 128}, // over threshold, tile-aligned rows
+		{61, 96, 128}, // ragged row tail inside the last chunk
+		{128, 40, 64}, // wide batch, small output
+		{9, 257, 129}, // odd everything, barely parallel
+	} {
+		a := NewMatrix(shape.m, shape.k)
+		b := NewMatrix(shape.n, shape.k)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		SetParallelism(1)
+		want := NewMatrix(shape.m, shape.n)
+		MatMulT(want, a, b)
+		for _, p := range []int{2, 3, 8} {
+			SetParallelism(p)
+			got := NewMatrix(shape.m, shape.n)
+			MatMulT(got, a, b)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("shape %dx%dx%d parallelism %d: dst[%d] = %v, want %v",
+						shape.m, shape.n, shape.k, p, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulTParallelConcurrent runs many over-threshold GEMMs from
+// competing goroutines (the serving shape: several scheduler workers
+// sharing one intra-op pool) and checks every result; with -race this
+// also vets the pool's handoff.
+func TestMatMulTParallelConcurrent(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(4)
+
+	const m, n, k = 48, 64, 96
+	rng := rand.New(rand.NewSource(13))
+	a := NewMatrix(m, k)
+	b := NewMatrix(n, k)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	want := NewMatrix(m, n)
+	matMulTRange(want, a, b, 0, m)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := NewMatrix(m, n)
+			for iter := 0; iter < 20; iter++ {
+				MatMulT(got, a, b)
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Errorf("concurrent GEMM diverged at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,9 +1,10 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package tensor
 
-// hasAVX2FMA is false off amd64; the portable unrolled-scalar kernels
-// run everywhere.
+// hasAVX2FMA is false off amd64 (or under the noasm build tag, which CI
+// uses to keep the scalar fallback exercised); the portable
+// unrolled-scalar kernels run everywhere.
 const hasAVX2FMA = false
 
 // dot4FMA is never called when hasAVX2FMA is false.

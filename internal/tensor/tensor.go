@@ -112,7 +112,10 @@ func MatMul(dst, a, b *Matrix) {
 // of four: each weight row is streamed once per four batch samples
 // instead of once per sample, which is what makes a B-row batch
 // materially cheaper than B separate matvecs; single-row calls fall
-// through to the unrolled dot kernel.
+// through to the unrolled dot kernel. Products large enough to clear
+// parallelThreshold fan their row range out over the shared bounded
+// worker pool (see SetParallelism); the split is at tile boundaries, so
+// the parallel result is bitwise identical to the serial one.
 func MatMulT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -120,13 +123,23 @@ func MatMulT(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulT dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
+	if p := Parallelism(); p > 1 && a.Rows >= 2*gemmRowTile &&
+		a.Rows*b.Rows*a.Cols >= parallelThreshold {
+		matMulTParallel(dst, a, b, p)
+		return
+	}
+	matMulTRange(dst, a, b, 0, a.Rows)
+}
+
+// matMulTRange runs the MatMulT kernel over rows [lo, hi) of a/dst.
+func matMulTRange(dst, a, b *Matrix, lo, hi int) {
 	n := a.Cols
 	n8 := 0
 	if hasAVX2FMA {
 		n8 = n &^ 7
 	}
-	i := 0
-	for ; i+4 <= a.Rows; i += 4 {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
 		a0, a1, a2, a3 := a.Row(i)[:n], a.Row(i + 1)[:n], a.Row(i + 2)[:n], a.Row(i + 3)[:n]
 		d0, d1, d2, d3 := dst.Row(i), dst.Row(i+1), dst.Row(i+2), dst.Row(i+3)
 		for j := 0; j < b.Rows; j++ {
@@ -147,7 +160,7 @@ func MatMulT(dst, a, b *Matrix) {
 			d0[j], d1[j], d2[j], d3[j] = s0, s1, s2, s3
 		}
 	}
-	for ; i < a.Rows; i++ {
+	for ; i < hi; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {
