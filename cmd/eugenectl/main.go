@@ -5,7 +5,10 @@
 //	eugenectl [-addr http://localhost:8080] health
 //	eugenectl [-addr ...] models
 //	eugenectl [-addr ...] stats
-//	eugenectl [-addr ...] infer -model NAME -input 0.1,0.2,...
+//	eugenectl [-addr ...] infer -model NAME -input 0.1,0.2,... [-device ID]
+//	eugenectl [-addr ...] snapshot -model NAME (-save FILE | -load FILE)
+//	eugenectl [-addr ...] reduce -model NAME -hot 0,2 [-hidden N] [-epochs N] [-save FILE]
+//	eugenectl [-addr ...] cache -device ID (-observe CLASS [-count N] -model NAME | -decision | -subset [-save FILE])
 package main
 
 import (
@@ -78,6 +81,7 @@ func run() error {
 		fs := flag.NewFlagSet("infer", flag.ContinueOnError)
 		model := fs.String("model", "", "model name")
 		input := fs.String("input", "", "comma-separated feature values")
+		device := fs.String("device", "", "device id: tag the request so its answer feeds the device's cache tracker")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
@@ -88,16 +92,162 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		resp, err := client.Infer(ctx, *model, vals)
+		var resp *eugene.InferResponse
+		if *device != "" {
+			resp, err = client.InferObserved(ctx, *model, *device, vals)
+		} else {
+			resp, err = client.Infer(ctx, *model, vals)
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Printf("pred=%d conf=%.3f stages=%d expired=%v latency=%.2fms\n",
 			resp.Pred, resp.Conf, resp.Stages, resp.Expired, resp.LatencyMS)
 		return nil
+	case "snapshot":
+		return runSnapshot(ctx, client, args[1:])
+	case "reduce":
+		return runReduce(ctx, client, args[1:])
+	case "cache":
+		return runCache(ctx, client, args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// runSnapshot downloads or uploads a model snapshot.
+func runSnapshot(ctx context.Context, client *eugene.Client, args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ContinueOnError)
+	model := fs.String("model", "", "model name")
+	save := fs.String("save", "", "download the snapshot to FILE")
+	load := fs.String("load", "", "upload FILE as the model's snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" || (*save == "") == (*load == "") {
+		return fmt.Errorf("snapshot requires -model and exactly one of -save/-load")
+	}
+	if *save != "" {
+		raw, err := client.Snapshot(ctx, *model)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*save, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("saved %s (%d bytes)\n", *save, len(raw))
+		return nil
+	}
+	raw, err := os.ReadFile(*load)
+	if err != nil {
+		return err
+	}
+	if err := client.PutSnapshot(ctx, *model, raw); err != nil {
+		return err
+	}
+	fmt.Printf("installed %s as %q (%d bytes)\n", *load, *model, len(raw))
+	return nil
+}
+
+// runReduce requests a reduced hot-class model.
+func runReduce(ctx context.Context, client *eugene.Client, args []string) error {
+	fs := flag.NewFlagSet("reduce", flag.ContinueOnError)
+	model := fs.String("model", "", "model name")
+	hot := fs.String("hot", "", "comma-separated hot class ids")
+	hidden := fs.Int("hidden", 0, "subset model hidden width (0 = server default)")
+	epochs := fs.Int("epochs", 0, "subset training epochs (0 = server default)")
+	save := fs.String("save", "", "write the subset model snapshot to FILE")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" || *hot == "" {
+		return fmt.Errorf("reduce requires -model and -hot")
+	}
+	classes, err := parseInts(*hot)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Reduce(ctx, *model, eugene.ReduceRequest{Hot: classes, Hidden: *hidden, Epochs: *epochs})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reduced model over hot classes %v: %d params, %d snapshot bytes\n",
+		resp.Hot, resp.Params, len(resp.Snapshot))
+	if *save != "" {
+		if err := os.WriteFile(*save, resp.Snapshot, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("saved %s\n", *save)
+	}
+	return nil
+}
+
+// runCache drives the per-device edge-cache endpoints.
+func runCache(ctx context.Context, client *eugene.Client, args []string) error {
+	fs := flag.NewFlagSet("cache", flag.ContinueOnError)
+	device := fs.String("device", "", "device id")
+	model := fs.String("model", "", "model name (with -observe)")
+	observe := fs.Int("observe", -1, "record an observed request for this class")
+	count := fs.Int("count", 1, "observation count (with -observe)")
+	decision := fs.Bool("decision", false, "fetch the cache decision")
+	subset := fs.Bool("subset", false, "fetch the device's subset model")
+	hidden := fs.Int("hidden", 0, "subset hidden width (0 = server default)")
+	epochs := fs.Int("epochs", 0, "subset training epochs (0 = server default)")
+	save := fs.String("save", "", "write the subset model snapshot to FILE (with -subset)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *device == "" {
+		return fmt.Errorf("cache requires -device")
+	}
+	switch {
+	case *observe >= 0:
+		if *model == "" {
+			return fmt.Errorf("cache -observe requires -model")
+		}
+		if err := client.Observe(ctx, *device, *model, *observe, *count); err != nil {
+			return err
+		}
+		fmt.Printf("observed class %d ×%d for device %s\n", *observe, *count, *device)
+		return nil
+	case *decision:
+		d, err := client.CacheDecision(ctx, *device)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model=%s cache=%v hot=%v share=%.2f observations=%.0f\n",
+			d.Model, d.Cache, d.Hot, d.Share, d.Observations)
+		return nil
+	case *subset:
+		resp, err := client.SubsetModel(ctx, *device, *hidden, *epochs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("subset over hot classes %v: %d params, %d snapshot bytes\n",
+			resp.Hot, resp.Params, len(resp.Snapshot))
+		if *save != "" {
+			if err := os.WriteFile(*save, resp.Snapshot, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("saved %s\n", *save)
+		}
+		return nil
+	default:
+		return fmt.Errorf("cache requires one of -observe CLASS, -decision, -subset")
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	eugened [-addr :8080] [-workers 4] [-deadline 200ms] [-lookahead 1] [-maxbatch 0]
+//	eugened [-addr :8080] [-workers 4] [-deadline 200ms] [-lookahead 1] [-maxbatch 0] [-data-dir DIR]
+//
+// With -data-dir, every trained/calibrated model (and its GP predictor)
+// is snapshotted to DIR and restored on the next boot, so a restarted
+// server answers bitwise-identically with no retraining.
 package main
 
 import (
@@ -32,6 +36,7 @@ func run() error {
 	queue := flag.Int("queue", 256, "admission queue depth")
 	maxBatch := flag.Int("maxbatch", 0, "same-stage tasks coalesced per batched forward pass (0 = default, 1 disables)")
 	parallelism := flag.Int("parallelism", 0, "cores one large GEMM may fan out over (0 = GOMAXPROCS, 1 disables)")
+	dataDir := flag.String("data-dir", "", "snapshot directory: persist models on train/calibrate/predictor and restore them on boot (empty = in-memory only)")
 	flag.Parse()
 
 	svc, err := eugene.NewService(eugene.Config{
@@ -41,6 +46,7 @@ func run() error {
 		Lookahead:   *lookahead,
 		MaxBatch:    *maxBatch,
 		Parallelism: *parallelism,
+		DataDir:     *dataDir,
 	})
 	if err != nil {
 		return err
@@ -49,6 +55,9 @@ func run() error {
 	effectiveMaxBatch := *maxBatch
 	if effectiveMaxBatch == 0 {
 		effectiveMaxBatch = eugene.DefaultMaxBatch
+	}
+	if *dataDir != "" {
+		log.Printf("eugened restored %d model(s) from %s", len(svc.Models()), *dataDir)
 	}
 	log.Printf("eugened listening on %s (workers=%d deadline=%v k=%d maxbatch=%d parallelism=%d)",
 		*addr, *workers, *deadline, *lookahead, effectiveMaxBatch, *parallelism)

@@ -175,9 +175,45 @@ func (s *Service) InferBatch(ctx context.Context, name string, inputs [][]float6
 // queue depth, p50/p99 latency) for every model with an active pool.
 func (s *Service) Stats() map[string]LiveStats { return s.inner.Stats() }
 
-// Reduce trains a reduced hot-class model for caching on a device.
+// Reduce trains a reduced hot-class model for caching on a device. data
+// may be nil to reuse the training set retained from the model's last
+// Train call; hidden/epochs of 0 take defaults.
 func (s *Service) Reduce(name string, data *Set, hotClasses []int, hidden, epochs int) (*SubsetModel, error) {
 	return s.inner.Reduce(name, data, hotClasses, hidden, epochs)
+}
+
+// SnapshotBytes serializes a model's full registry state (weights,
+// calibration alpha, GP predictor profiles) in Eugene's versioned
+// binary snapshot format. A snapshot restored anywhere — same process,
+// another server, after a restart — answers bitwise-identically.
+func (s *Service) SnapshotBytes(name string) ([]byte, error) {
+	return s.inner.SnapshotBytes(name)
+}
+
+// InstallSnapshotBytes decodes a snapshot and registers it under name,
+// persisting it when the service has a DataDir.
+func (s *Service) InstallSnapshotBytes(name string, data []byte) error {
+	return s.inner.InstallSnapshotBytes(name, data)
+}
+
+// CacheDecision is the caching policy's verdict for one device.
+type CacheDecision = core.CacheDecision
+
+// Observe feeds count observed requests of class into a device's
+// frequency tracker (the edge-caching signal of paper Section II-B).
+func (s *Service) Observe(device, model string, class, count int) error {
+	return s.inner.Observe(device, model, class, count)
+}
+
+// DeviceCacheDecision evaluates the caching policy for a device.
+func (s *Service) DeviceCacheDecision(device string) (CacheDecision, error) {
+	return s.inner.CacheDecision(device)
+}
+
+// DeviceSubset returns the reduced model a device should cache, training
+// it (or reusing the cached one) over the decided hot classes.
+func (s *Service) DeviceSubset(device string, hidden, epochs int) (*SubsetModel, CacheDecision, error) {
+	return s.inner.DeviceSubset(device, hidden, epochs)
 }
 
 // Models lists registered model names.
@@ -195,6 +231,19 @@ func (s *Service) Handler() http.Handler { return service.NewServer(s.inner) }
 
 // Client is the Go client for a remote Eugene server.
 type Client = service.Client
+
+// InferResponse is the wire form of one scheduled inference answer.
+type InferResponse = service.InferResponse
+
+// ReduceRequest asks a server for a reduced hot-class model.
+type ReduceRequest = service.ReduceRequest
+
+// SubsetModelResponse carries a reduced device model over the wire
+// (decode with Client.DecodeSubset).
+type SubsetModelResponse = service.SubsetModelResponse
+
+// CacheDecisionResponse is the wire form of a device cache decision.
+type CacheDecisionResponse = service.CacheDecisionResponse
 
 // NewClient builds a client for the given base URL.
 func NewClient(base string) *Client { return service.NewClient(base) }

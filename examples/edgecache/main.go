@@ -1,17 +1,29 @@
-// Edgecache: the paper's smart-fridge scenario (Sec. II-B). A device's
-// request stream is heavily skewed toward a few item classes; Eugene
-// tracks class frequencies, decides when a hot subset justifies a
-// reduced model, trains and "downloads" it, and the device then serves
-// common items locally, escalating cache misses to the server.
+// Edgecache: the paper's smart-fridge scenario (Sec. II-B), end to end
+// over HTTP. A device's request stream is heavily skewed toward a few
+// item classes. The device tags its inference requests with its id, so
+// the server's frequency tracker sees live traffic; once the hot subset
+// justifies caching, the device downloads the reduced subset model from
+// GET /v1/devices/{id}/subset-model and serves common items locally,
+// escalating cache misses back to the server over the wire — exactly the
+// loop a production deployment runs.
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
+	"time"
 
+	"eugene"
 	"eugene/internal/cache"
 	"eugene/internal/dataset"
+	"eugene/internal/service"
+	"eugene/internal/snapshot"
 )
 
 func main() {
@@ -33,91 +45,169 @@ func run() error {
 		return err
 	}
 
-	// The server-side full model.
-	all := make([]int, cfg.Classes)
-	for i := range all {
-		all[i] = i
-	}
-	fmt.Println("training server model (all 10 classes) ...")
-	server, err := cache.TrainSubset(train, all, 96, 20, 1)
+	// The Eugene server, listening on a real socket.
+	svc, err := eugene.NewService(eugene.Config{
+		Workers: 2, Deadline: time.Second, QueueDepth: 256, Lookahead: 1,
+	})
 	if err != nil {
 		return err
 	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("server: %v", err)
+		}
+	}()
+	defer srv.Close()
+	client := eugene.NewClient("http://" + ln.Addr().String())
+	ctx := context.Background()
+	fmt.Printf("eugened serving on %s\n", ln.Addr())
 
-	// Phase 1: the device sends everything to the server; Eugene's
-	// frequency tracker watches the request stream.
+	// The client uploads its data pool and trains the full 10-class
+	// model over the wire.
+	fmt.Println("training server model (all 10 classes) over HTTP ...")
+	if _, err := client.Train(ctx, "fridge", service.TrainRequest{
+		Data:    service.FromSet(train),
+		Classes: cfg.Classes,
+		Hidden:  48,
+		Blocks:  1,
+		Epochs:  12,
+	}); err != nil {
+		return err
+	}
+
+	// Phase 1: the device escalates everything; each request is tagged
+	// with the device id so answered predictions feed the server-side
+	// frequency tracker. Poll the cache decision as traffic accumulates.
+	const device = "fridge-7"
 	rng := rand.New(rand.NewSource(2))
 	stream := dataset.NewZipfStream(rng, cfg.Classes, 1.4)
-	tracker, err := cache.NewFreqTracker(cfg.Classes, 0.999)
-	if err != nil {
-		return err
-	}
-	policy := cache.DefaultPolicy()
-	var hot []int
-	var observed int
-	for hot == nil && observed < 5000 {
-		tracker.Observe(stream.Next())
-		observed++
-		hot = policy.Decide(tracker)
-	}
-	if hot == nil {
-		return fmt.Errorf("caching policy never triggered")
-	}
-	fmt.Printf("after %d requests the policy selects hot classes %v "+
-		"(cumulative share ≥ %.0f%%)\n", observed, hot, 100*policy.MinShare)
-
-	// Phase 2: the server trains a reduced model for the hot classes
-	// and downloads it to the device.
-	fmt.Println("training reduced hot-class model for the device ...")
-	sub, err := cache.TrainSubset(train, hot, 24, 15, 3)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("reduced model: %d params (server model: %d params)\n",
-		sub.Params(), server.Params())
-
-	// Phase 3: the device serves locally when confident; misses (rare
-	// items, low confidence) escalate — the paper's cache-miss path.
-	dev := &cache.Device{Cached: sub, ConfThreshold: 0.8, Server: serverAdapter{server}}
-	lat := cache.DefaultLatencyModel()
 	byClass := make([][]int, cfg.Classes)
 	for i, l := range test.Labels {
 		byClass[l] = append(byClass[l], i)
 	}
-	var right, served int
-	var latencyMS float64
-	for i := 0; i < 3000; i++ {
-		want := stream.Next()
-		pool := byClass[want]
-		if len(pool) == 0 {
-			continue
+	sample := func(i int) ([]float64, int) {
+		// Redraw when the test split happens to hold no sample of the
+		// requested class.
+		pool := byClass[stream.Next()]
+		for len(pool) == 0 {
+			pool = byClass[stream.Next()]
 		}
 		x, y := test.Sample(pool[i%len(pool)])
+		return append([]float64(nil), x...), y
+	}
+	var decision *eugene.CacheDecisionResponse
+	var observed int
+	for observed < 2000 {
+		x, _ := sample(observed)
+		if _, err := client.InferObserved(ctx, "fridge", device, x); err != nil {
+			return err
+		}
+		observed++
+		if observed%50 != 0 {
+			continue
+		}
+		d, err := client.CacheDecision(ctx, device)
+		if err != nil {
+			return err
+		}
+		if d.Cache {
+			decision = d
+			break
+		}
+	}
+	if decision == nil {
+		return fmt.Errorf("caching policy never triggered after %d requests", observed)
+	}
+	fmt.Printf("after %d live requests the server decides to cache classes %v "+
+		"(share %.0f%% of observed traffic)\n", observed, decision.Hot, 100*decision.Share)
+
+	// Phase 2: the device downloads its reduced model.
+	resp, err := client.SubsetModel(ctx, device, 24, 15)
+	if err != nil {
+		return err
+	}
+	sub, err := client.DecodeSubset(resp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("downloaded reduced model: %d params, %d snapshot bytes on the wire\n",
+		resp.Params, len(resp.Snapshot))
+
+	// Phase 3: the device serves locally when confident; misses (rare
+	// items, low confidence) escalate over HTTP — the paper's cache-miss
+	// path.
+	dev := &cache.Device{
+		Cached:        sub,
+		ConfThreshold: 0.8,
+		Server:        &httpServerModel{ctx: ctx, client: client, model: "fridge", device: device},
+	}
+	lat := cache.DefaultLatencyModel()
+	// Pull the server model's snapshot to size the escalation cost in
+	// the latency model (and to show a full-model download works too).
+	raw, err := client.Snapshot(ctx, "fridge")
+	if err != nil {
+		return err
+	}
+	full, err := snapshot.DecodeModel(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	var serverParams int
+	for _, p := range full.Model.Params() {
+		serverParams += len(p.Value)
+	}
+	fmt.Printf("server model snapshot: %d bytes, %d params (device model is %.1fx smaller)\n",
+		len(raw), serverParams, float64(serverParams)/float64(sub.Params()))
+	var right, served, localServed int
+	var latencyMS float64
+	for i := 0; i < 1500; i++ {
+		x, y := sample(observed + i)
 		pred, _, local := dev.Classify(x)
 		served++
 		if pred == y {
 			right++
 		}
 		if local {
+			localServed++
 			latencyMS += lat.LocalNS(sub.Params()) / 1e6
 		} else {
-			latencyMS += lat.EscalateNS(server.Params()) / 1e6
+			latencyMS += lat.EscalateNS(serverParams) / 1e6
 		}
 	}
-	fmt.Printf("\nserved %d requests:\n", served)
-	fmt.Printf("  cache hit rate:      %.1f%%\n", 100*dev.HitRate())
+	fmt.Printf("\nserved %d requests after caching:\n", served)
+	fmt.Printf("  cache hit rate:      %.1f%% (%d answered on-device)\n", 100*dev.HitRate(), localServed)
 	fmt.Printf("  end-to-end accuracy: %.1f%%\n", 100*float64(right)/float64(served))
-	fmt.Printf("  mean latency:        %.2f ms (all-server baseline: %.2f ms)\n",
-		latencyMS/float64(served), lat.EscalateNS(server.Params())/1e6)
+	fmt.Printf("  mean modeled latency: %.2f ms (all-server baseline: %.2f ms)\n",
+		latencyMS/float64(served), lat.EscalateNS(serverParams)/1e6)
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if st, ok := stats["fridge"]; ok {
+		fmt.Printf("  server saw %d requests total (p50 %.2f ms)\n", st.Submitted, st.P50MS)
+	}
 	return nil
 }
 
-type serverAdapter struct{ m *cache.SubsetModel }
+// httpServerModel is the device's escalation path: a cache miss becomes
+// a real tagged inference request against the Eugene server.
+type httpServerModel struct {
+	ctx    context.Context
+	client *eugene.Client
+	model  string
+	device string
+}
 
-func (s serverAdapter) Classify(x []float64) (int, float64) {
-	c, conf, other := s.m.Predict(x)
-	if other {
-		return -1, conf
+func (h *httpServerModel) Classify(x []float64) (int, float64) {
+	resp, err := h.client.InferObserved(h.ctx, h.model, h.device, x)
+	if err != nil {
+		return -1, 0
 	}
-	return c, conf
+	return resp.Pred, resp.Conf
 }

@@ -9,6 +9,7 @@ package cache
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"eugene/internal/dataset"
 	"eugene/internal/nn"
@@ -16,12 +17,30 @@ import (
 )
 
 // FreqTracker keeps exponentially decayed per-class request counts, the
-// signal behind "what constitutes frequent inference tasks".
+// signal behind "what constitutes frequent inference tasks". It sits on
+// the live serving path (one Observe per answered inference), so all
+// methods are safe for concurrent use and Observe is O(1): instead of
+// sweeping every class count on each observation, decay is applied
+// lazily through a global scale factor — observation N is recorded with
+// weight decay⁻ᴺ, and true decayed counts are recovered on read by
+// dividing by the current weight (the scale cancels entirely in shares
+// and orderings). The scaled counts are renormalized back to weight 1
+// whenever the factor threatens float64 range, so the amortized cost
+// stays O(1) per observation.
 type FreqTracker struct {
-	counts []float64
+	mu     sync.Mutex
+	counts []float64 // scaled: true decayed count = counts[i] / inc
+	total  float64   // scaled like counts
 	decay  float64
-	total  float64
+	inc    float64 // weight of the next observation (grows by 1/decay per obs)
 }
+
+// renormAt bounds the lazy-decay scale factor: once the next
+// observation's weight exceeds it, all scaled counts are divided back
+// down so the factor never approaches float64 overflow (~1e308). The
+// O(classes) renormalization runs once per ~log(renormAt)/log(1/decay)
+// observations — amortized O(1).
+const renormAt = 1e12
 
 // NewFreqTracker tracks classes with the given per-observation decay
 // (e.g. 0.999 ≈ a sliding window of ~1000 requests).
@@ -32,34 +51,65 @@ func NewFreqTracker(classes int, decay float64) (*FreqTracker, error) {
 	if decay <= 0 || decay > 1 {
 		return nil, fmt.Errorf("cache: decay %v outside (0,1]", decay)
 	}
-	return &FreqTracker{counts: make([]float64, classes), decay: decay}, nil
+	return &FreqTracker{counts: make([]float64, classes), decay: decay, inc: 1}, nil
 }
 
 // Observe records one request for class c.
-func (f *FreqTracker) Observe(c int) {
-	if c < 0 || c >= len(f.counts) {
+func (f *FreqTracker) Observe(c int) { f.ObserveN(c, 1) }
+
+// ObserveN records n simultaneous requests for class c (decay applies
+// once, as if a batch arrived together).
+func (f *FreqTracker) ObserveN(c, n int) {
+	if c < 0 || c >= len(f.counts) || n < 1 {
 		return
 	}
-	for i := range f.counts {
-		f.counts[i] *= f.decay
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inc /= f.decay
+	f.counts[c] += float64(n) * f.inc
+	f.total += float64(n) * f.inc
+	if f.inc > renormAt {
+		for i := range f.counts {
+			f.counts[i] /= f.inc
+		}
+		f.total /= f.inc
+		f.inc = 1
 	}
-	f.total = f.total*f.decay + 1
-	f.counts[c]++
 }
 
 // Share returns class c's fraction of decayed traffic.
 func (f *FreqTracker) Share(c int) float64 {
-	if f.total == 0 || c < 0 || c >= len(f.counts) {
+	if c < 0 || c >= len(f.counts) {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.total == 0 {
 		return 0
 	}
 	return f.counts[c] / f.total
 }
 
-// TopK returns the k most frequent classes (descending share, ties
-// broken by lower class id) and their cumulative share. Selection is a
-// bounded partial pass — one scan maintaining the k best by insertion —
-// so hot-set decisions cost O(classes·k) for the small k of a device
-// hot set instead of sorting every class on every call.
+// Observations returns the decayed total request count (the policy's
+// traffic-volume gate).
+func (f *FreqTracker) Observations() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total / f.inc
+}
+
+// Classes returns the number of tracked classes.
+func (f *FreqTracker) Classes() int { return len(f.counts) }
+
+// TopK returns the k most frequent observed classes (descending share,
+// ties broken by lower class id) and their cumulative share. Classes
+// that have never been observed (or whose count fully decayed away) are
+// excluded, so a fresh or quiet tracker returns fewer than k classes —
+// never a slate of arbitrary zero-count ids a cache decision could
+// mistake for hot. Selection is a bounded partial pass — one scan
+// maintaining the k best by insertion — so hot-set decisions cost
+// O(classes·k) for the small k of a device hot set instead of sorting
+// every class on every call.
 func (f *FreqTracker) TopK(k int) ([]int, float64) {
 	if k > len(f.counts) {
 		k = len(f.counts)
@@ -67,8 +117,13 @@ func (f *FreqTracker) TopK(k int) ([]int, float64) {
 	if k <= 0 {
 		return []int{}, 0
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	top := make([]int, 0, k)
 	for c, n := range f.counts {
+		if n == 0 {
+			continue
+		}
 		if len(top) == k && n <= f.counts[top[k-1]] {
 			continue
 		}
@@ -84,8 +139,10 @@ func (f *FreqTracker) TopK(k int) ([]int, float64) {
 		top[i] = c
 	}
 	var share float64
-	for _, c := range top {
-		share += f.Share(c)
+	if f.total > 0 {
+		for _, c := range top {
+			share += f.counts[c] / f.total
+		}
 	}
 	return top, share
 }
@@ -112,16 +169,25 @@ func DefaultPolicy() Policy {
 // Decide returns the hot classes to cache, or nil when caching is not
 // yet justified. It picks the smallest K ≤ MaxClasses reaching MinShare.
 func (p Policy) Decide(f *FreqTracker) []int {
-	if f.total < p.MinObservations {
-		return nil
+	hot, _ := p.DecideShare(f)
+	return hot
+}
+
+// DecideShare is Decide plus the cumulative traffic share of the chosen
+// hot set — the exact value that crossed MinShare, so callers reporting
+// the decision don't re-derive a share that concurrent observations may
+// already have moved.
+func (p Policy) DecideShare(f *FreqTracker) ([]int, float64) {
+	if f.Observations() < p.MinObservations {
+		return nil, 0
 	}
 	for k := 1; k <= p.MaxClasses; k++ {
 		top, share := f.TopK(k)
-		if share >= p.MinShare {
-			return top
+		if len(top) > 0 && share >= p.MinShare {
+			return top, share
 		}
 	}
-	return nil
+	return nil, 0
 }
 
 // SubsetModel is the reduced model cached on the device: a small dense
@@ -133,6 +199,19 @@ type SubsetModel struct {
 	classes int   // hot + 1 (other)
 	in      int
 }
+
+// RestoreSubset rebuilds a SubsetModel from its parts (a decoded
+// snapshot): net must map in features to len(hot)+1 outputs (hot classes
+// in order plus the trailing "other" class).
+func RestoreSubset(net *nn.Sequential, hot []int, in int) (*SubsetModel, error) {
+	if net == nil || len(hot) < 1 || in < 1 {
+		return nil, fmt.Errorf("cache: bad subset restore (net=%v, %d hot, in=%d)", net == nil, len(hot), in)
+	}
+	return &SubsetModel{Net: net, Hot: append([]int(nil), hot...), classes: len(hot) + 1, in: in}, nil
+}
+
+// InputWidth returns the model's expected feature width.
+func (s *SubsetModel) InputWidth() int { return s.in }
 
 // Params returns the parameter count (the device-footprint proxy).
 func (s *SubsetModel) Params() int {

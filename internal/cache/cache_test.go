@@ -3,6 +3,8 @@ package cache
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 
 	"eugene/internal/dataset"
@@ -255,5 +257,134 @@ func TestSubsetModelParams(t *testing.T) {
 	want := 16*8 + 8 + 8*2 + 2
 	if m.Params() != want {
 		t.Fatalf("params = %d, want %d", m.Params(), want)
+	}
+}
+
+func TestFreqTrackerTopKExcludesZeroCounts(t *testing.T) {
+	f, _ := NewFreqTracker(10, 0.999)
+	// Fresh tracker: nothing observed, nothing hot.
+	if top, share := f.TopK(3); len(top) != 0 || share != 0 {
+		t.Fatalf("fresh tracker TopK = %v (share %v), want empty", top, share)
+	}
+	// Quiet tracker: only class 7 was ever seen; the slate must not be
+	// padded with never-observed class ids.
+	f.Observe(7)
+	top, share := f.TopK(3)
+	if len(top) != 1 || top[0] != 7 {
+		t.Fatalf("TopK = %v, want [7]", top)
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Fatalf("share = %v, want 1", share)
+	}
+	// A decision over a quiet tracker must not trigger on zero-count
+	// classes either.
+	p := Policy{MinShare: 0.7, MinObservations: 0.5, MaxClasses: 3}
+	if hot := p.Decide(f); len(hot) != 1 || hot[0] != 7 {
+		t.Fatalf("Decide = %v, want [7]", hot)
+	}
+}
+
+func TestFreqTrackerLazyDecayMatchesEager(t *testing.T) {
+	// The lazily-scaled tracker must produce the same shares as the
+	// eager reference sweep.
+	const decay = 0.9
+	f, _ := NewFreqTracker(4, decay)
+	ref := make([]float64, 4)
+	var refTotal float64
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		c := rng.Intn(4)
+		for j := range ref {
+			ref[j] *= decay
+		}
+		refTotal = refTotal*decay + 1
+		ref[c]++
+		f.Observe(c)
+	}
+	for c := 0; c < 4; c++ {
+		if got, want := f.Share(c), ref[c]/refTotal; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("share(%d) = %v, want %v", c, got, want)
+		}
+	}
+	if got := f.Observations(); math.Abs(got-refTotal) > 1e-6*refTotal {
+		t.Fatalf("observations = %v, want %v", got, refTotal)
+	}
+}
+
+func TestFreqTrackerRenormalizeSurvivesLongStreams(t *testing.T) {
+	// decay = 0.5 doubles the lazy scale per observation, so a few
+	// hundred observations cross the renormalization threshold many
+	// times; shares must stay finite and correct throughout.
+	f, _ := NewFreqTracker(3, 0.5)
+	for i := 0; i < 500; i++ {
+		f.Observe(i % 2)
+	}
+	s0, s1 := f.Share(0), f.Share(1)
+	if math.IsNaN(s0) || math.IsInf(s0, 0) || math.IsNaN(s1) || math.IsInf(s1, 0) {
+		t.Fatalf("shares overflowed: %v %v", s0, s1)
+	}
+	// The last observation was class 1 (i=499), so under heavy decay
+	// class 1 dominates: share ≈ (1 + 1/4 + ...) / (1 + 1/2 + 1/4 + ...) = 2/3.
+	if math.Abs(s1-2.0/3) > 1e-6 {
+		t.Fatalf("share(1) = %v, want 2/3", s1)
+	}
+	if math.Abs(s0+s1-1) > 1e-9 {
+		t.Fatalf("shares must sum to 1, got %v", s0+s1)
+	}
+}
+
+func TestFreqTrackerConcurrent(t *testing.T) {
+	// Hammer the tracker from concurrent observers and readers; run with
+	// -race. Final counts must account for every observation exactly.
+	f, _ := NewFreqTracker(8, 1.0) // decay 1: counts are exact totals
+	const (
+		writers = 4
+		readers = 2
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				f.Observe(rng.Intn(8))
+			}
+		}(int64(w))
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := DefaultPolicy()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.TopK(3)
+				f.Share(1)
+				p.Decide(f)
+			}
+		}()
+	}
+	// Wait for writers only, then stop readers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Writers finish independently of readers; give readers the stop
+	// signal once total observations arrive.
+	for f.Observations() < writers*perG {
+		runtime.Gosched()
+	}
+	close(stop)
+	<-done
+	if got := f.Observations(); got != writers*perG {
+		t.Fatalf("observations = %v, want %d", got, writers*perG)
 	}
 }

@@ -7,10 +7,15 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,6 +23,7 @@ import (
 	"eugene/internal/calib"
 	"eugene/internal/dataset"
 	"eugene/internal/sched"
+	"eugene/internal/snapshot"
 	"eugene/internal/staged"
 	"eugene/internal/tensor"
 )
@@ -61,6 +67,13 @@ type Config struct {
 	// every service in the process, so only set this from the one
 	// place that owns the decision.
 	Parallelism int
+	// DataDir enables snapshot persistence: every Train, Calibrate,
+	// BuildPredictor, and snapshot install atomically writes the
+	// model's bundle to <DataDir>/<name>.snap, and NewService restores
+	// every bundle found there, so a restarted server answers
+	// bitwise-identically to the one that trained — no retraining.
+	// Empty disables persistence (in-memory registry only).
+	DataDir string
 }
 
 // DefaultConfig serves with 4 workers, a 200 ms deadline, k = 1 and the
@@ -82,16 +95,29 @@ func (c Config) Validate() error {
 type Service struct {
 	cfg Config
 
-	mu      sync.RWMutex
-	closed  bool
-	models  map[string]*ModelEntry
-	serving map[string]*sched.Live
+	mu        sync.RWMutex
+	closed    bool
+	models    map[string]*ModelEntry
+	serving   map[string]*sched.Live
+	trainData map[string]*dataset.Set
+
+	// snapMu serializes all snapshot disk writes (a single global
+	// writer: persistence events are rare — train/calibrate/predictor —
+	// so cross-model write contention is irrelevant, and the registry
+	// lock is never held across disk I/O).
+	snapMu sync.Mutex
+
+	devMu   sync.Mutex
+	devices map[string]*deviceState
 }
 
 // ErrClosed is returned for operations on a closed service.
 var ErrClosed = errors.New("core: service closed")
 
-// NewService builds an empty service.
+// NewService builds a service. When cfg.DataDir is set, every model
+// snapshot found there is restored into the registry before the service
+// accepts requests (load-on-boot); a file that fails to decode aborts
+// startup rather than silently serving a partial registry.
 func NewService(cfg Config) (*Service, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -99,11 +125,85 @@ func NewService(cfg Config) (*Service, error) {
 	if cfg.Parallelism > 0 {
 		tensor.SetParallelism(cfg.Parallelism)
 	}
-	return &Service{
-		cfg:     cfg,
-		models:  make(map[string]*ModelEntry),
-		serving: make(map[string]*sched.Live),
-	}, nil
+	s := &Service{
+		cfg:       cfg,
+		models:    make(map[string]*ModelEntry),
+		serving:   make(map[string]*sched.Live),
+		trainData: make(map[string]*dataset.Set),
+		devices:   make(map[string]*deviceState),
+	}
+	if cfg.DataDir != "" {
+		if err := s.loadSnapshots(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// snapshotPath maps a model name to its snapshot file. Names are
+// URL-escaped so any registry name (slashes included) stays a single
+// file inside DataDir.
+func (s *Service) snapshotPath(name string) string {
+	return filepath.Join(s.cfg.DataDir, url.PathEscape(name)+".snap")
+}
+
+// loadSnapshots restores every *.snap bundle in DataDir.
+func (s *Service) loadSnapshots() error {
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return fmt.Errorf("core: creating data dir: %w", err)
+	}
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return fmt.Errorf("core: reading data dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		name, err := url.PathUnescape(strings.TrimSuffix(e.Name(), ".snap"))
+		if err != nil || name == "" {
+			return fmt.Errorf("core: snapshot file %q has no valid model name", e.Name())
+		}
+		snap, err := snapshot.LoadModel(filepath.Join(s.cfg.DataDir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("core: restoring model %q: %w", name, err)
+		}
+		s.models[name] = &ModelEntry{
+			Name:      name,
+			Model:     snap.Model,
+			Alpha:     snap.Alpha,
+			Pred:      snap.Pred,
+			StageAccs: snap.StageAccs,
+		}
+	}
+	return nil
+}
+
+// persist snapshots the named model's current registry entry to
+// DataDir; a no-op without a DataDir. The entry is re-read so the
+// freshest published state wins. On error the in-memory registry keeps
+// the (already published) new state — callers surface the error so the
+// operator learns durability is broken, but serving continues.
+func (s *Service) persist(name string) error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	entry, err := s.get(name)
+	if err != nil {
+		return err
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	snap := &snapshot.ModelSnapshot{
+		Model:     entry.Model,
+		Alpha:     entry.Alpha,
+		StageAccs: entry.StageAccs,
+		Pred:      entry.Pred,
+	}
+	if err := snapshot.SaveModel(s.snapshotPath(name), snap); err != nil {
+		return fmt.Errorf("core: persisting %q: %w", name, err)
+	}
+	return nil
 }
 
 // TrainOptions bundles model and training hyperparameters for the
@@ -125,7 +225,10 @@ func DefaultTrainOptions(in, classes int) TrainOptions {
 }
 
 // Train fits a staged model on the client-supplied data and registers it
-// under name, replacing any previous model of that name.
+// under name, replacing any previous model of that name. With a DataDir,
+// the new model is also snapshotted; a persistence error is returned
+// (durability was requested and is broken) but the model stays
+// registered and serving in memory.
 func (s *Service) Train(name string, train *dataset.Set, opts TrainOptions) (*ModelEntry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("core: empty model name")
@@ -139,12 +242,18 @@ func (s *Service) Train(name string, train *dataset.Set, opts TrainOptions) (*Mo
 	}
 	entry := &ModelEntry{Name: name, Model: m, StageAccs: m.EvalAllStages(train)}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if live, ok := s.serving[name]; ok {
 		live.Stop()
 		delete(s.serving, name)
 	}
 	s.models[name] = entry
+	// Retain the training set for later reduction requests (hot-class
+	// subset models for device caching) that do not re-upload data.
+	s.trainData[name] = train
+	s.mu.Unlock()
+	if err := s.persist(name); err != nil {
+		return nil, err
+	}
 	return entry, nil
 }
 
@@ -180,10 +289,10 @@ func (s *Service) Calibrate(name string, calibSet *dataset.Set, cfg calib.Entrop
 		return 0, fmt.Errorf("core: calibrating %q: %w", name, err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if cur, ok := s.models[name]; !ok || cur.Model != entry.Model {
 		// The model was retrained or replaced while calibration ran;
 		// publishing the calibrated old model would clobber it.
+		s.mu.Unlock()
 		return 0, fmt.Errorf("core: model %q changed during calibration; retry", name)
 	}
 	// Copy-on-write: publish a fresh entry so readers holding the old
@@ -198,6 +307,10 @@ func (s *Service) Calibrate(name string, calibSet *dataset.Set, cfg calib.Entrop
 	if live, ok := s.serving[name]; ok {
 		live.Stop()
 		delete(s.serving, name)
+	}
+	s.mu.Unlock()
+	if err := s.persist(name); err != nil {
+		return 0, err
 	}
 	return alpha, nil
 }
@@ -217,12 +330,12 @@ func (s *Service) BuildPredictor(name string, data *dataset.Set, cfg sched.GPPre
 		return fmt.Errorf("core: fitting predictor for %q: %w", name, err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	cur, ok := s.models[name]
 	if !ok || cur.Model != entry.Model {
 		// The model was retrained or recalibrated while the predictor
 		// was fitting; installing it would pair a predictor with the
 		// wrong confidence surface.
+		s.mu.Unlock()
 		return fmt.Errorf("core: model %q changed during predictor build; retry", name)
 	}
 	next := *cur
@@ -232,7 +345,8 @@ func (s *Service) BuildPredictor(name string, data *dataset.Set, cfg sched.GPPre
 		live.Stop()
 		delete(s.serving, name)
 	}
-	return nil
+	s.mu.Unlock()
+	return s.persist(name)
 }
 
 // Infer schedules one inference request on the named model's worker pool
@@ -386,17 +500,231 @@ func (s *Service) liveFor(name string) (*sched.Live, int, error) {
 	return lv, entry.Model.NumStages(), nil
 }
 
+// DefaultSubsetHidden and DefaultSubsetEpochs size reduced hot-class
+// models when a reduction request leaves them 0.
+const (
+	DefaultSubsetHidden = 24
+	DefaultSubsetEpochs = 10
+)
+
 // Reduce trains a reduced hot-class model for caching on a device (paper
-// Section II-B): it returns the subset model for download.
+// Section II-B): it returns the subset model for download. train may be
+// nil, in which case the data retained from the model's last Train call
+// is used (models installed via Register/InstallSnapshot retain none).
+// hidden and epochs default to DefaultSubsetHidden/DefaultSubsetEpochs
+// when 0.
 func (s *Service) Reduce(name string, train *dataset.Set, hot []int, hidden, epochs int) (*cache.SubsetModel, error) {
 	if _, err := s.get(name); err != nil {
 		return nil, err
+	}
+	if train == nil {
+		s.mu.RLock()
+		train = s.trainData[name]
+		s.mu.RUnlock()
+		if train == nil {
+			return nil, fmt.Errorf("core: no training data retained for %q; supply data with the reduction request", name)
+		}
+	}
+	if hidden == 0 {
+		hidden = DefaultSubsetHidden
+	}
+	if epochs == 0 {
+		epochs = DefaultSubsetEpochs
 	}
 	sub, err := cache.TrainSubset(train, hot, hidden, epochs, 1)
 	if err != nil {
 		return nil, fmt.Errorf("core: reducing %q: %w", name, err)
 	}
 	return sub, nil
+}
+
+// SnapshotBytes serializes the named model's full registry state (model,
+// alpha, stage accuracies, predictor) in snapshot format — the payload
+// of GET /v1/models/{name}/snapshot.
+func (s *Service) SnapshotBytes(name string) ([]byte, error) {
+	entry, err := s.get(name)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := snapshot.EncodeModel(&buf, &snapshot.ModelSnapshot{
+		Model:     entry.Model,
+		Alpha:     entry.Alpha,
+		StageAccs: entry.StageAccs,
+		Pred:      entry.Pred,
+	}); err != nil {
+		return nil, fmt.Errorf("core: encoding snapshot of %q: %w", name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// InstallSnapshotBytes decodes a snapshot and installs it under name,
+// replacing any existing model of that name and persisting it when a
+// DataDir is configured — the payload of PUT /v1/models/{name}/snapshot.
+func (s *Service) InstallSnapshotBytes(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("core: empty model name")
+	}
+	snap, err := snapshot.DecodeModel(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("core: installing %q: %w", name, err)
+	}
+	entry := &ModelEntry{
+		Name:      name,
+		Model:     snap.Model,
+		Alpha:     snap.Alpha,
+		Pred:      snap.Pred,
+		StageAccs: snap.StageAccs,
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if live, ok := s.serving[name]; ok {
+		live.Stop()
+		delete(s.serving, name)
+	}
+	s.models[name] = entry
+	// Any retained training data described the replaced model.
+	delete(s.trainData, name)
+	s.mu.Unlock()
+	return s.persist(name)
+}
+
+// deviceState is the server-side record of one device's request stream
+// (paper Section II-B): the frequency tracker fed by live inference
+// traffic, the caching policy, and the most recently built subset model.
+type deviceState struct {
+	model   string
+	tracker *cache.FreqTracker
+	policy  cache.Policy
+
+	mu     sync.Mutex
+	sub    *cache.SubsetModel
+	subHot []int
+}
+
+// CacheDecision reports whether (and with which hot classes) a device
+// should cache a reduced model.
+type CacheDecision struct {
+	Model        string
+	Cache        bool
+	Hot          []int
+	Share        float64
+	Observations float64
+}
+
+// deviceFor returns (creating if needed) the device's tracker state.
+// A device follows one model; observing it against a different model
+// resets the stream.
+func (s *Service) deviceFor(device, model string) (*deviceState, error) {
+	if device == "" {
+		return nil, fmt.Errorf("core: empty device id")
+	}
+	entry, err := s.get(model)
+	if err != nil {
+		return nil, err
+	}
+	s.devMu.Lock()
+	defer s.devMu.Unlock()
+	if st, ok := s.devices[device]; ok && st.model == model {
+		return st, nil
+	}
+	tracker, err := cache.NewFreqTracker(entry.Model.Classes, 0.999)
+	if err != nil {
+		return nil, err
+	}
+	st := &deviceState{model: model, tracker: tracker, policy: cache.DefaultPolicy()}
+	s.devices[device] = st
+	return st, nil
+}
+
+// Observe feeds count requests for class on the named device into its
+// frequency tracker — the signal behind cache decisions. Inference
+// handlers call it with each answered prediction when the client tags
+// its requests with a device id.
+func (s *Service) Observe(device, model string, class, count int) error {
+	st, err := s.deviceFor(device, model)
+	if err != nil {
+		return err
+	}
+	if count < 1 {
+		count = 1
+	}
+	if class < 0 || class >= st.tracker.Classes() {
+		return fmt.Errorf("core: class %d outside model %q's %d classes", class, model, st.tracker.Classes())
+	}
+	st.tracker.ObserveN(class, count)
+	return nil
+}
+
+// CacheDecision evaluates the caching policy for a device: whether the
+// observed traffic justifies a reduced hot-class model, and over which
+// classes.
+func (s *Service) CacheDecision(device string) (CacheDecision, error) {
+	s.devMu.Lock()
+	st, ok := s.devices[device]
+	s.devMu.Unlock()
+	if !ok {
+		return CacheDecision{}, fmt.Errorf("core: unknown device %q (no observations yet)", device)
+	}
+	hot, share := st.policy.DecideShare(st.tracker)
+	return CacheDecision{
+		Model:        st.model,
+		Cache:        hot != nil,
+		Hot:          hot,
+		Share:        share,
+		Observations: st.tracker.Observations(),
+	}, nil
+}
+
+// DeviceSubset returns the reduced model a device should cache: it
+// evaluates the policy, trains a subset model over the hot classes
+// (reusing the previous one while the hot set is unchanged), and returns
+// it with the decision. Training data comes from the model's retained
+// train set.
+func (s *Service) DeviceSubset(device string, hidden, epochs int) (*cache.SubsetModel, CacheDecision, error) {
+	d, err := s.CacheDecision(device)
+	if err != nil {
+		return nil, CacheDecision{}, err
+	}
+	if !d.Cache {
+		return nil, d, fmt.Errorf("core: caching not justified for device %q yet (%.0f observations)", device, d.Observations)
+	}
+	s.devMu.Lock()
+	st, ok := s.devices[device]
+	s.devMu.Unlock()
+	if !ok || st.model != d.Model {
+		// A concurrent Observe against a different model replaced the
+		// device's state between the decision and here; pairing the old
+		// decision's hot classes with the new model would train a
+		// subset over the wrong label space.
+		return nil, CacheDecision{}, fmt.Errorf("core: device %q switched models; retry", device)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.sub != nil && equalInts(st.subHot, d.Hot) {
+		return st.sub, d, nil
+	}
+	sub, err := s.Reduce(st.model, nil, d.Hot, hidden, epochs)
+	if err != nil {
+		return nil, d, err
+	}
+	st.sub, st.subHot = sub, append([]int(nil), d.Hot...)
+	return sub, d, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Models lists registered model names.

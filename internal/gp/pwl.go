@@ -2,6 +2,7 @@ package gp
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -39,6 +40,33 @@ func Profile(predict func(float64) float64, lo, hi float64, m int) (*PiecewiseLi
 // segments — the confidence-domain case from the paper.
 func ProfileRegressor(r *Regressor, m int) (*PiecewiseLinear, error) {
 	return Profile(r.PredictMean, 0, 1, m)
+}
+
+// Validate checks structural invariants — matching knot/value lengths,
+// at least two knots, strictly ascending finite knot positions — so
+// profiles rebuilt from untrusted bytes (snapshots) cannot put At into
+// an out-of-range or divide-by-zero state.
+func (p *PiecewiseLinear) Validate() error {
+	if len(p.Knots) != len(p.Vals) {
+		return fmt.Errorf("gp: %d knots vs %d values", len(p.Knots), len(p.Vals))
+	}
+	if len(p.Knots) < 2 {
+		return fmt.Errorf("gp: need ≥2 knots, got %d", len(p.Knots))
+	}
+	for i, x := range p.Knots {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("gp: knot %d is %v", i, x)
+		}
+		if i > 0 && x <= p.Knots[i-1] {
+			return fmt.Errorf("gp: knots not ascending at %d (%v after %v)", i, x, p.Knots[i-1])
+		}
+	}
+	for i, v := range p.Vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("gp: value %d is %v", i, v)
+		}
+	}
+	return nil
 }
 
 // At evaluates the piecewise-linear function; inputs outside the domain

@@ -1,6 +1,10 @@
 package nn
 
-import "eugene/internal/tensor"
+import (
+	"fmt"
+
+	"eugene/internal/tensor"
+)
 
 // Sequential chains layers; it itself implements Layer so residual blocks
 // and staged models can nest it freely.
@@ -111,6 +115,48 @@ func (r *Residual) Params() []Param { return r.Body.Params() }
 
 // Clone implements Layer.
 func (r *Residual) Clone() Layer { return &Residual{Body: r.Body.Clone()} }
+
+// OutputWidth folds a layer tree's input width to its output width,
+// failing on any internal mismatch. Restored models (snapshots) are
+// validated with it before serving: a width mismatch inside a decoded
+// layer tree would otherwise panic a worker goroutine mid-forward.
+func OutputWidth(root Layer, in int) (int, error) {
+	if in < 1 {
+		return 0, fmt.Errorf("nn: input width %d must be positive", in)
+	}
+	switch l := root.(type) {
+	case *Dense:
+		if l.In != in {
+			return 0, fmt.Errorf("nn: dense expects width %d, got %d", l.In, in)
+		}
+		if l.Out < 1 || l.W == nil || l.W.Rows != l.Out || l.W.Cols != l.In || len(l.B) != l.Out {
+			return 0, fmt.Errorf("nn: dense %d→%d has inconsistent buffers", l.In, l.Out)
+		}
+		return l.Out, nil
+	case *ReLU, *Dropout:
+		return in, nil
+	case *Residual:
+		out, err := OutputWidth(l.Body, in)
+		if err != nil {
+			return 0, err
+		}
+		if out != in {
+			return 0, fmt.Errorf("nn: residual body maps %d→%d, needs matching widths", in, out)
+		}
+		return in, nil
+	case *Sequential:
+		w := in
+		var err error
+		for i, c := range l.Layers {
+			if w, err = OutputWidth(c, w); err != nil {
+				return 0, fmt.Errorf("nn: sequential layer %d: %w", i, err)
+			}
+		}
+		return w, nil
+	default:
+		return 0, fmt.Errorf("nn: OutputWidth does not support layer type %T", root)
+	}
+}
 
 // SetMCDropout toggles Monte-Carlo dropout on every Dropout layer
 // reachable from root. Used by the RDeepSense calibration baseline.

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"eugene/internal/gp"
 	"eugene/internal/tensor"
@@ -90,6 +91,63 @@ func NewGPPredictor(curves *tensor.Matrix, cfg GPPredictorConfig) (*GPPredictor,
 	return p, nil
 }
 
+// RestoreGPPredictor rebuilds a predictor from persisted parts: per-stage
+// prior confidences and the profiled piecewise-linear curves, indexed
+// profiles[from][to] with entries present exactly for from < to. The
+// exact GP regressors (Regs) are not restored — they exist only for
+// offline evaluation; scheduling uses the profiles alone, so a restored
+// predictor schedules bitwise-identically to the one it was saved from.
+func RestoreGPPredictor(priors []float64, profiles [][]*gp.PiecewiseLinear) (*GPPredictor, error) {
+	stages := len(priors)
+	if stages < 1 {
+		return nil, fmt.Errorf("sched: restoring predictor with no stages")
+	}
+	for i, p := range priors {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			// A NaN prior would silently poison every utility
+			// comparison in the scheduler (NaN loses all orderings).
+			return nil, fmt.Errorf("sched: prior %d is %v", i, p)
+		}
+	}
+	if len(profiles) != stages {
+		return nil, fmt.Errorf("sched: %d profile rows for %d stages", len(profiles), stages)
+	}
+	p := &GPPredictor{
+		priors: append([]float64(nil), priors...),
+		curves: make([][]*gp.PiecewiseLinear, stages),
+		Regs:   make([][]*gp.Regressor, stages),
+	}
+	for from := 0; from < stages; from++ {
+		if len(profiles[from]) != stages {
+			return nil, fmt.Errorf("sched: profile row %d has %d entries for %d stages", from, len(profiles[from]), stages)
+		}
+		p.curves[from] = make([]*gp.PiecewiseLinear, stages)
+		p.Regs[from] = make([]*gp.Regressor, stages)
+		for to := 0; to < stages; to++ {
+			pwl := profiles[from][to]
+			if (pwl != nil) != (from < to) {
+				return nil, fmt.Errorf("sched: profile %d→%d presence mismatch", from, to)
+			}
+			if pwl == nil {
+				continue
+			}
+			if err := pwl.Validate(); err != nil {
+				return nil, fmt.Errorf("sched: profile %d→%d: %w", from, to, err)
+			}
+			p.curves[from][to] = pwl
+		}
+	}
+	return p, nil
+}
+
+// StagePriors returns the per-stage prior confidences (read-only).
+func (p *GPPredictor) StagePriors() []float64 { return p.priors }
+
+// Profiles returns the piecewise-linear curves, indexed [from][to] with
+// non-nil entries exactly for from < to (read-only; shared with the
+// predictor).
+func (p *GPPredictor) Profiles() [][]*gp.PiecewiseLinear { return p.curves }
+
 // Prior implements Predictor.
 func (p *GPPredictor) Prior(stage int) float64 {
 	if stage < 0 || stage >= len(p.priors) {
@@ -137,11 +195,23 @@ func (d *DCPredictor) Prior(stage int) float64 {
 
 // Predict implements Predictor: confidence at target = cur + slope ×
 // (target − last), slope = cur − prev, clamped to [0, 1].
+//
+// When only one confidence observation exists, prev is the zero
+// sentinel (TaskState.PrevConf before two stages have run); a literal
+// cur − prev slope would then be cur itself, predicting ≈ 2×cur at the
+// next stage and wildly inflating first-stage differential utility.
+// Softmax confidences are strictly positive, so prev = 0 can only mean
+// "no prior observation": fall back to the prior-curve slope at last.
 func (d *DCPredictor) Predict(last int, prev, cur float64, target int) float64 {
 	if target <= last {
 		return cur
 	}
-	slope := cur - prev
+	var slope float64
+	if prev > 0 {
+		slope = cur - prev
+	} else if last+1 < len(d.priors) {
+		slope = d.priors[last+1] - d.priors[last]
+	}
 	return clamp01(cur + slope*float64(target-last))
 }
 

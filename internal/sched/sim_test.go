@@ -257,6 +257,29 @@ func TestDCPredictor(t *testing.T) {
 	}
 }
 
+func TestDCPredictorFirstObservationUsesPriorSlope(t *testing.T) {
+	// Regression: with a single observation, prev is the zero sentinel.
+	// The slope must come from the prior curve (0.7 − 0.5 = 0.2 here),
+	// not cur − 0, which would predict ≈ 2×cur at the next stage.
+	d := NewDCPredictor([]float64{0.5, 0.7, 0.8})
+	if got := d.Predict(0, 0, 0.45, 1); math.Abs(got-0.65) > 1e-12 {
+		t.Fatalf("DC first-observation predict = %v, want 0.65 (prior slope)", got)
+	}
+	// Two stages ahead from the first observation: 0.45 + 2·0.2 = 0.85.
+	if got := d.Predict(0, 0, 0.45, 2); math.Abs(got-0.85) > 1e-12 {
+		t.Fatalf("DC first-observation two ahead = %v, want 0.85", got)
+	}
+	// At the last stage with no prior slope available, prediction holds
+	// flat instead of doubling.
+	if got := d.Predict(2, 0, 0.6, 3); got != 0.6 {
+		t.Fatalf("DC predict past prior curve = %v, want 0.6", got)
+	}
+	// A genuine second observation still uses the observed slope.
+	if got := d.Predict(1, 0.6, 0.7, 2); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("DC observed-slope predict = %v, want 0.8", got)
+	}
+}
+
 func TestGPPredictorFromCurves(t *testing.T) {
 	// Build synthetic confidence curves: c2 = c1 + 0.1, c3 = c1 + 0.15.
 	rng := rand.New(rand.NewSource(7))

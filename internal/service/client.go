@@ -5,9 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 
+	"eugene/internal/cache"
 	"eugene/internal/dataset"
+	"eugene/internal/snapshot"
 )
 
 // Client is the Go client for a Eugene server.
@@ -31,7 +36,7 @@ func (c *Client) httpClient() *http.Client {
 // Train uploads data and trains a model.
 func (c *Client) Train(ctx context.Context, name string, req TrainRequest) (*TrainResponse, error) {
 	var out TrainResponse
-	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/train", name), req, &out); err != nil {
+	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/train", url.PathEscape(name)), req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -40,7 +45,7 @@ func (c *Client) Train(ctx context.Context, name string, req TrainRequest) (*Tra
 // Calibrate runs entropy calibration on held-out data.
 func (c *Client) Calibrate(ctx context.Context, name string, data *dataset.Set) (float64, error) {
 	var out CalibrateResponse
-	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/calibrate", name), FromSet(data), &out); err != nil {
+	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/calibrate", url.PathEscape(name)), FromSet(data), &out); err != nil {
 		return 0, err
 	}
 	return out.Alpha, nil
@@ -48,13 +53,13 @@ func (c *Client) Calibrate(ctx context.Context, name string, data *dataset.Set) 
 
 // BuildPredictor fits the GP confidence predictor.
 func (c *Client) BuildPredictor(ctx context.Context, name string, data *dataset.Set) error {
-	return c.post(ctx, fmt.Sprintf("/v1/models/%s/predictor", name), FromSet(data), &map[string]string{})
+	return c.post(ctx, fmt.Sprintf("/v1/models/%s/predictor", url.PathEscape(name)), FromSet(data), &map[string]string{})
 }
 
 // Infer submits one sample for scheduled inference.
 func (c *Client) Infer(ctx context.Context, name string, input []float64) (*InferResponse, error) {
 	var out InferResponse
-	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/infer", name), InferRequest{Input: input}, &out); err != nil {
+	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/infer", url.PathEscape(name)), InferRequest{Input: input}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -64,10 +69,134 @@ func (c *Client) Infer(ctx context.Context, name string, input []float64) (*Infe
 // returns one result per input, in order.
 func (c *Client) InferBatch(ctx context.Context, name string, inputs [][]float64) ([]InferResponse, error) {
 	var out InferBatchResponse
-	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/infer-batch", name), InferBatchRequest{Inputs: inputs}, &out); err != nil {
+	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/infer-batch", url.PathEscape(name)), InferBatchRequest{Inputs: inputs}, &out); err != nil {
 		return nil, err
 	}
 	return out.Results, nil
+}
+
+// InferObserved is Infer with a device tag: the server feeds the
+// answered prediction into the device's class-frequency tracker, the
+// signal behind edge-cache decisions.
+func (c *Client) InferObserved(ctx context.Context, name, device string, input []float64) (*InferResponse, error) {
+	var out InferResponse
+	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/infer", url.PathEscape(name)), InferRequest{Input: input, Device: device}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot downloads the named model's full snapshot (model weights,
+// calibration, predictor) in binary snapshot format.
+func (c *Client) Snapshot(ctx context.Context, name string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/models/%s/snapshot", c.Base, url.PathEscape(name)), nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: fetching snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return nil, fmt.Errorf("service: server error (%d): %s", resp.StatusCode, e.Error)
+		}
+		return nil, fmt.Errorf("service: server status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("service: reading snapshot: %w", err)
+	}
+	return raw, nil
+}
+
+// PutSnapshot uploads a snapshot, installing (and, when the server has
+// a data dir, persisting) it under name.
+func (c *Client) PutSnapshot(ctx context.Context, name string, raw []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, fmt.Sprintf("%s/v1/models/%s/snapshot", c.Base, url.PathEscape(name)), bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("service: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service: uploading snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, &map[string]string{})
+}
+
+// Reduce asks the server to train a reduced hot-class model; the
+// response carries the model in snapshot format (see DecodeSubset).
+func (c *Client) Reduce(ctx context.Context, name string, req ReduceRequest) (*SubsetModelResponse, error) {
+	var out SubsetModelResponse
+	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/reduce", url.PathEscape(name)), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Observe reports count observed requests of class for device (count
+// ≤ 0 means 1).
+func (c *Client) Observe(ctx context.Context, device, model string, class, count int) error {
+	return c.post(ctx, fmt.Sprintf("/v1/devices/%s/observe", url.PathEscape(device)),
+		ObserveRequest{Model: model, Class: class, Count: count}, &map[string]string{})
+}
+
+// CacheDecision fetches the caching policy's verdict for a device.
+func (c *Client) CacheDecision(ctx context.Context, device string) (*CacheDecisionResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/devices/%s/cache-decision", c.Base, url.PathEscape(device)), nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: fetching cache decision: %w", err)
+	}
+	defer resp.Body.Close()
+	var out CacheDecisionResponse
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubsetModel fetches (building if necessary) the reduced model the
+// device should cache. hidden/epochs of 0 take server defaults.
+func (c *Client) SubsetModel(ctx context.Context, device string, hidden, epochs int) (*SubsetModelResponse, error) {
+	u := fmt.Sprintf("%s/v1/devices/%s/subset-model", c.Base, url.PathEscape(device))
+	q := url.Values{}
+	if hidden > 0 {
+		q.Set("hidden", strconv.Itoa(hidden))
+	}
+	if epochs > 0 {
+		q.Set("epochs", strconv.Itoa(epochs))
+	}
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: fetching subset model: %w", err)
+	}
+	defer resp.Body.Close()
+	var out SubsetModelResponse
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DecodeSubset materializes the runnable device model from a reduction
+// response.
+func (c *Client) DecodeSubset(resp *SubsetModelResponse) (*cache.SubsetModel, error) {
+	return snapshot.DecodeSubset(bytes.NewReader(resp.Snapshot))
 }
 
 // Stats fetches per-model serving counters.

@@ -11,15 +11,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 
+	"eugene/internal/cache"
 	"eugene/internal/calib"
 	"eugene/internal/core"
 	"eugene/internal/dataset"
 	"eugene/internal/sched"
+	"eugene/internal/snapshot"
 	"eugene/internal/tensor"
 )
 
@@ -73,9 +76,13 @@ type TrainResponse struct {
 	StageAccs []float64 `json:"stage_accs"`
 }
 
-// InferRequest submits one sample for scheduled inference.
+// InferRequest submits one sample for scheduled inference. Device
+// optionally names the requesting device: answered predictions then
+// feed the device's class-frequency tracker, the signal behind
+// edge-cache decisions (paper Section II-B).
 type InferRequest struct {
-	Input []float64 `json:"input"`
+	Input  []float64 `json:"input"`
+	Device string    `json:"device,omitempty"`
 }
 
 // InferResponse is the scheduler's answer.
@@ -88,9 +95,49 @@ type InferResponse struct {
 }
 
 // InferBatchRequest submits several samples in one scheduler
-// interaction.
+// interaction. Device works as in InferRequest, covering every input.
 type InferBatchRequest struct {
 	Inputs [][]float64 `json:"inputs"`
+	Device string      `json:"device,omitempty"`
+}
+
+// ReduceRequest asks for a reduced hot-class model (paper Section
+// II-B). Data may be omitted to reuse the training set retained from
+// the model's last train call; Hidden and Epochs of 0 take server
+// defaults.
+type ReduceRequest struct {
+	Data   *DataPayload `json:"data,omitempty"`
+	Hot    []int        `json:"hot"`
+	Hidden int          `json:"hidden,omitempty"`
+	Epochs int          `json:"epochs,omitempty"`
+}
+
+// SubsetModelResponse carries a reduced device model: the hot classes
+// in model output order, the parameter count (device-footprint proxy),
+// and the model itself in snapshot format (base64 in JSON), decodable
+// with Client.DecodeSubset.
+type SubsetModelResponse struct {
+	Hot      []int  `json:"hot"`
+	Params   int    `json:"params"`
+	Snapshot []byte `json:"snapshot"`
+}
+
+// ObserveRequest records observed traffic for a device: count requests
+// (default 1) answered with class by the named model.
+type ObserveRequest struct {
+	Model string `json:"model"`
+	Class int    `json:"class"`
+	Count int    `json:"count,omitempty"`
+}
+
+// CacheDecisionResponse reports the caching policy's verdict for a
+// device.
+type CacheDecisionResponse struct {
+	Model        string  `json:"model"`
+	Cache        bool    `json:"cache"`
+	Hot          []int   `json:"hot,omitempty"`
+	Share        float64 `json:"share"`
+	Observations float64 `json:"observations"`
 }
 
 // InferBatchResponse returns one answer per input, in order. Per-task
@@ -132,6 +179,17 @@ type Server struct {
 	mux *http.ServeMux
 }
 
+// Request-body caps (http.MaxBytesReader). Dataset-bearing requests get
+// a generous cap; the inference hot path gets a small one so a
+// misbehaving client cannot buffer hundreds of megabytes into a worker.
+const (
+	maxTrainBody   = 256 << 20 // train/calibrate/predictor/reduce payloads
+	maxSnapshot    = 256 << 20 // PUT snapshot
+	maxInferBody   = 1 << 20   // single-sample infer
+	maxBatchBody   = 32 << 20  // infer-batch
+	maxObserveBody = 4 << 10   // device observations
+)
+
 // NewServer builds the HTTP front end.
 func NewServer(svc *core.Service) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
@@ -142,8 +200,32 @@ func NewServer(svc *core.Service) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}/predictor", s.handlePredictor)
 	s.mux.HandleFunc("POST /v1/models/{name}/infer", s.handleInfer)
 	s.mux.HandleFunc("POST /v1/models/{name}/infer-batch", s.handleInferBatch)
+	s.mux.HandleFunc("GET /v1/models/{name}/snapshot", s.handleSnapshotGet)
+	s.mux.HandleFunc("PUT /v1/models/{name}/snapshot", s.handleSnapshotPut)
+	s.mux.HandleFunc("POST /v1/models/{name}/reduce", s.handleReduce)
+	s.mux.HandleFunc("POST /v1/devices/{id}/observe", s.handleObserve)
+	s.mux.HandleFunc("GET /v1/devices/{id}/cache-decision", s.handleCacheDecision)
+	s.mux.HandleFunc("GET /v1/devices/{id}/subset-model", s.handleSubsetModel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
+}
+
+// decodeBody JSON-decodes a capped request body into v, writing the
+// error response (413 for an oversized body, 400 otherwise) itself and
+// returning false on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		}
+		return false
+	}
+	return true
 }
 
 // ServeHTTP implements http.Handler.
@@ -160,8 +242,7 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req TrainRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, r, maxTrainBody, &req) {
 		return
 	}
 	set, err := req.Data.ToSet()
@@ -200,8 +281,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var payload DataPayload
-	if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, r, maxTrainBody, &payload) {
 		return
 	}
 	set, err := payload.ToSet()
@@ -220,8 +300,7 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePredictor(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var payload DataPayload
-	if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, r, maxTrainBody, &payload) {
 		return
 	}
 	set, err := payload.ToSet()
@@ -239,8 +318,7 @@ func (s *Server) handlePredictor(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req InferRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, r, maxInferBody, &req) {
 		return
 	}
 	if len(req.Input) == 0 {
@@ -254,6 +332,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	s.observeAnswer(req.Device, name, resp)
 	writeJSON(w, http.StatusOK, InferResponse{
 		Pred:      resp.Pred,
 		Conf:      resp.Conf,
@@ -266,8 +345,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInferBatch(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req InferBatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, r, maxBatchBody, &req) {
 		return
 	}
 	if len(req.Inputs) == 0 {
@@ -287,8 +365,18 @@ func (s *Server) handleInferBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	// Aggregate tracker feeding per predicted class: one ObserveN-backed
+	// call per distinct class instead of per batch element, keeping lock
+	// traffic off the hot path.
+	var byClass map[int]int
+	if req.Device != "" {
+		byClass = make(map[int]int)
+	}
 	out := InferBatchResponse{Results: make([]InferResponse, len(resps))}
 	for i, resp := range resps {
+		if byClass != nil && resp.Pred >= 0 {
+			byClass[resp.Pred]++
+		}
 		out.Results[i] = InferResponse{
 			Pred:      resp.Pred,
 			Conf:      resp.Conf,
@@ -297,7 +385,144 @@ func (s *Server) handleInferBatch(w http.ResponseWriter, r *http.Request) {
 			LatencyMS: float64(resp.Latency.Microseconds()) / 1000,
 		}
 	}
+	for class, n := range byClass {
+		// Best-effort, like observeAnswer.
+		_ = s.svc.Observe(req.Device, name, class, n)
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// observeAnswer feeds one answered prediction into the device's
+// frequency tracker. Best-effort: serving an answer never fails because
+// tracking did.
+func (s *Server) observeAnswer(device, model string, resp sched.Response) {
+	if device == "" || resp.Pred < 0 {
+		return
+	}
+	_ = s.svc.Observe(device, model, resp.Pred, 1)
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	raw, err := s.svc.SnapshotBytes(r.PathValue("name"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
+}
+
+func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSnapshot)
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("snapshot exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading snapshot: %w", err))
+		}
+		return
+	}
+	if err := s.svc.InstallSnapshotBytes(r.PathValue("name"), raw); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req ReduceRequest
+	if !decodeBody(w, r, maxTrainBody, &req) {
+		return
+	}
+	var set *dataset.Set
+	if req.Data != nil {
+		var err error
+		if set, err = req.Data.ToSet(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	sub, err := s.svc.Reduce(name, set, req.Hot, req.Hidden, req.Epochs)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeSubset(w, sub)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	device := r.PathValue("id")
+	var req ObserveRequest
+	if !decodeBody(w, r, maxObserveBody, &req) {
+		return
+	}
+	if err := s.svc.Observe(device, req.Model, req.Class, req.Count); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleCacheDecision(w http.ResponseWriter, r *http.Request) {
+	d, err := s.svc.CacheDecision(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CacheDecisionResponse{
+		Model:        d.Model,
+		Cache:        d.Cache,
+		Hot:          d.Hot,
+		Share:        d.Share,
+		Observations: d.Observations,
+	})
+}
+
+func (s *Server) handleSubsetModel(w http.ResponseWriter, r *http.Request) {
+	hidden, epochs := 0, 0
+	q := r.URL.Query()
+	if v := q.Get("hidden"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad hidden %q", v))
+			return
+		}
+		hidden = n
+	}
+	if v := q.Get("epochs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad epochs %q", v))
+			return
+		}
+		epochs = n
+	}
+	sub, _, err := s.svc.DeviceSubset(r.PathValue("id"), hidden, epochs)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeSubset(w, sub)
+}
+
+// writeSubset serializes a reduced model into the wire response.
+func writeSubset(w http.ResponseWriter, sub *cache.SubsetModel) {
+	var buf bytes.Buffer
+	if err := snapshot.EncodeSubset(&buf, sub); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SubsetModelResponse{
+		Hot:      sub.Hot,
+		Params:   sub.Params(),
+		Snapshot: buf.Bytes(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -318,12 +543,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func statusFor(err error) int {
+	msg := err.Error()
 	switch {
-	case strings.Contains(err.Error(), "unknown model"):
+	case strings.Contains(msg, "unknown model"), strings.Contains(msg, "unknown device"):
 		return http.StatusNotFound
-	case strings.Contains(err.Error(), "input width"):
+	case strings.Contains(msg, "input width"),
+		strings.Contains(msg, "empty device"),
+		strings.Contains(msg, "outside model"),
+		strings.Contains(msg, "installing"): // snapshot decode/validation
 		return http.StatusBadRequest
-	case strings.Contains(err.Error(), "exceeds queue depth"):
+	case strings.Contains(msg, "caching not justified"),
+		strings.Contains(msg, "no training data retained"):
+		return http.StatusConflict
+	case strings.Contains(msg, "exceeds queue depth"):
 		return http.StatusTooManyRequests
 	}
 	return http.StatusInternalServerError

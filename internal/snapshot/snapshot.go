@@ -1,0 +1,667 @@
+// Package snapshot gives every trained Eugene artifact a durable,
+// versioned binary form: staged model weights and topology, the
+// calibration alpha, and the GP predictor's piecewise-linear profiles
+// and priors, plus the reduced hot-class subset models shipped to
+// devices (paper Section II-B). Snapshots are what make Eugene a
+// *service* rather than a process — the server can restart without
+// forgetting models, and clients can download artifacts over the wire.
+//
+// Guarantees:
+//
+//   - Round trip is lossless: every float64 is stored as its IEEE-754
+//     bit pattern, so a restored model's Infer/InferBatch outputs are
+//     bitwise identical to the original's.
+//   - Files are framed with a magic string, a format version, and a
+//     CRC-32 of the body; truncated, corrupted, or trailing-garbage
+//     files are rejected at decode, never half-applied.
+//   - Saves are atomic: bytes land in a temp file in the target
+//     directory which is fsynced and renamed over the destination, so a
+//     crash mid-write leaves either the old snapshot or the new one.
+//
+// The wire format is little-endian with fixed-width lengths; see
+// FormatVersion for compatibility rules (decoders accept only versions
+// they know, and the committed golden fixture in testdata/ pins the
+// format so accidental codec changes fail CI).
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"eugene/internal/cache"
+	"eugene/internal/gp"
+	"eugene/internal/nn"
+	"eugene/internal/sched"
+	"eugene/internal/staged"
+	"eugene/internal/tensor"
+)
+
+// magic identifies Eugene snapshot files.
+const magic = "EUGSNP01"
+
+// FormatVersion is the current codec version. Decoders reject files
+// written by unknown (newer) versions; bumping this requires keeping
+// decode support for every older version still in the golden fixtures.
+const FormatVersion = 1
+
+// Artifact kinds, one byte after the version.
+const (
+	kindModel  = 1 // full staged model + calibration + predictor bundle
+	kindSubset = 2 // reduced hot-class device model
+)
+
+// Layer tags for the nn layer tree.
+const (
+	tagDense      = 1
+	tagReLU       = 2
+	tagDropout    = 3
+	tagResidual   = 4
+	tagSequential = 5
+)
+
+// Decode-time sanity bounds: a CRC-valid but hostile file must not be
+// able to demand absurd allocations or unbounded recursion.
+const (
+	maxElems  = 1 << 26 // float64s per tensor (512 MiB)
+	maxStages = 1 << 10
+	maxLayers = 1 << 14 // layers per Sequential
+	maxDepth  = 64      // layer-tree nesting
+)
+
+// dropoutSeed seeds restored Dropout layers. Dropout is the identity at
+// inference, so the stream never affects served answers; a fixed seed
+// just keeps restored models deterministic if one is later fine-tuned.
+const dropoutSeed = 1
+
+// ModelSnapshot bundles everything the registry knows about one trained
+// model: the staged network, the chosen entropy-calibration alpha (0 if
+// uncalibrated), the recorded per-stage accuracies, and the GP
+// confidence predictor (nil if never built).
+type ModelSnapshot struct {
+	Model     *staged.Model
+	Alpha     float64
+	StageAccs []float64
+	Pred      *sched.GPPredictor
+}
+
+// EncodeModel writes the bundle to w in snapshot format.
+func EncodeModel(w io.Writer, s *ModelSnapshot) error {
+	if s == nil || s.Model == nil {
+		return fmt.Errorf("snapshot: nil model")
+	}
+	var body bytes.Buffer
+	e := &encoder{w: &body}
+	e.model(s.Model)
+	e.f64(s.Alpha)
+	e.f64s(s.StageAccs)
+	e.bool(s.Pred != nil)
+	if s.Pred != nil {
+		priors := s.Pred.StagePriors()
+		profiles := s.Pred.Profiles()
+		e.f64s(priors)
+		for from := range priors {
+			for to := from + 1; to < len(priors); to++ {
+				pwl := profiles[from][to]
+				if pwl == nil {
+					return fmt.Errorf("snapshot: predictor profile %d→%d missing", from, to)
+				}
+				e.f64s(pwl.Knots)
+				e.f64s(pwl.Vals)
+			}
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return frame(w, kindModel, body.Bytes())
+}
+
+// DecodeModel reads a model bundle, verifying framing, checksum, and
+// structural consistency (layer widths, stage topology, predictor
+// profiles) so a malformed file cannot panic a worker later.
+func DecodeModel(r io.Reader) (*ModelSnapshot, error) {
+	body, err := deframe(r, kindModel)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{b: body}
+	m, err := d.model()
+	if err != nil {
+		return nil, err
+	}
+	s := &ModelSnapshot{Model: m}
+	s.Alpha = d.f64()
+	s.StageAccs = d.f64s()
+	if d.bool() {
+		priors := d.f64s()
+		if len(priors) > maxStages {
+			return nil, fmt.Errorf("snapshot: %d predictor stages", len(priors))
+		}
+		profiles := make([][]*gp.PiecewiseLinear, len(priors))
+		for from := range priors {
+			profiles[from] = make([]*gp.PiecewiseLinear, len(priors))
+		}
+		for from := range priors {
+			for to := from + 1; to < len(priors); to++ {
+				pwl := &gp.PiecewiseLinear{Knots: d.f64s(), Vals: d.f64s()}
+				profiles[from][to] = pwl
+			}
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		pred, err := sched.RestoreGPPredictor(priors, profiles)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		if pred.NumStages() != m.NumStages() {
+			return nil, fmt.Errorf("snapshot: predictor covers %d stages, model has %d", pred.NumStages(), m.NumStages())
+		}
+		s.Pred = pred
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EncodeSubset writes a reduced hot-class device model to w.
+func EncodeSubset(w io.Writer, m *cache.SubsetModel) error {
+	if m == nil || m.Net == nil {
+		return fmt.Errorf("snapshot: nil subset model")
+	}
+	var body bytes.Buffer
+	e := &encoder{w: &body}
+	e.u32(uint32(m.InputWidth()))
+	e.ints(m.Hot)
+	e.layer(m.Net)
+	if e.err != nil {
+		return e.err
+	}
+	return frame(w, kindSubset, body.Bytes())
+}
+
+// DecodeSubset reads a reduced device model.
+func DecodeSubset(r io.Reader) (*cache.SubsetModel, error) {
+	body, err := deframe(r, kindSubset)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{b: body}
+	in := int(d.u32())
+	hot := d.ints()
+	l, err := d.layer(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	net, ok := l.(*nn.Sequential)
+	if !ok {
+		return nil, fmt.Errorf("snapshot: subset net is %T, want *nn.Sequential", l)
+	}
+	if out, err := nn.OutputWidth(net, in); err != nil {
+		return nil, fmt.Errorf("snapshot: subset net: %w", err)
+	} else if out != len(hot)+1 {
+		return nil, fmt.Errorf("snapshot: subset net outputs %d classes for %d hot + other", out, len(hot))
+	}
+	sub, err := cache.RestoreSubset(net, hot, in)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return sub, nil
+}
+
+// SaveModel atomically writes the bundle to path: bytes go to a temp
+// file in the same directory, are fsynced, and the temp file is renamed
+// over path, so a crash mid-save never leaves a torn snapshot.
+func SaveModel(path string, s *ModelSnapshot) error {
+	return saveAtomic(path, func(w io.Writer) error { return EncodeModel(w, s) })
+}
+
+// LoadModel reads a bundle from path.
+func LoadModel(path string) (*ModelSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := DecodeModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// saveAtomic writes via temp-file-then-rename in path's directory.
+func saveAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: creating temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("snapshot: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("snapshot: chmod %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: closing %s: %w", tmp.Name(), err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("snapshot: publishing %s: %w", path, err)
+	}
+	return nil
+}
+
+// frame writes magic | version | kind | body-length | body | crc32,
+// where the checksum covers version through body.
+func frame(w io.Writer, kind byte, body []byte) error {
+	var hdr bytes.Buffer
+	hdr.WriteString(magic)
+	var meta [13]byte
+	binary.LittleEndian.PutUint32(meta[0:4], FormatVersion)
+	meta[4] = kind
+	binary.LittleEndian.PutUint64(meta[5:13], uint64(len(body)))
+	hdr.Write(meta[:])
+	crc := crc32.NewIEEE()
+	crc.Write(meta[:])
+	crc.Write(body)
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return fmt.Errorf("snapshot: writing header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("snapshot: writing body: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("snapshot: writing checksum: %w", err)
+	}
+	return nil
+}
+
+// deframe validates magic, version, kind, length, and checksum, and
+// returns the body bytes.
+func deframe(r io.Reader, wantKind byte) ([]byte, error) {
+	raw, err := io.ReadAll(io.LimitReader(r, 1<<31))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading: %w", err)
+	}
+	const hdrLen = len(magic) + 13
+	if len(raw) < hdrLen+4 {
+		return nil, fmt.Errorf("snapshot: file truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(magic)]) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", raw[:len(magic)])
+	}
+	meta := raw[len(magic):hdrLen]
+	version := binary.LittleEndian.Uint32(meta[0:4])
+	if version == 0 || version > FormatVersion {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads ≤ %d)", version, FormatVersion)
+	}
+	kind := meta[4]
+	if kind != wantKind {
+		return nil, fmt.Errorf("snapshot: artifact kind %d, want %d", kind, wantKind)
+	}
+	bodyLen := binary.LittleEndian.Uint64(meta[5:13])
+	if bodyLen != uint64(len(raw)-hdrLen-4) {
+		return nil, fmt.Errorf("snapshot: body length %d does not match file (%d)", bodyLen, len(raw)-hdrLen-4)
+	}
+	body := raw[hdrLen : len(raw)-4]
+	crc := crc32.NewIEEE()
+	crc.Write(meta)
+	crc.Write(body)
+	if got := binary.LittleEndian.Uint32(raw[len(raw)-4:]); got != crc.Sum32() {
+		return nil, fmt.Errorf("snapshot: checksum mismatch (file %08x, computed %08x)", got, crc.Sum32())
+	}
+	return body, nil
+}
+
+// encoder writes the little-endian body primitives, capturing the first
+// error (bytes.Buffer writes cannot fail, but the encoder is also used
+// for structural errors like unsupported layer types).
+type encoder struct {
+	w   *bytes.Buffer
+	err error
+}
+
+func (e *encoder) u8(v byte)  { e.w.WriteByte(v) }
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.w.Write(b[:])
+}
+
+func (e *encoder) f64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	e.w.Write(b[:])
+}
+
+func (e *encoder) f64s(v []float64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+func (e *encoder) ints(v []int) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(int64(x)))
+		e.w.Write(b[:])
+	}
+}
+
+func (e *encoder) u32s(v []int) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u32(uint32(x))
+	}
+}
+
+// model encodes topology dims, the stem, and per-stage body/head layer
+// trees.
+func (e *encoder) model(m *staged.Model) {
+	e.u32(uint32(m.In))
+	e.u32(uint32(m.Hidden))
+	e.u32(uint32(m.Classes))
+	e.u32s(m.Widths)
+	e.layer(m.Stem)
+	e.u32(uint32(len(m.Stages)))
+	for _, s := range m.Stages {
+		e.layer(s.Body)
+		e.layer(s.Head)
+	}
+}
+
+// layer encodes one nn layer tree node.
+func (e *encoder) layer(l nn.Layer) {
+	switch l := l.(type) {
+	case *nn.Dense:
+		e.u8(tagDense)
+		e.u32(uint32(l.In))
+		e.u32(uint32(l.Out))
+		e.f64s(l.W.Data)
+		e.f64s(l.B)
+	case *nn.ReLU:
+		e.u8(tagReLU)
+	case *nn.Dropout:
+		e.u8(tagDropout)
+		e.f64(l.Rate)
+		e.bool(l.MC)
+	case *nn.Residual:
+		e.u8(tagResidual)
+		e.layer(l.Body)
+	case *nn.Sequential:
+		e.u8(tagSequential)
+		e.u32(uint32(len(l.Layers)))
+		for _, c := range l.Layers {
+			e.layer(c)
+		}
+	default:
+		if e.err == nil {
+			e.err = fmt.Errorf("snapshot: unsupported layer type %T", l)
+		}
+	}
+}
+
+// decoder reads body primitives with error latching and bounds checks.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail("body truncated (need %d bytes at offset %d of %d)", n, d.off, len(d.b))
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) f64() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (d *decoder) f64s() []float64 {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n > maxElems || n*8 > len(d.b)-d.off {
+		d.fail("float slice of %d elements exceeds body", n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *decoder) ints() []int {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n > maxElems || n*8 > len(d.b)-d.off {
+		d.fail("int slice of %d elements exceeds body", n)
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		b := d.take(8)
+		if b == nil {
+			return nil
+		}
+		out[i] = int(int64(binary.LittleEndian.Uint64(b)))
+	}
+	return out
+}
+
+func (d *decoder) u32s() []int {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n > maxElems || n*4 > len(d.b)-d.off {
+		d.fail("u32 slice of %d elements exceeds body", n)
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.u32())
+	}
+	return out
+}
+
+// finish rejects trailing garbage after a structurally complete decode.
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("snapshot: %d trailing bytes after payload", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// model decodes and structurally validates a staged model.
+func (d *decoder) model() (*staged.Model, error) {
+	in := int(d.u32())
+	hidden := int(d.u32())
+	classes := int(d.u32())
+	widths := d.u32s()
+	stem, err := d.layer(0)
+	if err != nil {
+		return nil, err
+	}
+	nStages := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nStages < 1 || nStages > maxStages {
+		return nil, fmt.Errorf("snapshot: %d stages", nStages)
+	}
+	stages := make([]*staged.Stage, nStages)
+	for i := range stages {
+		body, err := d.layer(0)
+		if err != nil {
+			return nil, err
+		}
+		head, err := d.layer(0)
+		if err != nil {
+			return nil, err
+		}
+		stages[i] = &staged.Stage{Body: body, Head: head}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	m, err := staged.FromParts(stem, stages, in, hidden, classes, widths)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return m, nil
+}
+
+// layer decodes one layer tree node, enforcing the recursion and fanout
+// bounds.
+func (d *decoder) layer(depth int) (nn.Layer, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("snapshot: layer tree deeper than %d", maxDepth)
+	}
+	tag := d.u8()
+	if d.err != nil {
+		return nil, d.err
+	}
+	switch tag {
+	case tagDense:
+		in := int(d.u32())
+		out := int(d.u32())
+		w := d.f64s()
+		b := d.f64s()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if in < 1 || out < 1 || in*out > maxElems {
+			return nil, fmt.Errorf("snapshot: dense %d→%d out of range", in, out)
+		}
+		if len(w) != in*out || len(b) != out {
+			return nil, fmt.Errorf("snapshot: dense %d→%d with %d weights, %d biases", in, out, len(w), len(b))
+		}
+		return &nn.Dense{
+			In: in, Out: out,
+			W:     tensor.FromSlice(out, in, w),
+			B:     b,
+			GradW: tensor.NewMatrix(out, in),
+			GradB: make([]float64, out),
+		}, nil
+	case tagReLU:
+		return nn.NewReLU(), nil
+	case tagDropout:
+		rate := d.f64()
+		mc := d.bool()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if math.IsNaN(rate) || rate < 0 || rate >= 1 {
+			return nil, fmt.Errorf("snapshot: dropout rate %v outside [0,1)", rate)
+		}
+		drop := nn.NewDropout(rand.New(rand.NewSource(dropoutSeed)), rate)
+		drop.MC = mc
+		return drop, nil
+	case tagResidual:
+		body, err := d.layer(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return nn.NewResidual(body), nil
+	case tagSequential:
+		n := int(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if n > maxLayers {
+			return nil, fmt.Errorf("snapshot: sequential of %d layers", n)
+		}
+		layers := make([]nn.Layer, n)
+		for i := range layers {
+			c, err := d.layer(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			layers[i] = c
+		}
+		return nn.NewSequential(layers...), nil
+	default:
+		return nil, fmt.Errorf("snapshot: unknown layer tag %d", tag)
+	}
+}
+

@@ -174,6 +174,60 @@ func New(rng *rand.Rand, cfg Config) (*Model, error) {
 	return m, nil
 }
 
+// FromParts reassembles a model from decoded components (the snapshot
+// restore path), validating the full topology: widths must chain
+// In→Widths[0] through the stem, Widths[s-1]→Widths[s] through each
+// stage body, and Widths[s]→Classes through each head. Validation here
+// is what lets the service run a restored model without re-checking
+// anything on the hot path — a width mismatch would otherwise panic a
+// serving worker mid-stage.
+func FromParts(stem nn.Layer, stages []*Stage, in, hidden, classes int, widths []int) (*Model, error) {
+	if in < 1 || hidden < 1 || classes < 2 {
+		return nil, fmt.Errorf("staged: bad dims in=%d hidden=%d classes=%d", in, hidden, classes)
+	}
+	if len(stages) < 1 {
+		return nil, fmt.Errorf("staged: need ≥1 stage, got %d", len(stages))
+	}
+	if len(widths) != len(stages) {
+		return nil, fmt.Errorf("staged: %d widths for %d stages", len(widths), len(stages))
+	}
+	if stem == nil {
+		return nil, fmt.Errorf("staged: nil stem")
+	}
+	if out, err := nn.OutputWidth(stem, in); err != nil {
+		return nil, fmt.Errorf("staged: stem: %w", err)
+	} else if out != widths[0] {
+		return nil, fmt.Errorf("staged: stem outputs width %d, stage 0 needs %d", out, widths[0])
+	}
+	prev := widths[0]
+	for s, st := range stages {
+		if st == nil || st.Body == nil || st.Head == nil {
+			return nil, fmt.Errorf("staged: stage %d incomplete", s)
+		}
+		if s > 0 {
+			prev = widths[s-1]
+		}
+		if out, err := nn.OutputWidth(st.Body, prev); err != nil {
+			return nil, fmt.Errorf("staged: stage %d body: %w", s, err)
+		} else if out != widths[s] {
+			return nil, fmt.Errorf("staged: stage %d body outputs width %d, want %d", s, out, widths[s])
+		}
+		if out, err := nn.OutputWidth(st.Head, widths[s]); err != nil {
+			return nil, fmt.Errorf("staged: stage %d head: %w", s, err)
+		} else if out != classes {
+			return nil, fmt.Errorf("staged: stage %d head outputs %d classes, want %d", s, out, classes)
+		}
+	}
+	return &Model{
+		Stem:    stem,
+		Stages:  stages,
+		In:      in,
+		Hidden:  hidden,
+		Classes: classes,
+		Widths:  append([]int(nil), widths...),
+	}, nil
+}
+
 // NumStages returns the number of exit stages.
 func (m *Model) NumStages() int { return len(m.Stages) }
 
