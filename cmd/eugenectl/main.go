@@ -121,6 +121,7 @@ func runSnapshot(ctx context.Context, client *eugene.Client, args []string) erro
 	model := fs.String("model", "", "model name")
 	save := fs.String("save", "", "download the snapshot to FILE")
 	load := fs.String("load", "", "upload FILE as the model's snapshot")
+	precision := fs.String("precision", "", "download weight precision: f64 (default) or f32 (half the bytes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,7 +129,7 @@ func runSnapshot(ctx context.Context, client *eugene.Client, args []string) erro
 		return fmt.Errorf("snapshot requires -model and exactly one of -save/-load")
 	}
 	if *save != "" {
-		raw, err := client.Snapshot(ctx, *model)
+		raw, err := client.Snapshot(ctx, *model, *precision)
 		if err != nil {
 			return err
 		}
@@ -156,6 +157,7 @@ func runReduce(ctx context.Context, client *eugene.Client, args []string) error 
 	hot := fs.String("hot", "", "comma-separated hot class ids")
 	hidden := fs.Int("hidden", 0, "subset model hidden width (0 = server default)")
 	epochs := fs.Int("epochs", 0, "subset training epochs (0 = server default)")
+	precision := fs.String("precision", "", "snapshot weight precision: f64 (default) or f32 (half the download)")
 	save := fs.String("save", "", "write the subset model snapshot to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -167,7 +169,7 @@ func runReduce(ctx context.Context, client *eugene.Client, args []string) error 
 	if err != nil {
 		return err
 	}
-	resp, err := client.Reduce(ctx, *model, eugene.ReduceRequest{Hot: classes, Hidden: *hidden, Epochs: *epochs})
+	resp, err := client.Reduce(ctx, *model, eugene.ReduceRequest{Hot: classes, Hidden: *hidden, Epochs: *epochs, Precision: *precision})
 	if err != nil {
 		return err
 	}
@@ -193,6 +195,7 @@ func runCache(ctx context.Context, client *eugene.Client, args []string) error {
 	subset := fs.Bool("subset", false, "fetch the device's subset model")
 	hidden := fs.Int("hidden", 0, "subset hidden width (0 = server default)")
 	epochs := fs.Int("epochs", 0, "subset training epochs (0 = server default)")
+	precision := fs.String("precision", "", "subset snapshot precision: f64 (default) or f32 (half the download, with -subset)")
 	save := fs.String("save", "", "write the subset model snapshot to FILE (with -subset)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -219,7 +222,7 @@ func runCache(ctx context.Context, client *eugene.Client, args []string) error {
 			d.Model, d.Cache, d.Hot, d.Share, d.Observations)
 		return nil
 	case *subset:
-		resp, err := client.SubsetModel(ctx, *device, *hidden, *epochs)
+		resp, err := client.SubsetModel(ctx, *device, *hidden, *epochs, *precision)
 		if err != nil {
 			return err
 		}

@@ -4,17 +4,27 @@
 //
 // Usage:
 //
-//	eugened [-addr :8080] [-workers 4] [-deadline 200ms] [-lookahead 1] [-maxbatch 0] [-data-dir DIR]
+//	eugened [-addr :8080] [-workers 4] [-deadline 200ms] [-lookahead 1] [-maxbatch 0] [-precision f64] [-data-dir DIR] [-pprof ADDR]
 //
 // With -data-dir, every trained/calibrated model (and its GP predictor)
 // is snapshotted to DIR and restored on the next boot, so a restarted
 // server answers bitwise-identically with no retraining.
+//
+// -precision f32 serves the inference hot path with frozen float32
+// weights (8-lane SIMD kernels, half the memory traffic); training and
+// snapshots stay float64.
+//
+// -pprof exposes net/http/pprof on a separate listener (e.g.
+// "localhost:6060") for CPU/heap profiling; it is off by default and
+// should never be bound to a public address.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -36,7 +46,9 @@ func run() error {
 	queue := flag.Int("queue", 256, "admission queue depth")
 	maxBatch := flag.Int("maxbatch", 0, "same-stage tasks coalesced per batched forward pass (0 = default, 1 disables)")
 	parallelism := flag.Int("parallelism", 0, "cores one large GEMM may fan out over (0 = GOMAXPROCS, 1 disables)")
+	precision := flag.String("precision", "", "serving precision: f64 (default) or f32 (frozen float32 weights, 8-lane SIMD hot path)")
 	dataDir := flag.String("data-dir", "", "snapshot directory: persist models on train/calibrate/predictor and restore them on boot (empty = in-memory only)")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
 	svc, err := eugene.NewService(eugene.Config{
@@ -46,6 +58,7 @@ func run() error {
 		Lookahead:   *lookahead,
 		MaxBatch:    *maxBatch,
 		Parallelism: *parallelism,
+		Precision:   *precision,
 		DataDir:     *dataDir,
 	})
 	if err != nil {
@@ -56,10 +69,25 @@ func run() error {
 	if effectiveMaxBatch == 0 {
 		effectiveMaxBatch = eugene.DefaultMaxBatch
 	}
+	effectivePrecision := *precision
+	if effectivePrecision == "" {
+		effectivePrecision = "f64"
+	}
 	if *dataDir != "" {
 		log.Printf("eugened restored %d model(s) from %s", len(svc.Models()), *dataDir)
 	}
-	log.Printf("eugened listening on %s (workers=%d deadline=%v k=%d maxbatch=%d parallelism=%d)",
-		*addr, *workers, *deadline, *lookahead, effectiveMaxBatch, *parallelism)
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on
+		// http.DefaultServeMux, which the API server never uses — the
+		// profiler is only reachable through this listener.
+		go func() {
+			log.Printf("eugened pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("eugened pprof listener failed: %v", err)
+			}
+		}()
+	}
+	log.Printf("eugened listening on %s (workers=%d deadline=%v k=%d maxbatch=%d parallelism=%d precision=%s)",
+		*addr, *workers, *deadline, *lookahead, effectiveMaxBatch, *parallelism, effectivePrecision)
 	return svc.ListenAndServe(*addr)
 }

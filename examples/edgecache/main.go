@@ -127,8 +127,10 @@ func run() error {
 	fmt.Printf("after %d live requests the server decides to cache classes %v "+
 		"(share %.0f%% of observed traffic)\n", observed, decision.Hot, 100*decision.Share)
 
-	// Phase 2: the device downloads its reduced model.
-	resp, err := client.SubsetModel(ctx, device, 24, 15)
+	// Phase 2: the device downloads its reduced model in the f32
+	// snapshot form — an edge device has no use for float64 weights,
+	// and the download is half the bytes.
+	resp, err := client.SubsetModel(ctx, device, 24, 15, "f32")
 	if err != nil {
 		return err
 	}
@@ -136,8 +138,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("downloaded reduced model: %d params, %d snapshot bytes on the wire\n",
-		resp.Params, len(resp.Snapshot))
+	f64Resp, err := client.SubsetModel(ctx, device, 24, 15, "")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("downloaded reduced model: %d params, %d snapshot bytes on the wire (f32; %d at f64)\n",
+		resp.Params, len(resp.Snapshot), len(f64Resp.Snapshot))
 
 	// Phase 3: the device serves locally when confident; misses (rare
 	// items, low confidence) escalate over HTTP — the paper's cache-miss
@@ -150,7 +156,7 @@ func run() error {
 	lat := cache.DefaultLatencyModel()
 	// Pull the server model's snapshot to size the escalation cost in
 	// the latency model (and to show a full-model download works too).
-	raw, err := client.Snapshot(ctx, "fridge")
+	raw, err := client.Snapshot(ctx, "fridge", "")
 	if err != nil {
 		return err
 	}

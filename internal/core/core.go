@@ -74,7 +74,22 @@ type Config struct {
 	// bitwise-identically to the one that trained — no retraining.
 	// Empty disables persistence (in-memory registry only).
 	DataDir string
+	// Precision selects the serving arithmetic: "f64" (or empty, the
+	// default) serves with the float64 training weights; "f32" freezes
+	// each model into packed float32 weights at pool start
+	// (staged.Freeze32) and runs the inference hot path through the
+	// 8-lane f32 SIMD kernels — roughly half the weight/activation
+	// memory traffic and twice the AVX2 arithmetic width, at a
+	// confidence accuracy easily inside calibration noise. Training,
+	// calibration, and snapshots stay float64 regardless.
+	Precision string
 }
+
+// Precision values accepted by Config.Precision.
+const (
+	PrecisionF64 = "f64"
+	PrecisionF32 = "f32"
+)
 
 // DefaultConfig serves with 4 workers, a 200 ms deadline, k = 1 and the
 // default stage-batch cap.
@@ -86,6 +101,11 @@ func DefaultConfig() Config {
 func (c Config) Validate() error {
 	if c.Workers < 1 || c.Deadline <= 0 || c.QueueDepth < 1 || c.Lookahead < 1 || c.MaxBatch < 0 || c.Parallelism < 0 {
 		return fmt.Errorf("core: bad config %+v", c)
+	}
+	switch c.Precision {
+	case "", PrecisionF64, PrecisionF32:
+	default:
+		return fmt.Errorf("core: precision %q must be %q or %q", c.Precision, PrecisionF64, PrecisionF32)
 	}
 	return nil
 }
@@ -420,11 +440,20 @@ func checkWidth(name string, want int, input []float64) error {
 	return nil
 }
 
-// execAdapter adapts a staged model clone to sched.StageExecutor. Like
-// the model's own scratch, the adapter's result buffer is owned by the
-// single worker goroutine driving it.
+// stageBatchModel is the contract both serving precisions share:
+// *staged.Model (float64) and *staged.Frozen32 (packed float32
+// weights) execute one stage for a same-stage batch over caller-owned
+// float64 hidden rows, so the scheduler is precision-blind.
+type stageBatchModel interface {
+	ExecStageBatch(hidden [][]float64, stage int, dst [][]float64) ([][]float64, []staged.StageOutput)
+	NumStages() int
+}
+
+// execAdapter adapts a staged model clone (either precision) to
+// sched.StageExecutor. Like the model's own scratch, the adapter's
+// result buffer is owned by the single worker goroutine driving it.
 type execAdapter struct {
-	m   *staged.Model
+	m   stageBatchModel
 	res []sched.StageResult
 }
 
@@ -484,8 +513,22 @@ func (s *Service) liveFor(name string) (*sched.Live, int, error) {
 		policy = sched.NewFIFO()
 	}
 	execs := make([]sched.StageExecutor, s.cfg.Workers)
-	for i := range execs {
-		execs[i] = &execAdapter{m: entry.Model.Clone()}
+	if s.cfg.Precision == PrecisionF32 {
+		// Freeze once, clone per worker: clones share the packed f32
+		// weight buffers (read-only after freezing), so the pool costs
+		// one half-size weight copy total instead of Workers full-size
+		// float64 copies.
+		frozen, err := staged.Freeze32(entry.Model)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: freezing %q for f32 serving: %w", name, err)
+		}
+		for i := range execs {
+			execs[i] = &execAdapter{m: frozen.Clone()}
+		}
+	} else {
+		for i := range execs {
+			execs[i] = &execAdapter{m: entry.Model.Clone()}
+		}
 	}
 	lv, err := sched.NewLive(sched.LiveConfig{
 		Workers:    s.cfg.Workers,
@@ -542,17 +585,34 @@ func (s *Service) Reduce(name string, train *dataset.Set, hot []int, hidden, epo
 // alpha, stage accuracies, predictor) in snapshot format — the payload
 // of GET /v1/models/{name}/snapshot.
 func (s *Service) SnapshotBytes(name string) ([]byte, error) {
+	return s.SnapshotBytesPrecision(name, "")
+}
+
+// SnapshotBytesPrecision is SnapshotBytes with a selectable weight
+// payload: PrecisionF32 emits the half-size float32 artifact kind (the
+// wire form for f32 serving tiers and edge downloads); empty or
+// PrecisionF64 emits the lossless float64 bundle.
+func (s *Service) SnapshotBytesPrecision(name, precision string) ([]byte, error) {
 	entry, err := s.get(name)
 	if err != nil {
 		return nil, err
 	}
-	var buf bytes.Buffer
-	if err := snapshot.EncodeModel(&buf, &snapshot.ModelSnapshot{
+	snap := &snapshot.ModelSnapshot{
 		Model:     entry.Model,
 		Alpha:     entry.Alpha,
 		StageAccs: entry.StageAccs,
 		Pred:      entry.Pred,
-	}); err != nil {
+	}
+	var buf bytes.Buffer
+	switch precision {
+	case "", PrecisionF64:
+		err = snapshot.EncodeModel(&buf, snap)
+	case PrecisionF32:
+		err = snapshot.EncodeModelF32(&buf, snap)
+	default:
+		return nil, fmt.Errorf("core: snapshot precision %q must be %q or %q", precision, PrecisionF64, PrecisionF32)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("core: encoding snapshot of %q: %w", name, err)
 	}
 	return buf.Bytes(), nil

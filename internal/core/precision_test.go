@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"eugene/internal/dataset"
+	"eugene/internal/sched"
+	"eugene/internal/staged"
+)
+
+// trainPrecisionModel trains one model used by both precision services;
+// the comparison must run f64 and f32 over identical weights.
+func trainPrecisionModel(t *testing.T) (*staged.Model, *dataset.Set) {
+	t.Helper()
+	train, test := testData(t)
+	svc, err := NewService(Config{Workers: 1, Deadline: time.Second, QueueDepth: 32, Lookahead: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	opts := DefaultTrainOptions(12, 4)
+	opts.Model.Hidden = 24
+	opts.Model.BlocksPerStage = 1
+	opts.Train.Epochs = 10
+	entry, err := svc.Train("demo", train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entry.Model, test
+}
+
+func TestConfigValidatePrecision(t *testing.T) {
+	for _, p := range []string{"", PrecisionF64, PrecisionF32} {
+		cfg := Config{Workers: 1, Deadline: time.Second, QueueDepth: 1, Lookahead: 1, Precision: p}
+		svc, err := NewService(cfg)
+		if err != nil {
+			t.Fatalf("precision %q rejected: %v", p, err)
+		}
+		svc.Close()
+	}
+	if _, err := NewService(Config{Workers: 1, Deadline: time.Second, QueueDepth: 1, Lookahead: 1, Precision: "f16"}); err == nil {
+		t.Fatal("precision f16 accepted")
+	}
+}
+
+// TestPrecisionServingAgreement serves the same request stream through
+// an f64 service and an f32 service over identical weights and requires
+// identical predictions on ≥99.9% of inputs — the serving-level half of
+// the f32 tier's accuracy bar. The deadline is generous so both runs
+// execute every stage and differences can only come from arithmetic.
+func TestPrecisionServingAgreement(t *testing.T) {
+	model, test := trainPrecisionModel(t)
+	ctx := context.Background()
+
+	inputs := make([][]float64, test.Len())
+	for i := range inputs {
+		inputs[i], _ = test.Sample(i)
+	}
+	results := make(map[string][]sched.Response, 2)
+	for _, prec := range []string{PrecisionF64, PrecisionF32} {
+		svc, err := NewService(Config{
+			Workers: 2, Deadline: 30 * time.Second, QueueDepth: 256,
+			Lookahead: 1, MaxBatch: 8, Precision: prec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Register("demo", model.Clone()); err != nil {
+			svc.Close()
+			t.Fatal(err)
+		}
+		resps, err := svc.InferBatch(ctx, "demo", inputs)
+		svc.Close()
+		if err != nil {
+			t.Fatalf("%s InferBatch: %v", prec, err)
+		}
+		results[prec] = resps
+	}
+
+	var disagree int
+	for i := range inputs {
+		r64, r32 := results[PrecisionF64][i], results[PrecisionF32][i]
+		if r64.Stages != model.NumStages() || r32.Stages != model.NumStages() {
+			t.Fatalf("input %d ran %d/%d stages; deadline too tight for a deterministic comparison", i, r64.Stages, r32.Stages)
+		}
+		if r64.Pred != r32.Pred {
+			disagree++
+		}
+	}
+	if frac := float64(disagree) / float64(len(inputs)); frac > 0.001 {
+		t.Fatalf("f32 serving disagrees with f64 on %d/%d inputs (%.3f%% > 0.1%%)",
+			disagree, len(inputs), 100*frac)
+	}
+}
+
+// TestPrecisionEarlyExitAgreement compares the decision the staged
+// early-exit loop actually makes — the first stage whose calibrated
+// confidence clears the threshold, and the prediction taken there —
+// between the f64 model and its f32 freeze, over the whole test set.
+// The paper's latency win comes from exiting early; the f32 tier is
+// only sound if it exits at the same stage with the same answer on
+// ≥99.9% of inputs.
+func TestPrecisionEarlyExitAgreement(t *testing.T) {
+	model, test := trainPrecisionModel(t)
+	frozen, err := staged.Freeze32(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tau = 0.85 // a mid-range calibrated exit threshold
+
+	exitDecision := func(outs []staged.StageOutput) (stage, pred int) {
+		for _, o := range outs {
+			if o.Conf >= tau {
+				return o.Stage, o.Pred
+			}
+		}
+		last := outs[len(outs)-1]
+		return last.Stage, last.Pred
+	}
+
+	n := test.Len()
+	var disagree int
+	for i := 0; i < n; i++ {
+		x, _ := test.Sample(i)
+		var outs64, outs32 []staged.StageOutput
+		h64 := append([]float64(nil), x...)
+		h32 := append([]float64(nil), x...)
+		for s := 0; s < model.NumStages(); s++ {
+			next64, o64 := model.ExecStageBatch([][]float64{h64}, s, nil)
+			h64 = append(h64[:0:0], next64[0]...)
+			outs64 = append(outs64, o64[0])
+			next32, o32 := frozen.ExecStageBatch([][]float64{h32}, s, nil)
+			h32 = append(h32[:0:0], next32[0]...)
+			outs32 = append(outs32, o32[0])
+		}
+		s64, p64 := exitDecision(outs64)
+		s32, p32 := exitDecision(outs32)
+		if s64 != s32 || p64 != p32 {
+			disagree++
+		}
+	}
+	if frac := float64(disagree) / float64(n); frac > 0.001 {
+		t.Fatalf("early-exit decisions disagree on %d/%d inputs (%.3f%% > 0.1%%)", disagree, n, 100*frac)
+	}
+}

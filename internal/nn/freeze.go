@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"fmt"
+
+	"eugene/internal/tensor"
+)
+
+// Float32 inference freezing. Training runs in float64 throughout; once
+// a model is trained, serving does not need the extra mantissa bits, so
+// Compile32 "freezes" a layer tree into a flat float32 program: each
+// Dense layer's weights are repacked into one contiguous float32 buffer
+// (halving weight memory traffic and doubling SIMD lanes), ReLUs are
+// fused into the preceding Dense or Residual op, and inference-identity
+// Dropout disappears entirely. The program's weights are immutable, so
+// clones for concurrent workers share them — only scratch is per-clone.
+
+// op32 kinds.
+const (
+	opDense32 = iota // x·Wᵀ + b, optionally fused ReLU
+	opResidual32     // x + body(x), optionally fused ReLU
+	opReLU32         // standalone max(0, x) (no fusable predecessor)
+)
+
+// op32 is one step of a compiled program. Weight buffers (w, b) are
+// shared across clones and never written after compilation; out is
+// per-clone scratch.
+type op32 struct {
+	kind int
+	w    *tensor.Matrix32 // dense: Out×In packed weights
+	b    []float32        // dense: bias
+	body []op32           // residual: compiled body
+	relu bool             // fuse ReLU after this op's output
+	out  *tensor.Matrix32 // scratch, lazily sized per batch
+}
+
+// Program32 is a layer tree compiled for float32 inference: a sequence
+// of dense/residual/ReLU ops over packed float32 weights. Like layers,
+// a Program32 owns scratch buffers and must be driven from a single
+// goroutine; Clone (cheap — weights are shared) gives each worker its
+// own.
+type Program32 struct {
+	In  int
+	Out int
+	ops []op32
+}
+
+// Compile32 freezes a trained layer tree into a float32 program. in is
+// the tree's input width; the returned program's Out is its verified
+// output width. Trees containing Monte-Carlo dropout are rejected: MC
+// sampling is a float64 calibration baseline, not a serving path.
+func Compile32(root Layer, in int) (*Program32, error) {
+	if in < 1 {
+		return nil, fmt.Errorf("nn: Compile32 input width %d must be positive", in)
+	}
+	ops, out, err := compile32(root, in, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Program32{In: in, Out: out, ops: ops}, nil
+}
+
+// compile32 appends root's ops to ops, returning the extended program
+// and its output width.
+func compile32(root Layer, in int, ops []op32) ([]op32, int, error) {
+	switch l := root.(type) {
+	case *Dense:
+		if l.In != in {
+			return nil, 0, fmt.Errorf("nn: Compile32 dense expects width %d, got %d", l.In, in)
+		}
+		if l.W == nil || l.W.Rows != l.Out || l.W.Cols != l.In || len(l.B) != l.Out {
+			return nil, 0, fmt.Errorf("nn: Compile32 dense %d→%d has inconsistent buffers", l.In, l.Out)
+		}
+		w := tensor.NewMatrix32(l.Out, l.In)
+		tensor.Narrow(w.Data, l.W.Data)
+		b := make([]float32, l.Out)
+		tensor.Narrow(b, l.B)
+		return append(ops, op32{kind: opDense32, w: w, b: b}), l.Out, nil
+	case *ReLU:
+		// Fuse into the immediately preceding dense or residual op;
+		// a ReLU with no fusable predecessor (first layer, or after
+		// another ReLU) becomes a standalone op.
+		if n := len(ops); n > 0 && !ops[n-1].relu &&
+			(ops[n-1].kind == opDense32 || ops[n-1].kind == opResidual32) {
+			ops[n-1].relu = true
+			return ops, in, nil
+		}
+		return append(ops, op32{kind: opReLU32}), in, nil
+	case *Dropout:
+		if l.MC {
+			return nil, 0, fmt.Errorf("nn: Compile32 does not support Monte-Carlo dropout (float64 serving only)")
+		}
+		// Plain dropout is the identity at inference.
+		return ops, in, nil
+	case *Residual:
+		body, out, err := compile32(l.Body, in, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		if out != in {
+			return nil, 0, fmt.Errorf("nn: Compile32 residual body maps %d→%d, needs matching widths", in, out)
+		}
+		return append(ops, op32{kind: opResidual32, body: body}), in, nil
+	case *Sequential:
+		var err error
+		w := in
+		for i, c := range l.Layers {
+			if ops, w, err = compile32(c, w, ops); err != nil {
+				return nil, 0, fmt.Errorf("nn: sequential layer %d: %w", i, err)
+			}
+		}
+		return ops, w, nil
+	default:
+		return nil, 0, fmt.Errorf("nn: Compile32 does not support layer type %T", root)
+	}
+}
+
+// Forward runs the program on batch x (one sample per row) and returns
+// the output batch. The result aliases program scratch, valid until the
+// next Forward; x is only read.
+func (p *Program32) Forward(x *tensor.Matrix32) *tensor.Matrix32 {
+	if x.Cols != p.In {
+		panic(fmt.Sprintf("nn: Program32(%d→%d) got input width %d", p.In, p.Out, x.Cols))
+	}
+	return runOps32(p.ops, x)
+}
+
+// runOps32 executes a compiled op sequence. Every op writes only its own
+// scratch, so a residual's saved input (the running x) stays intact
+// while its body executes — no defensive copy needed.
+func runOps32(ops []op32, x *tensor.Matrix32) *tensor.Matrix32 {
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case opDense32:
+			op.out = tensor.Ensure32(op.out, x.Rows, op.w.Rows)
+			tensor.MatMulT32(op.out, x, op.w)
+			if op.relu {
+				tensor.AddRowVectorReLU32(op.out, op.b)
+			} else {
+				tensor.AddRowVector32(op.out, op.b)
+			}
+		case opResidual32:
+			h := runOps32(op.body, x)
+			op.out = tensor.Ensure32(op.out, x.Rows, x.Cols)
+			if op.relu {
+				tensor.AddReLU32(op.out, x, h)
+			} else {
+				tensor.Add32(op.out, x, h)
+			}
+		case opReLU32:
+			op.out = tensor.Ensure32(op.out, x.Rows, x.Cols)
+			tensor.ReLU32(op.out, x)
+		}
+		x = op.out
+	}
+	return x
+}
+
+// Clone returns a program sharing the (immutable) packed weights with
+// fresh scratch, for use by another goroutine.
+func (p *Program32) Clone() *Program32 {
+	return &Program32{In: p.In, Out: p.Out, ops: cloneOps32(p.ops)}
+}
+
+func cloneOps32(ops []op32) []op32 {
+	out := make([]op32, len(ops))
+	for i, op := range ops {
+		out[i] = op32{kind: op.kind, w: op.w, b: op.b, relu: op.relu}
+		if op.body != nil {
+			out[i].body = cloneOps32(op.body)
+		}
+	}
+	return out
+}
+
+// WeightBytes returns the packed parameter footprint in bytes — the
+// measure behind the f32 tier's halved weight traffic and download
+// size.
+func (p *Program32) WeightBytes() int {
+	return weightBytes32(p.ops)
+}
+
+func weightBytes32(ops []op32) int {
+	var n int
+	for i := range ops {
+		if ops[i].w != nil {
+			n += 4 * (len(ops[i].w.Data) + len(ops[i].b))
+		}
+		n += weightBytes32(ops[i].body)
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eugene/internal/tensor"
+)
+
+// buildTestNet mirrors a staged-model stage: Dense→ReLU, a residual
+// block with fused ReLU, dropout (inference identity), and a final
+// linear head.
+func buildTestNet(rng *rand.Rand, in, hidden, out int) *Sequential {
+	return NewSequential(
+		NewDense(rng, in, hidden),
+		NewReLU(),
+		NewResidual(NewSequential(
+			NewDense(rng, hidden, hidden),
+			NewReLU(),
+			NewDense(rng, hidden, hidden),
+		)),
+		NewReLU(),
+		NewDropout(rng, 0.2),
+		NewDense(rng, hidden, out),
+	)
+}
+
+func TestCompile32MatchesF64Forward(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const in, hidden, out, batch = 13, 40, 5, 9
+	net := buildTestNet(rng, in, hidden, out)
+	prog, err := Compile32(net, in)
+	if err != nil {
+		t.Fatalf("Compile32: %v", err)
+	}
+	if prog.Out != out {
+		t.Fatalf("compiled Out = %d, want %d", prog.Out, out)
+	}
+
+	x64 := tensor.NewMatrix(batch, in)
+	x32 := tensor.NewMatrix32(batch, in)
+	for i := range x64.Data {
+		v := float32(rng.NormFloat64())
+		x32.Data[i] = v
+		x64.Data[i] = float64(v)
+	}
+	want := net.Forward(x64, false)
+	got := prog.Forward(x32)
+	if got.Rows != batch || got.Cols != out {
+		t.Fatalf("forward shape %dx%d, want %dx%d", got.Rows, got.Cols, batch, out)
+	}
+	for i := range got.Data {
+		diff := math.Abs(float64(got.Data[i]) - want.Data[i])
+		scale := math.Max(1, math.Abs(want.Data[i]))
+		if diff > 1e-4*scale {
+			t.Fatalf("output [%d] = %v, want ≈ %v (Δ %v)", i, got.Data[i], want.Data[i], diff)
+		}
+	}
+}
+
+func TestCompile32StandaloneReLUAndInputIntact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Leading ReLU has no fusable predecessor; must not write the
+	// caller's input in place.
+	net := NewSequential(NewReLU(), NewDense(rng, 4, 3))
+	prog, err := Compile32(net, 4)
+	if err != nil {
+		t.Fatalf("Compile32: %v", err)
+	}
+	x := tensor.NewMatrix32(2, 4)
+	orig := make([]float32, len(x.Data))
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+		orig[i] = x.Data[i]
+	}
+	prog.Forward(x)
+	for i := range x.Data {
+		if x.Data[i] != orig[i] {
+			t.Fatalf("Forward mutated its input at %d", i)
+		}
+	}
+}
+
+func TestCompile32RejectsMCDropoutAndWidthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	drop := NewDropout(rng, 0.2)
+	drop.MC = true
+	if _, err := Compile32(NewSequential(drop), 4); err == nil {
+		t.Fatal("Compile32 accepted MC dropout")
+	}
+	if _, err := Compile32(NewDense(rng, 5, 3), 4); err == nil {
+		t.Fatal("Compile32 accepted a width mismatch")
+	}
+	if _, err := Compile32(NewResidual(NewDense(rng, 4, 3)), 4); err == nil {
+		t.Fatal("Compile32 accepted a non-square residual body")
+	}
+}
+
+func TestProgram32CloneSharesWeightsNotScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const in, hidden, out = 6, 12, 3
+	net := buildTestNet(rng, in, hidden, out)
+	prog, err := Compile32(net, in)
+	if err != nil {
+		t.Fatalf("Compile32: %v", err)
+	}
+	c := prog.Clone()
+	if &c.ops[0].w.Data[0] != &prog.ops[0].w.Data[0] {
+		t.Fatal("clone copied weights instead of sharing them")
+	}
+	if prog.WeightBytes() != c.WeightBytes() {
+		t.Fatal("clone weight footprint differs")
+	}
+
+	// Concurrent forwards on independent clones must agree (and be
+	// race-free under -race).
+	x := tensor.NewMatrix32(4, in)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	ref := append([]float32(nil), prog.Forward(x).Data...)
+	done := make(chan []float32, 2)
+	for k := 0; k < 2; k++ {
+		clone := prog.Clone()
+		go func() {
+			var last []float32
+			for rep := 0; rep < 50; rep++ {
+				last = clone.Forward(x).Data
+			}
+			done <- append([]float32(nil), last...)
+		}()
+	}
+	for k := 0; k < 2; k++ {
+		got := <-done
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("concurrent clone output [%d] = %v, want %v", i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -19,18 +19,44 @@ import (
 type Client struct {
 	// Base is the server URL, e.g. "http://localhost:8080".
 	Base string
-	// HTTP is the underlying client; nil uses http.DefaultClient.
+	// HTTP is the underlying client; nil uses the package's shared
+	// pooled client (see sharedClient). The shared client sets no
+	// overall Timeout and does not inherit customizations made to
+	// http.DefaultClient — bound requests with a context deadline, or
+	// set HTTP explicitly to control transport and timeout policy.
 	HTTP *http.Client
 }
 
 // NewClient builds a client for the given base URL.
 func NewClient(base string) *Client { return &Client{Base: base} }
 
+// sharedClient backs every Client without an explicit HTTP override.
+// http.DefaultTransport keeps only 2 idle connections per host
+// (DefaultMaxIdleConnsPerHost), so an inference loop hammering one
+// Eugene server redials — and pays connection setup — on most requests
+// once more than two are in flight. The shared transport keeps a pool
+// sized for serving benchmarks and edge-cache loops against a handful
+// of servers.
+var sharedClient = &http.Client{Transport: newSharedTransport()}
+
+func newSharedTransport() *http.Transport {
+	t, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		// A build with a replaced DefaultTransport (tests, instrumented
+		// binaries) keeps its own pooling behavior.
+		return &http.Transport{MaxIdleConnsPerHost: 32}
+	}
+	t = t.Clone()
+	t.MaxIdleConns = 128
+	t.MaxIdleConnsPerHost = 32
+	return t
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return sharedClient
 }
 
 // Train uploads data and trains a model.
@@ -87,9 +113,15 @@ func (c *Client) InferObserved(ctx context.Context, name, device string, input [
 }
 
 // Snapshot downloads the named model's full snapshot (model weights,
-// calibration, predictor) in binary snapshot format.
-func (c *Client) Snapshot(ctx context.Context, name string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/models/%s/snapshot", c.Base, url.PathEscape(name)), nil)
+// calibration, predictor) in binary snapshot format. precision "f32"
+// requests the half-size float32 weight payload; empty or "f64" the
+// lossless float64 form.
+func (c *Client) Snapshot(ctx context.Context, name, precision string) ([]byte, error) {
+	u := fmt.Sprintf("%s/v1/models/%s/snapshot", c.Base, url.PathEscape(name))
+	if precision != "" {
+		u += "?precision=" + url.QueryEscape(precision)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, fmt.Errorf("service: building request: %w", err)
 	}
@@ -164,8 +196,11 @@ func (c *Client) CacheDecision(ctx context.Context, device string) (*CacheDecisi
 }
 
 // SubsetModel fetches (building if necessary) the reduced model the
-// device should cache. hidden/epochs of 0 take server defaults.
-func (c *Client) SubsetModel(ctx context.Context, device string, hidden, epochs int) (*SubsetModelResponse, error) {
+// device should cache. hidden/epochs of 0 take server defaults;
+// precision "f32" downloads the half-size float32 snapshot form (the
+// right choice for bandwidth-constrained devices — the decoded model
+// predicts the same classes).
+func (c *Client) SubsetModel(ctx context.Context, device string, hidden, epochs int, precision string) (*SubsetModelResponse, error) {
 	u := fmt.Sprintf("%s/v1/devices/%s/subset-model", c.Base, url.PathEscape(device))
 	q := url.Values{}
 	if hidden > 0 {
@@ -173,6 +208,9 @@ func (c *Client) SubsetModel(ctx context.Context, device string, hidden, epochs 
 	}
 	if epochs > 0 {
 		q.Set("epochs", strconv.Itoa(epochs))
+	}
+	if precision != "" {
+		q.Set("precision", precision)
 	}
 	if len(q) > 0 {
 		u += "?" + q.Encode()

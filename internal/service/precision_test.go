@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestPrecisionParamsOverTheWire covers the f32 artifact plumbing end
+// to end: snapshot and subset downloads at ?precision=f32 are decodable
+// and materially smaller than their f64 twins, the f32 snapshot
+// reinstalls cleanly, and unknown precisions are 400s.
+func TestPrecisionParamsOverTheWire(t *testing.T) {
+	c, train, _ := testServer(t)
+	trainDemo(t, c, train)
+	ctx := context.Background()
+
+	raw64, err := c.Snapshot(ctx, "demo", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw32, err := c.Snapshot(ctx, "demo", "f32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw32) >= len(raw64)*3/4 {
+		t.Fatalf("f32 snapshot is %d bytes vs %d f64 — expected ≈half", len(raw32), len(raw64))
+	}
+	// An f32 snapshot is a first-class artifact: installing it back
+	// must work (the server widens it to a servable model).
+	if err := c.PutSnapshot(ctx, "demo-f32", raw32); err != nil {
+		t.Fatalf("installing f32 snapshot: %v", err)
+	}
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range models {
+		found = found || m == "demo-f32"
+	}
+	if !found {
+		t.Fatalf("installed f32 snapshot missing from %v", models)
+	}
+
+	if _, err := c.Snapshot(ctx, "demo", "f16"); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("expected 400 for bad precision, got %v", err)
+	}
+
+	// Subset downloads: drive the cache decision, then fetch both
+	// precisions.
+	if err := c.Observe(ctx, "fridge", "demo", 1, 400); err != nil {
+		t.Fatal(err)
+	}
+	sub64, err := c.SubsetModel(ctx, "fridge", 8, 2, "f64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub32, err := c.SubsetModel(ctx, "fridge", 8, 2, "f32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub32.Snapshot) >= len(sub64.Snapshot)*3/4 {
+		t.Fatalf("f32 subset download is %d bytes vs %d f64 — expected ≈half", len(sub32.Snapshot), len(sub64.Snapshot))
+	}
+	m32, err := c.DecodeSubset(sub32)
+	if err != nil {
+		t.Fatalf("decoding f32 subset: %v", err)
+	}
+	m64, err := c.DecodeSubset(sub64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same hot slate; same decisions on a probe input.
+	if len(m32.Hot) != len(m64.Hot) {
+		t.Fatalf("hot classes differ: %v vs %v", m32.Hot, m64.Hot)
+	}
+	x := make([]float64, 10)
+	c64, _, o64 := m64.Predict(x)
+	c32, _, o32 := m32.Predict(x)
+	if c64 != c32 || o64 != o32 {
+		t.Fatalf("f32 subset predicts (%d,%v), f64 (%d,%v)", c32, o32, c64, o64)
+	}
+	if _, err := c.SubsetModel(ctx, "fridge", 8, 2, "f16"); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("expected 400 for bad subset precision, got %v", err)
+	}
+}

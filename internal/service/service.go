@@ -104,12 +104,14 @@ type InferBatchRequest struct {
 // ReduceRequest asks for a reduced hot-class model (paper Section
 // II-B). Data may be omitted to reuse the training set retained from
 // the model's last train call; Hidden and Epochs of 0 take server
-// defaults.
+// defaults. Precision "f32" returns the model in the half-size float32
+// snapshot form (edge downloads); empty or "f64" keeps float64.
 type ReduceRequest struct {
-	Data   *DataPayload `json:"data,omitempty"`
-	Hot    []int        `json:"hot"`
-	Hidden int          `json:"hidden,omitempty"`
-	Epochs int          `json:"epochs,omitempty"`
+	Data      *DataPayload `json:"data,omitempty"`
+	Hot       []int        `json:"hot"`
+	Hidden    int          `json:"hidden,omitempty"`
+	Epochs    int          `json:"epochs,omitempty"`
+	Precision string       `json:"precision,omitempty"`
 }
 
 // SubsetModelResponse carries a reduced device model: the hot classes
@@ -403,7 +405,11 @@ func (s *Server) observeAnswer(device, model string, resp sched.Response) {
 }
 
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
-	raw, err := s.svc.SnapshotBytes(r.PathValue("name"))
+	precision, ok := precisionParam(w, r)
+	if !ok {
+		return
+	}
+	raw, err := s.svc.SnapshotBytesPrecision(r.PathValue("name"), precision)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -440,6 +446,12 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, maxTrainBody, &req) {
 		return
 	}
+	switch req.Precision {
+	case "", core.PrecisionF64, core.PrecisionF32:
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad precision %q (want f64 or f32)", req.Precision))
+		return
+	}
 	var set *dataset.Set
 	if req.Data != nil {
 		var err error
@@ -453,7 +465,19 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeSubset(w, sub)
+	writeSubset(w, sub, req.Precision == core.PrecisionF32)
+}
+
+// precisionParam reads the optional ?precision= query parameter ("",
+// "f64", or "f32"), writing the 400 itself on an unknown value.
+func precisionParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	p := r.URL.Query().Get("precision")
+	switch p {
+	case "", core.PrecisionF64, core.PrecisionF32:
+		return p, true
+	}
+	writeError(w, http.StatusBadRequest, fmt.Errorf("bad precision %q (want f64 or f32)", p))
+	return "", false
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
@@ -485,6 +509,10 @@ func (s *Server) handleCacheDecision(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubsetModel(w http.ResponseWriter, r *http.Request) {
+	precision, ok := precisionParam(w, r)
+	if !ok {
+		return
+	}
 	hidden, epochs := 0, 0
 	q := r.URL.Query()
 	if v := q.Get("hidden"); v != "" {
@@ -508,13 +536,18 @@ func (s *Server) handleSubsetModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeSubset(w, sub)
+	writeSubset(w, sub, precision == core.PrecisionF32)
 }
 
-// writeSubset serializes a reduced model into the wire response.
-func writeSubset(w http.ResponseWriter, sub *cache.SubsetModel) {
+// writeSubset serializes a reduced model into the wire response; f32
+// selects the half-size float32 artifact kind (the edge-download form).
+func writeSubset(w http.ResponseWriter, sub *cache.SubsetModel, f32 bool) {
 	var buf bytes.Buffer
-	if err := snapshot.EncodeSubset(&buf, sub); err != nil {
+	encode := snapshot.EncodeSubset
+	if f32 {
+		encode = snapshot.EncodeSubsetF32
+	}
+	if err := encode(&buf, sub); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

@@ -265,7 +265,7 @@ func TestSnapshotEndpointRoundTrip(t *testing.T) {
 	c, train, test := testServer(t)
 	trainDemo(t, c, train)
 	ctx := context.Background()
-	raw, err := c.Snapshot(ctx, "demo")
+	raw, err := c.Snapshot(ctx, "demo", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestSnapshotEndpointRoundTrip(t *testing.T) {
 		}
 	}
 	// Unknown model → 404; garbage upload → 400.
-	if _, err := c.Snapshot(ctx, "ghost"); err == nil || !strings.Contains(err.Error(), "404") {
+	if _, err := c.Snapshot(ctx, "ghost", ""); err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("expected 404, got %v", err)
 	}
 	if err := c.PutSnapshot(ctx, "bad", []byte("junk")); err == nil || !strings.Contains(err.Error(), "400") {
@@ -374,7 +374,7 @@ func TestDeviceEndpointsEdgeCacheLoop(t *testing.T) {
 	if d.Cache {
 		t.Fatalf("one observation must not justify caching: %+v", d)
 	}
-	if _, err := c.SubsetModel(ctx, "fridge", 8, 2); err == nil || !strings.Contains(err.Error(), "409") {
+	if _, err := c.SubsetModel(ctx, "fridge", 8, 2, ""); err == nil || !strings.Contains(err.Error(), "409") {
 		t.Fatalf("expected 409 before a positive decision, got %v", err)
 	}
 
@@ -389,7 +389,7 @@ func TestDeviceEndpointsEdgeCacheLoop(t *testing.T) {
 	if !d.Cache || len(d.Hot) == 0 || d.Hot[0] != 1 {
 		t.Fatalf("skewed stream should flip the decision to class 1: %+v", d)
 	}
-	resp, err := c.SubsetModel(ctx, "fridge", 8, 3)
+	resp, err := c.SubsetModel(ctx, "fridge", 8, 3, "")
 	if err != nil {
 		t.Fatal(err)
 	}

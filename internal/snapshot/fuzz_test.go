@@ -1,0 +1,44 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at both snapshot decoders. The
+// codec's contract is that a hostile or corrupted file is rejected with
+// an error — never a panic, unbounded allocation, or half-built model —
+// because decode runs on snapshot installs (PUT /v1/models/{name}/
+// snapshot) fed directly by network clients. Seeds include the
+// committed golden fixture and small valid artifacts of each kind so
+// the fuzzer starts from deep, structurally valid inputs and mutates
+// from there.
+func FuzzDecode(f *testing.F) {
+	if golden, err := os.ReadFile(filepath.Join("testdata", "golden_v1.snap")); err == nil {
+		f.Add(golden)
+	}
+	// A valid f32-kind bundle seed (framing + tagDense32 payloads).
+	var f32Seed bytes.Buffer
+	if err := EncodeModelF32(&f32Seed, goldenSnapshot(f)); err == nil {
+		f.Add(f32Seed.Bytes())
+	}
+	// Truncation and header-mutation seeds.
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeModel(bytes.NewReader(data)); err == nil {
+			// A decode that succeeds must yield a servable model: the
+			// validation invariants the registry relies on.
+			if m.Model == nil || m.Model.NumStages() < 1 {
+				t.Fatalf("DecodeModel returned invalid model without error: %+v", m)
+			}
+		}
+		if sub, err := DecodeSubset(bytes.NewReader(data)); err == nil {
+			if sub.Net == nil || len(sub.Hot) < 1 {
+				t.Fatalf("DecodeSubset returned invalid subset without error: %+v", sub)
+			}
+		}
+	})
+}

@@ -10,7 +10,10 @@
 //
 //   - Round trip is lossless: every float64 is stored as its IEEE-754
 //     bit pattern, so a restored model's Infer/InferBatch outputs are
-//     bitwise identical to the original's.
+//     bitwise identical to the original's. The float32 artifact kinds
+//     (EncodeModelF32/EncodeSubsetF32, half the bytes) round weights to
+//     serving precision once at encode; decode widens them back, and
+//     re-encoding at f32 reproduces the file byte for byte.
 //   - Files are framed with a magic string, a format version, and a
 //     CRC-32 of the body; truncated, corrupted, or trailing-garbage
 //     files are rejected at decode, never half-applied.
@@ -51,10 +54,18 @@ const magic = "EUGSNP01"
 // decode support for every older version still in the golden fixtures.
 const FormatVersion = 1
 
-// Artifact kinds, one byte after the version.
+// Artifact kinds, one byte after the version. The F32 kinds carry the
+// same structure as their float64 twins but store Dense weight/bias
+// payloads as IEEE-754 float32 bits — half the bytes, the natural wire
+// form for the f32 serving tier and for subset models downloaded to
+// bandwidth-constrained edge devices. Decoders accept either kind and
+// widen f32 payloads to float64 (losslessly reversible: a re-encode at
+// f32 reproduces the file byte for byte).
 const (
-	kindModel  = 1 // full staged model + calibration + predictor bundle
-	kindSubset = 2 // reduced hot-class device model
+	kindModel     = 1 // full staged model + calibration + predictor bundle
+	kindSubset    = 2 // reduced hot-class device model
+	kindModelF32  = 3 // model bundle with float32 dense payloads
+	kindSubsetF32 = 4 // subset model with float32 dense payloads
 )
 
 // Layer tags for the nn layer tree.
@@ -64,6 +75,7 @@ const (
 	tagDropout    = 3
 	tagResidual   = 4
 	tagSequential = 5
+	tagDense32    = 6 // dense with float32 weight/bias payloads
 )
 
 // Decode-time sanity bounds: a CRC-valid but hostile file must not be
@@ -91,13 +103,26 @@ type ModelSnapshot struct {
 	Pred      *sched.GPPredictor
 }
 
-// EncodeModel writes the bundle to w in snapshot format.
+// EncodeModel writes the bundle to w in snapshot format with float64
+// weight payloads (lossless for the training weights).
 func EncodeModel(w io.Writer, s *ModelSnapshot) error {
+	return encodeModel(w, s, false)
+}
+
+// EncodeModelF32 writes the bundle with float32 dense payloads — about
+// half the bytes of EncodeModel. Weights are rounded to float32 (the
+// serving tier's precision); calibration alpha, stage accuracies, and
+// the predictor's PWL profiles stay float64.
+func EncodeModelF32(w io.Writer, s *ModelSnapshot) error {
+	return encodeModel(w, s, true)
+}
+
+func encodeModel(w io.Writer, s *ModelSnapshot, f32 bool) error {
 	if s == nil || s.Model == nil {
 		return fmt.Errorf("snapshot: nil model")
 	}
 	var body bytes.Buffer
-	e := &encoder{w: &body}
+	e := &encoder{w: &body, dense32: f32}
 	e.model(s.Model)
 	e.f64(s.Alpha)
 	e.f64s(s.StageAccs)
@@ -120,18 +145,22 @@ func EncodeModel(w io.Writer, s *ModelSnapshot) error {
 	if e.err != nil {
 		return e.err
 	}
-	return frame(w, kindModel, body.Bytes())
+	kind := byte(kindModel)
+	if f32 {
+		kind = kindModelF32
+	}
+	return frame(w, kind, body.Bytes())
 }
 
 // DecodeModel reads a model bundle, verifying framing, checksum, and
 // structural consistency (layer widths, stage topology, predictor
 // profiles) so a malformed file cannot panic a worker later.
 func DecodeModel(r io.Reader) (*ModelSnapshot, error) {
-	body, err := deframe(r, kindModel)
+	kind, body, err := deframe(r, kindModel, kindModelF32)
 	if err != nil {
 		return nil, err
 	}
-	d := &decoder{b: body}
+	d := &decoder{b: body, dense32: kind == kindModelF32}
 	m, err := d.model()
 	if err != nil {
 		return nil, err
@@ -172,29 +201,45 @@ func DecodeModel(r io.Reader) (*ModelSnapshot, error) {
 	return s, nil
 }
 
-// EncodeSubset writes a reduced hot-class device model to w.
+// EncodeSubset writes a reduced hot-class device model to w with
+// float64 payloads.
 func EncodeSubset(w io.Writer, m *cache.SubsetModel) error {
+	return encodeSubset(w, m, false)
+}
+
+// EncodeSubsetF32 writes a reduced device model with float32 dense
+// payloads — half the download for an edge device fetching its cached
+// hot-class model.
+func EncodeSubsetF32(w io.Writer, m *cache.SubsetModel) error {
+	return encodeSubset(w, m, true)
+}
+
+func encodeSubset(w io.Writer, m *cache.SubsetModel, f32 bool) error {
 	if m == nil || m.Net == nil {
 		return fmt.Errorf("snapshot: nil subset model")
 	}
 	var body bytes.Buffer
-	e := &encoder{w: &body}
+	e := &encoder{w: &body, dense32: f32}
 	e.u32(uint32(m.InputWidth()))
 	e.ints(m.Hot)
 	e.layer(m.Net)
 	if e.err != nil {
 		return e.err
 	}
-	return frame(w, kindSubset, body.Bytes())
+	kind := byte(kindSubset)
+	if f32 {
+		kind = kindSubsetF32
+	}
+	return frame(w, kind, body.Bytes())
 }
 
-// DecodeSubset reads a reduced device model.
+// DecodeSubset reads a reduced device model (either precision).
 func DecodeSubset(r io.Reader) (*cache.SubsetModel, error) {
-	body, err := deframe(r, kindSubset)
+	kind, body, err := deframe(r, kindSubset, kindSubsetF32)
 	if err != nil {
 		return nil, err
 	}
-	d := &decoder{b: body}
+	d := &decoder{b: body, dense32: kind == kindSubsetF32}
 	in := int(d.u32())
 	hot := d.ints()
 	l, err := d.layer(0)
@@ -302,41 +347,48 @@ func frame(w io.Writer, kind byte, body []byte) error {
 	return nil
 }
 
-// deframe validates magic, version, kind, length, and checksum, and
-// returns the body bytes.
-func deframe(r io.Reader, wantKind byte) ([]byte, error) {
+// deframe validates magic, version, kind (one of wantKinds), length,
+// and checksum, and returns the matched kind and body bytes.
+func deframe(r io.Reader, wantKinds ...byte) (byte, []byte, error) {
 	raw, err := io.ReadAll(io.LimitReader(r, 1<<31))
 	if err != nil {
-		return nil, fmt.Errorf("snapshot: reading: %w", err)
+		return 0, nil, fmt.Errorf("snapshot: reading: %w", err)
 	}
 	const hdrLen = len(magic) + 13
 	if len(raw) < hdrLen+4 {
-		return nil, fmt.Errorf("snapshot: file truncated (%d bytes)", len(raw))
+		return 0, nil, fmt.Errorf("snapshot: file truncated (%d bytes)", len(raw))
 	}
 	if string(raw[:len(magic)]) != magic {
-		return nil, fmt.Errorf("snapshot: bad magic %q", raw[:len(magic)])
+		return 0, nil, fmt.Errorf("snapshot: bad magic %q", raw[:len(magic)])
 	}
 	meta := raw[len(magic):hdrLen]
 	version := binary.LittleEndian.Uint32(meta[0:4])
 	if version == 0 || version > FormatVersion {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads ≤ %d)", version, FormatVersion)
+		return 0, nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads ≤ %d)", version, FormatVersion)
 	}
 	kind := meta[4]
-	if kind != wantKind {
-		return nil, fmt.Errorf("snapshot: artifact kind %d, want %d", kind, wantKind)
+	ok := false
+	for _, w := range wantKinds {
+		if kind == w {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return 0, nil, fmt.Errorf("snapshot: artifact kind %d, want one of %v", kind, wantKinds)
 	}
 	bodyLen := binary.LittleEndian.Uint64(meta[5:13])
 	if bodyLen != uint64(len(raw)-hdrLen-4) {
-		return nil, fmt.Errorf("snapshot: body length %d does not match file (%d)", bodyLen, len(raw)-hdrLen-4)
+		return 0, nil, fmt.Errorf("snapshot: body length %d does not match file (%d)", bodyLen, len(raw)-hdrLen-4)
 	}
 	body := raw[hdrLen : len(raw)-4]
 	crc := crc32.NewIEEE()
 	crc.Write(meta)
 	crc.Write(body)
 	if got := binary.LittleEndian.Uint32(raw[len(raw)-4:]); got != crc.Sum32() {
-		return nil, fmt.Errorf("snapshot: checksum mismatch (file %08x, computed %08x)", got, crc.Sum32())
+		return 0, nil, fmt.Errorf("snapshot: checksum mismatch (file %08x, computed %08x)", got, crc.Sum32())
 	}
-	return body, nil
+	return kind, body, nil
 }
 
 // encoder writes the little-endian body primitives, capturing the first
@@ -345,6 +397,9 @@ func deframe(r io.Reader, wantKind byte) ([]byte, error) {
 type encoder struct {
 	w   *bytes.Buffer
 	err error
+	// dense32 selects float32 dense payloads (tagDense32) — the f32
+	// artifact kinds.
+	dense32 bool
 }
 
 func (e *encoder) u8(v byte)  { e.w.WriteByte(v) }
@@ -372,6 +427,17 @@ func (e *encoder) f64s(v []float64) {
 	e.u32(uint32(len(v)))
 	for _, x := range v {
 		e.f64(x)
+	}
+}
+
+// f32s writes v rounded to float32 bit patterns — the half-width dense
+// payload of the f32 artifact kinds.
+func (e *encoder) f32s(v []float64) {
+	e.u32(uint32(len(v)))
+	var b [4]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(float32(x)))
+		e.w.Write(b[:])
 	}
 }
 
@@ -410,6 +476,14 @@ func (e *encoder) model(m *staged.Model) {
 func (e *encoder) layer(l nn.Layer) {
 	switch l := l.(type) {
 	case *nn.Dense:
+		if e.dense32 {
+			e.u8(tagDense32)
+			e.u32(uint32(l.In))
+			e.u32(uint32(l.Out))
+			e.f32s(l.W.Data)
+			e.f32s(l.B)
+			break
+		}
 		e.u8(tagDense)
 		e.u32(uint32(l.In))
 		e.u32(uint32(l.Out))
@@ -442,6 +516,11 @@ type decoder struct {
 	b   []byte
 	off int
 	err error
+	// dense32 records the artifact kind's precision: f32 kinds must use
+	// tagDense32 and f64 kinds tagDense, so a mislabeled file (an
+	// "f64" snapshot carrying rounded f32 weights, or vice versa)
+	// cannot decode — the kind byte keeps its documented meaning.
+	dense32 bool
 }
 
 func (d *decoder) fail(format string, args ...any) {
@@ -501,6 +580,28 @@ func (d *decoder) f64s() []float64 {
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = d.f64()
+	}
+	return out
+}
+
+// f32s reads a float32 slice widened to float64 (lossless; re-encoding
+// at f32 reproduces the original bits).
+func (d *decoder) f32s() []float64 {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n > maxElems || n*4 > len(d.b)-d.off {
+		d.fail("float32 slice of %d elements exceeds body", n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		b := d.take(4)
+		if b == nil {
+			return nil
+		}
+		out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))
 	}
 	return out
 }
@@ -602,11 +703,20 @@ func (d *decoder) layer(depth int) (nn.Layer, error) {
 		return nil, d.err
 	}
 	switch tag {
-	case tagDense:
+	case tagDense, tagDense32:
+		if (tag == tagDense32) != d.dense32 {
+			return nil, fmt.Errorf("snapshot: dense tag %d does not match artifact kind precision", tag)
+		}
 		in := int(d.u32())
 		out := int(d.u32())
-		w := d.f64s()
-		b := d.f64s()
+		var w, b []float64
+		if tag == tagDense32 {
+			w = d.f32s()
+			b = d.f32s()
+		} else {
+			w = d.f64s()
+			b = d.f64s()
+		}
 		if d.err != nil {
 			return nil, d.err
 		}

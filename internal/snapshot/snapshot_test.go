@@ -27,7 +27,7 @@ var update = flag.Bool("update", false, "rewrite golden snapshot fixtures")
 // exercised), plus a hand-made predictor. Everything is seeded; nothing
 // depends on training or platform-specific float paths beyond IEEE-754
 // arithmetic in NormFloat64, which Go defines exactly.
-func goldenSnapshot(t *testing.T) *ModelSnapshot {
+func goldenSnapshot(t testing.TB) *ModelSnapshot {
 	t.Helper()
 	cfg := staged.Config{
 		In: 6, Hidden: 8, Classes: 3,
@@ -411,7 +411,7 @@ func TestDecodeRejectsStructuralLies(t *testing.T) {
 	if err := EncodeModel(&buf, s); err != nil {
 		t.Fatal(err)
 	}
-	body, err := deframe(bytes.NewReader(buf.Bytes()), kindModel)
+	_, body, err := deframe(bytes.NewReader(buf.Bytes()), kindModel)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,193 @@
+package staged
+
+import (
+	"fmt"
+
+	"eugene/internal/nn"
+	"eugene/internal/tensor"
+)
+
+// Frozen32 is a staged model frozen for float32 serving: every stage's
+// stem/body/head is a compiled nn.Program32 over packed f32 weights.
+// It satisfies the same ExecStageBatch(hidden, stage, dst) contract as
+// *Model — hidden states cross stage boundaries as []float64 rows, so
+// the live scheduler, its hidden-row arenas, and task migration between
+// workers need no structural change; only the inside of a stage runs in
+// float32. Confidences are computed in float64 from the f32 logits to
+// keep the early-exit surface as close to the f64 model's as possible.
+//
+// Like *Model, a Frozen32 owns scratch and must be driven from one
+// goroutine; Clone (cheap — packed weights are shared, read-only) gives
+// each worker its own.
+type Frozen32 struct {
+	In      int
+	Hidden  int
+	Classes int
+	// Widths is the trunk width at each stage's output.
+	Widths []int
+
+	stem   *nn.Program32
+	bodies []*nn.Program32
+	heads  []*nn.Program32
+
+	// Inference scratch reused across ExecStageBatch calls.
+	scrIn    *tensor.Matrix32
+	scrProbs *tensor.Matrix // B×Classes float64 probabilities
+	scrOuts  []StageOutput
+	scrHid   [][]float64
+}
+
+// Freeze32 compiles a trained model into its float32 serving form. The
+// model is only read; it can keep serving float64 traffic concurrently.
+// Models using Monte-Carlo dropout are rejected (MC sampling is a
+// float64 calibration baseline).
+func Freeze32(m *Model) (*Frozen32, error) {
+	f := &Frozen32{
+		In:      m.In,
+		Hidden:  m.Hidden,
+		Classes: m.Classes,
+		Widths:  append([]int(nil), m.Widths...),
+	}
+	stem, err := nn.Compile32(m.Stem, m.In)
+	if err != nil {
+		return nil, fmt.Errorf("staged: freezing stem: %w", err)
+	}
+	if stem.Out != m.Widths[0] {
+		return nil, fmt.Errorf("staged: frozen stem outputs width %d, stage 0 needs %d", stem.Out, m.Widths[0])
+	}
+	f.stem = stem
+	prev := m.Widths[0]
+	for s, st := range m.Stages {
+		if s > 0 {
+			prev = m.Widths[s-1]
+		}
+		body, err := nn.Compile32(st.Body, prev)
+		if err != nil {
+			return nil, fmt.Errorf("staged: freezing stage %d body: %w", s, err)
+		}
+		if body.Out != m.Widths[s] {
+			return nil, fmt.Errorf("staged: frozen stage %d body outputs width %d, want %d", s, body.Out, m.Widths[s])
+		}
+		head, err := nn.Compile32(st.Head, m.Widths[s])
+		if err != nil {
+			return nil, fmt.Errorf("staged: freezing stage %d head: %w", s, err)
+		}
+		if head.Out != m.Classes {
+			return nil, fmt.Errorf("staged: frozen stage %d head outputs %d classes, want %d", s, head.Out, m.Classes)
+		}
+		f.bodies = append(f.bodies, body)
+		f.heads = append(f.heads, head)
+	}
+	return f, nil
+}
+
+// NumStages returns the number of exit stages.
+func (f *Frozen32) NumStages() int { return len(f.bodies) }
+
+// WeightBytes returns the packed f32 parameter footprint in bytes —
+// half the float64 model's weight traffic.
+func (f *Frozen32) WeightBytes() int {
+	n := f.stem.WeightBytes()
+	for i := range f.bodies {
+		n += f.bodies[i].WeightBytes() + f.heads[i].WeightBytes()
+	}
+	return n
+}
+
+// Clone returns a frozen model for use by another goroutine. Packed
+// weights are shared (immutable after Freeze32); only scratch is
+// per-clone, so a worker pool over one frozen model costs one weight
+// copy total instead of one per worker.
+func (f *Frozen32) Clone() *Frozen32 {
+	c := &Frozen32{
+		In:      f.In,
+		Hidden:  f.Hidden,
+		Classes: f.Classes,
+		Widths:  append([]int(nil), f.Widths...),
+		stem:    f.stem.Clone(),
+	}
+	for i := range f.bodies {
+		c.bodies = append(c.bodies, f.bodies[i].Clone())
+		c.heads = append(c.heads, f.heads[i].Clone())
+	}
+	return c
+}
+
+// ExecStageBatch executes one stage for a batch of tasks that are all
+// at the same stage, under the exact contract of Model.ExecStageBatch:
+// hidden holds one task's float64 state per row (raw inputs for stage
+// 0, stage s−1 trunk activations otherwise); dst rows with capacity are
+// reused for outputs; stage-0 input rows are only read, while stage>0
+// rows may be reused in place. Returned slices and StageOutputs are
+// scratch, valid until the next call; Probs is omitted.
+//
+// Rows are narrowed to float32 on entry and the new trunk activations
+// widened back on exit; the conversions are O(B·W) against the stage's
+// O(B·W²) GEMMs, so the f32 compute win dominates.
+func (f *Frozen32) ExecStageBatch(hidden [][]float64, stage int, dst [][]float64) ([][]float64, []StageOutput) {
+	b := len(hidden)
+	if b == 0 {
+		return nil, nil
+	}
+	if stage < 0 || stage >= len(f.bodies) {
+		panic(fmt.Sprintf("staged: ExecStageBatch stage %d outside [0,%d)", stage, len(f.bodies)))
+	}
+	wantIn := f.In
+	if stage > 0 {
+		wantIn = f.Widths[stage-1]
+	}
+	for _, row := range hidden {
+		if len(row) != wantIn {
+			panic(fmt.Sprintf("staged: ExecStageBatch stage %d input width %d, want %d", stage, len(row), wantIn))
+		}
+	}
+	// Pack task rows into the reused f32 batch matrix.
+	f.scrIn = tensor.Ensure32(f.scrIn, b, wantIn)
+	for i, row := range hidden {
+		tensor.Narrow(f.scrIn.Row(i), row)
+	}
+	h := f.scrIn
+	if stage == 0 {
+		h = f.stem.Forward(h)
+	}
+	h = f.bodies[stage].Forward(h)
+	// Unpack the new hidden states into per-task float64 rows, with the
+	// same buffer-reuse ladder as the f64 model: the task's own row
+	// (stage > 0), else the caller's dst scratch row, else a fresh slab
+	// (stage-0 inputs are never written).
+	outW := f.Widths[stage]
+	if cap(f.scrHid) < b {
+		f.scrHid = make([][]float64, b)
+	}
+	out := f.scrHid[:b]
+	var slab []float64
+	for i := 0; i < b; i++ {
+		row := hidden[i]
+		switch {
+		case stage > 0 && cap(row) >= outW:
+			row = row[:outW]
+		case i < len(dst) && cap(dst[i]) >= outW:
+			row = dst[i][:outW]
+		default:
+			if len(slab) < outW {
+				slab = make([]float64, (b-i)*outW)
+			}
+			row = slab[:outW:outW]
+			slab = slab[outW:]
+		}
+		tensor.Widen(row, h.Row(i))
+		out[i] = row
+	}
+	logits := f.heads[stage].Forward(h)
+	f.scrProbs = tensor.Ensure(f.scrProbs, b, f.Classes)
+	tensor.Softmax32Into(f.scrProbs, logits)
+	if cap(f.scrOuts) < b {
+		f.scrOuts = make([]StageOutput, b)
+	}
+	outs := f.scrOuts[:b]
+	for i := 0; i < b; i++ {
+		pred, conf := tensor.ArgMax(f.scrProbs.Row(i))
+		outs[i] = StageOutput{Stage: stage, Pred: pred, Conf: conf}
+	}
+	return out, outs
+}

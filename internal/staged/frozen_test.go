@@ -1,0 +1,169 @@
+package staged
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"eugene/internal/nn"
+)
+
+// TestFrozen32MatchesF64Model pins the frozen f32 batch path to the f64
+// reference: same stage-by-stage predictions on (almost) every sample,
+// confidences within f32 tolerance, hidden states within tolerance, and
+// the same buffer-ownership contract (stage-0 inputs never written).
+func TestFrozen32MatchesF64Model(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := Config{
+		In: 12, Hidden: 24, Classes: 4,
+		StageCount: 3, BlocksPerStage: 2,
+		StageWidths:     []int{16, 24, 24}, // exercise a projection between stages
+		HeadBottlenecks: []int{8, 0, 0},
+		HeadDropout:     0.1, // inference identity; freeze must skip it
+	}
+	m, err := New(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := Freeze32(m)
+	if err != nil {
+		t.Fatalf("Freeze32: %v", err)
+	}
+	if got, want := frozen.NumStages(), m.NumStages(); got != want {
+		t.Fatalf("frozen has %d stages, want %d", got, want)
+	}
+	if frozen.WeightBytes() <= 0 {
+		t.Fatal("frozen weight footprint is zero")
+	}
+
+	const b = 6
+	inputs := make([][]float64, b)
+	pristine := make([][]float64, b)
+	f64Hidden := make([][]float64, b)
+	f32Hidden := make([][]float64, b)
+	for i := range inputs {
+		inputs[i] = make([]float64, cfg.In)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.NormFloat64()
+		}
+		pristine[i] = append([]float64(nil), inputs[i]...)
+		f64Hidden[i] = inputs[i]
+		f32Hidden[i] = inputs[i]
+	}
+	scratch := make([][]float64, b)
+	for i := range scratch {
+		scratch[i] = make([]float64, 0, 64)
+	}
+	for stage := 0; stage < m.NumStages(); stage++ {
+		dst := scratch
+		if stage%2 == 1 {
+			dst = nil
+		}
+		wantNext, wantOuts := m.ExecStageBatch(f64Hidden, stage, nil)
+		gotNext, gotOuts := frozen.ExecStageBatch(f32Hidden, stage, dst)
+		if len(gotNext) != b || len(gotOuts) != b {
+			t.Fatalf("stage %d: frozen returned %d hidden, %d outputs", stage, len(gotNext), len(gotOuts))
+		}
+		for i := 0; i < b; i++ {
+			if gotOuts[i].Pred != wantOuts[i].Pred {
+				t.Fatalf("stage %d task %d: pred %d, want %d (conf %v vs %v)",
+					stage, i, gotOuts[i].Pred, wantOuts[i].Pred, gotOuts[i].Conf, wantOuts[i].Conf)
+			}
+			if d := math.Abs(gotOuts[i].Conf - wantOuts[i].Conf); d > 1e-4 {
+				t.Fatalf("stage %d task %d: conf %v, want ≈ %v (Δ %v)", stage, i, gotOuts[i].Conf, wantOuts[i].Conf, d)
+			}
+			if len(gotNext[i]) != len(wantNext[i]) {
+				t.Fatalf("stage %d task %d: hidden width %d, want %d", stage, i, len(gotNext[i]), len(wantNext[i]))
+			}
+			for j := range wantNext[i] {
+				if d := math.Abs(gotNext[i][j] - wantNext[i][j]); d > 1e-4*math.Max(1, math.Abs(wantNext[i][j])) {
+					t.Fatalf("stage %d task %d: hidden[%d] = %v, want ≈ %v", stage, i, j, gotNext[i][j], wantNext[i][j])
+				}
+			}
+		}
+		for i := 0; i < b; i++ {
+			f64Hidden[i] = append([]float64(nil), wantNext[i]...)
+			f32Hidden[i] = gotNext[i]
+		}
+	}
+	for i := range inputs {
+		for j := range inputs[i] {
+			if inputs[i][j] != pristine[i][j] {
+				t.Fatalf("stage-0 input %d mutated at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestFrozen32CloneConcurrentServing drives several clones of one
+// frozen model from concurrent goroutines (the worker-pool shape) under
+// -race: shared packed weights must be read-only, per-clone scratch
+// private, and every clone must agree with the original.
+func TestFrozen32CloneConcurrentServing(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m, err := New(rng, Config{In: 8, Hidden: 16, Classes: 3, StageCount: 2, BlocksPerStage: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := Freeze32(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const b = 4
+	inputs := make([][]float64, b)
+	for i := range inputs {
+		inputs[i] = make([]float64, 8)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.NormFloat64()
+		}
+	}
+	_, refOuts := frozen.ExecStageBatch(inputs, 0, nil)
+	refPreds := make([]int, b)
+	refConfs := make([]float64, b)
+	for i, o := range refOuts {
+		refPreds[i], refConfs[i] = o.Pred, o.Conf
+	}
+
+	var wg sync.WaitGroup
+	var diverged atomic.Bool
+	for w := 0; w < 4; w++ {
+		clone := frozen.Clone()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 25; rep++ {
+				rows := make([][]float64, b)
+				copy(rows, inputs)
+				_, outs := clone.ExecStageBatch(rows, 0, nil)
+				for i, o := range outs {
+					if o.Pred != refPreds[i] || o.Conf != refConfs[i] {
+						diverged.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if diverged.Load() {
+		t.Fatal("concurrent clone diverged from reference")
+	}
+}
+
+// TestFreeze32RejectsMCDropout: a model flipped to the RDeepSense MC
+// baseline cannot be frozen (mask sampling is float64-only).
+func TestFreeze32RejectsMCDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := New(rng, Config{In: 6, Hidden: 8, Classes: 3, StageCount: 2, BlocksPerStage: 1, HeadDropout: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range m.Stages {
+		nn.SetMCDropout(s.Head, true)
+	}
+	if _, err := Freeze32(m); err == nil {
+		t.Fatal("Freeze32 accepted MC dropout")
+	}
+}

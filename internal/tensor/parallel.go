@@ -84,19 +84,27 @@ func ensureWorkers(n int) {
 	gemmPool.mu.Unlock()
 }
 
-// matMulTParallel splits dst's rows into up to p tile-aligned chunks,
+// matMulTParallel splits dst's rows into up to p tile-aligned chunks
+// over the shared pool.
+func matMulTParallel(dst, a, b *Matrix, p int) {
+	parallelRows(a.Rows, p, func(lo, hi int) { matMulTRange(dst, a, b, lo, hi) })
+}
+
+// parallelRows splits [0, rows) into up to p tile-aligned chunks,
 // dispatches all but the first to the pool (falling back inline when
 // the pool is saturated), computes the first chunk itself, and waits.
-func matMulTParallel(dst, a, b *Matrix, p int) {
+// Both the float64 and float32 GEMMs fan out through here, so one
+// bounded pool serves every precision.
+func parallelRows(rows, p int, rangeFn func(lo, hi int)) {
 	ensureWorkers(p)
-	chunk := (a.Rows + p - 1) / p
+	chunk := (rows + p - 1) / p
 	chunk = (chunk + gemmRowTile - 1) &^ (gemmRowTile - 1)
 	var wg sync.WaitGroup
-	for lo := chunk; lo < a.Rows; lo += chunk {
-		lo, hi := lo, min(lo+chunk, a.Rows)
+	for lo := chunk; lo < rows; lo += chunk {
+		lo, hi := lo, min(lo+chunk, rows)
 		wg.Add(1)
 		f := func() {
-			matMulTRange(dst, a, b, lo, hi)
+			rangeFn(lo, hi)
 			wg.Done()
 		}
 		select {
@@ -105,6 +113,6 @@ func matMulTParallel(dst, a, b *Matrix, p int) {
 			f()
 		}
 	}
-	matMulTRange(dst, a, b, 0, min(chunk, a.Rows))
+	rangeFn(0, min(chunk, rows))
 	wg.Wait()
 }

@@ -43,3 +43,12 @@ func xgetbv() (eax, edx uint32)
 //
 //go:noescape
 func dot4FMA(a0, a1, a2, a3, b *float64, n int) (s0, s1, s2, s3 float64)
+
+// dot4FMA32 is the float32 twin of dot4FMA: four dot products sharing
+// one right-hand vector, n a multiple of 16 (callers handle the tail).
+// Each ymm register holds 8 float32 lanes — twice the float64 kernel's
+// width — which is the arithmetic half of the f32 serving tier's win
+// (the other half is halved memory traffic).
+//
+//go:noescape
+func dot4FMA32(a0, a1, a2, a3, b *float32, n int) (s0, s1, s2, s3 float32)

@@ -92,3 +92,80 @@ done:
 	MOVSD X4, s2+64(FP)
 	MOVSD X6, s3+72(FP)
 	RET
+
+// func dot4FMA32(a0, a1, a2, a3, b *float32, n int) (s0, s1, s2, s3 float32)
+//
+// Float32 twin of dot4FMA: four simultaneous dot products against one
+// shared b vector, n a multiple of 16. Same two-chain structure, but
+// every ymm register carries 8 float32 lanes instead of 4 float64
+// lanes, so each iteration retires 16 elements per row for the same
+// load/FMA count.
+TEXT ·dot4FMA32(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ b+32(FP), SI
+	MOVQ n+40(FP), DI
+	SHRQ $4, DI
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+loop32:
+	TESTQ DI, DI
+	JZ    done32
+	VMOVUPS (SI), Y8
+	VMOVUPS 32(SI), Y9
+	VFMADD231PS (R8), Y8, Y0
+	VFMADD231PS 32(R8), Y9, Y1
+	VFMADD231PS (R9), Y8, Y2
+	VFMADD231PS 32(R9), Y9, Y3
+	VFMADD231PS (R10), Y8, Y4
+	VFMADD231PS 32(R10), Y9, Y5
+	VFMADD231PS (R11), Y8, Y6
+	VFMADD231PS 32(R11), Y9, Y7
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	ADDQ $64, SI
+	DECQ DI
+	JMP  loop32
+
+done32:
+	// Fold the paired chains, then horizontally sum each row's 8 lanes.
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y5, Y4, Y4
+	VADDPS Y7, Y6, Y6
+
+	VEXTRACTF128 $1, Y0, X8
+	VADDPS       X8, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VEXTRACTF128 $1, Y2, X8
+	VADDPS       X8, X2, X2
+	VHADDPS      X2, X2, X2
+	VHADDPS      X2, X2, X2
+	VEXTRACTF128 $1, Y4, X8
+	VADDPS       X8, X4, X4
+	VHADDPS      X4, X4, X4
+	VHADDPS      X4, X4, X4
+	VEXTRACTF128 $1, Y6, X8
+	VADDPS       X8, X6, X6
+	VHADDPS      X6, X6, X6
+	VHADDPS      X6, X6, X6
+	VZEROUPPER
+
+	MOVSS X0, s0+48(FP)
+	MOVSS X2, s1+52(FP)
+	MOVSS X4, s2+56(FP)
+	MOVSS X6, s3+60(FP)
+	RET

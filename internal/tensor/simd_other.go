@@ -11,3 +11,8 @@ const hasAVX2FMA = false
 func dot4FMA(a0, a1, a2, a3, b *float64, n int) (s0, s1, s2, s3 float64) {
 	panic("tensor: dot4FMA without AVX2/FMA support")
 }
+
+// dot4FMA32 is never called when hasAVX2FMA is false.
+func dot4FMA32(a0, a1, a2, a3, b *float32, n int) (s0, s1, s2, s3 float32) {
+	panic("tensor: dot4FMA32 without AVX2/FMA support")
+}
