@@ -1,0 +1,77 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"eugene/internal/analysis"
+)
+
+func TestValidate(t *testing.T) {
+	run := func(*analysis.Pass) (any, error) { return nil, nil }
+	ok := []*analysis.Analyzer{{Name: "a", Run: run}, {Name: "b", Run: run}}
+	if err := analysis.Validate(ok); err != nil {
+		t.Fatalf("Validate(ok) = %v", err)
+	}
+	for i, bad := range [][]*analysis.Analyzer{
+		{{Name: "", Run: run}},
+		{{Name: "a", Run: nil}},
+		{{Name: "a", Run: run}, {Name: "a", Run: run}},
+	} {
+		if err := analysis.Validate(bad); err == nil {
+			t.Errorf("Validate case %d: expected error", i)
+		}
+	}
+}
+
+func TestSuppressor(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore alpha,beta best-effort cleanup
+	g()
+	h()
+	g() //lint:ignore alpha trailing placement
+}
+
+func g() {}
+func h() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := analysis.NewSuppressor(fset, []*ast.File{f})
+
+	// Collect the three call positions in source order.
+	var calls []token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c.Pos())
+		}
+		return true
+	})
+	if len(calls) != 3 {
+		t.Fatalf("found %d calls, want 3", len(calls))
+	}
+	cases := []struct {
+		name string
+		pos  token.Pos
+		want bool
+	}{
+		{"alpha", calls[0], true},  // standalone directive, line above
+		{"beta", calls[0], true},   // multi-analyzer directive
+		{"gamma", calls[0], false}, // not named by the directive
+		{"alpha", calls[1], false}, // two lines below the directive
+		{"alpha", calls[2], true},  // trailing-comment placement
+	}
+	for _, c := range cases {
+		if got := sup.Suppressed(fset, c.name, c.pos); got != c.want {
+			p := fset.Position(c.pos)
+			t.Errorf("Suppressed(%s, %s) = %v, want %v", c.name, p, got, c.want)
+		}
+	}
+}

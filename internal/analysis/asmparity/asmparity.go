@@ -1,0 +1,251 @@
+// Package asmparity enforces the kernel fallback contract: every
+// assembly-backed function declared in an amd64-and-not-noasm file
+// must have a scalar Go implementation with the identical signature
+// that builds both under -tags noasm and on non-amd64 architectures.
+// Without it, `go test -tags noasm` (the correctness oracle for the
+// SIMD kernels) and the arm64 cross-build silently lose coverage or
+// fail to link.
+package asmparity
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"eugene/internal/analysis"
+)
+
+// Analyzer checks scalar-fallback parity for asm-backed functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "asmparity",
+	Doc: `require a same-signature scalar fallback for every asm-backed function
+
+A bodyless function declared in a file gated on amd64 && !noasm must
+have a function of the same name and signature, with a body, in files
+that build under -tags noasm on amd64 AND on non-amd64 platforms.
+Helpers referenced only from inside the asm-gated files themselves
+(such as cpuid feature probes) are exempt: they never link into a
+fallback build.`,
+	Run: run,
+}
+
+// fileClass records where one file's build constraints place it in the
+// three build contexts we care about.
+type fileClass struct {
+	syntax   *ast.File
+	asmSel   bool // builds with amd64 && !noasm
+	noasmSel bool // builds with amd64 && noasm
+	otherSel bool // builds with !amd64 (no noasm tag)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(pass.Dir)
+	if err != nil {
+		return nil, err
+	}
+	// Reuse already-parsed syntax for the files in this pass so
+	// diagnostics in them carry the right positions; parse the rest
+	// (build-tag-excluded files) into the same fset.
+	parsed := map[string]*ast.File{}
+	for _, f := range pass.Files {
+		parsed[filepath.Base(pass.Fset.Position(f.Package).Filename)] = f
+	}
+	var files []*fileClass
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		syntax := parsed[name]
+		if syntax == nil {
+			syntax, err = parser.ParseFile(pass.Fset, filepath.Join(pass.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				continue // unparseable files are not this analyzer's problem
+			}
+		}
+		fc := classify(name, syntax)
+		fc.syntax = syntax
+		files = append(files, fc)
+	}
+
+	type decl struct {
+		name string
+		sig  string
+		pos  token.Pos
+	}
+	var asmDecls []decl
+	// withBody[name] = (signature, covers noasm, covers other)
+	type impl struct {
+		sig          string
+		noasm, other bool
+		anySig       map[string]bool
+	}
+	impls := map[string]*impl{}
+	// refs counts identifier references per build context so we can
+	// exempt helpers used only inside asm-gated files.
+	referencedOutsideAsm := map[string]bool{}
+
+	for _, fc := range files {
+		for _, d := range fc.syntax.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if fd.Body == nil {
+				if fc.asmSel && !fc.noasmSel && !fc.otherSel {
+					asmDecls = append(asmDecls, decl{fd.Name.Name, sigString(pass.Fset, fd.Type), fd.Name.Pos()})
+				}
+				continue
+			}
+			im := impls[fd.Name.Name]
+			if im == nil {
+				im = &impl{anySig: map[string]bool{}}
+				impls[fd.Name.Name] = im
+			}
+			s := sigString(pass.Fset, fd.Type)
+			im.anySig[s] = true
+			if fc.noasmSel {
+				im.noasm = true
+				im.sig = s
+			}
+			if fc.otherSel {
+				im.other = true
+				im.sig = s
+			}
+		}
+		if !(fc.asmSel && !fc.noasmSel && !fc.otherSel) {
+			ast.Inspect(fc.syntax, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					referencedOutsideAsm[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+
+	sort.Slice(asmDecls, func(i, j int) bool { return asmDecls[i].name < asmDecls[j].name })
+	for _, d := range asmDecls {
+		if !referencedOutsideAsm[d.name] {
+			continue // asm-internal helper (cpuid, xgetbv): never links into fallback builds
+		}
+		im := impls[d.name]
+		switch {
+		case im == nil:
+			pass.Reportf(d.pos, "asm-backed %s has no scalar fallback: add a same-signature Go implementation in a !amd64 || noasm file", d.name)
+		case !im.noasm || !im.other:
+			pass.Reportf(d.pos, "asm-backed %s has a fallback that does not cover both noasm and non-amd64 builds (constrain the fallback file with !amd64 || noasm)", d.name)
+		case !im.anySig[d.sig]:
+			pass.Reportf(d.pos, "asm-backed %s and its scalar fallback disagree on signature: asm declares %s, fallback has %s", d.name, d.sig, im.sig)
+		}
+	}
+	return nil, nil
+}
+
+// classify evaluates a file's build constraints (//go:build line plus
+// GOARCH filename suffix) under the three contexts.
+func classify(name string, f *ast.File) *fileClass {
+	fc := &fileClass{}
+	expr := constraintExpr(f)
+	eval := func(amd64, noasm bool) bool {
+		tag := func(t string) bool {
+			switch t {
+			case "amd64":
+				return amd64
+			case "arm64":
+				return !amd64
+			case "noasm":
+				return noasm
+			case "linux", "unix":
+				return true
+			case "gc":
+				return true
+			default:
+				if strings.HasPrefix(t, "go1.") {
+					return true
+				}
+				return false
+			}
+		}
+		if !suffixOK(name, amd64) {
+			return false
+		}
+		if expr == nil {
+			return true
+		}
+		return expr.Eval(tag)
+	}
+	fc.asmSel = eval(true, false)
+	fc.noasmSel = eval(true, true)
+	fc.otherSel = eval(false, false)
+	return fc
+}
+
+// suffixOK applies the _GOARCH filename convention.
+func suffixOK(name string, amd64 bool) bool {
+	base := strings.TrimSuffix(name, ".go")
+	for _, arch := range []string{"amd64", "arm64", "386", "arm", "riscv64", "ppc64le", "s390x", "wasm"} {
+		if strings.HasSuffix(base, "_"+arch) {
+			return (arch == "amd64") == amd64
+		}
+	}
+	return true
+}
+
+// constraintExpr extracts the //go:build expression from a file, if
+// any.
+func constraintExpr(f *ast.File) constraint.Expr {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				if expr, err := constraint.Parse(c.Text); err == nil {
+					return expr
+				}
+			}
+		}
+		// Comments after the package clause cannot be build constraints.
+		if cg.Pos() > f.Package {
+			break
+		}
+	}
+	return nil
+}
+
+// sigString renders a function type without parameter names, so that
+// `func dot4(a, b []float64) float64` and
+// `func dot4(x, y []float64) float64` compare equal.
+func sigString(fset *token.FileSet, ft *ast.FuncType) string {
+	var parts []string
+	render := func(fl *ast.FieldList) string {
+		if fl == nil {
+			return ""
+		}
+		var ts []string
+		for _, f := range fl.List {
+			var buf strings.Builder
+			_ = printer.Fprint(&buf, fset, f.Type)
+			n := len(f.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				ts = append(ts, buf.String())
+			}
+		}
+		return strings.Join(ts, ", ")
+	}
+	parts = append(parts, "("+render(ft.Params)+")")
+	if ft.Results != nil {
+		parts = append(parts, "("+render(ft.Results)+")")
+	}
+	return fmt.Sprintf("func%s", strings.Join(parts, " "))
+}

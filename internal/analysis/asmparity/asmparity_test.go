@@ -1,0 +1,12 @@
+package asmparity_test
+
+import (
+	"testing"
+
+	"eugene/internal/analysis/analysistest"
+	"eugene/internal/analysis/asmparity"
+)
+
+func TestAsmParity(t *testing.T) {
+	analysistest.Run(t, "testdata", asmparity.Analyzer, "a")
+}

@@ -1,0 +1,17 @@
+//go:build !amd64 || noasm
+
+package a
+
+func dotVec(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// mismatch's fallback grew an extra parameter the asm declaration does
+// not have.
+func mismatch(a []float64, extra int) float64 {
+	return float64(extra)
+}

@@ -1,0 +1,9 @@
+//go:build noasm
+
+package a
+
+// partialOnly's fallback builds under -tags noasm but not on non-amd64
+// platforms: the arm64 build would fail to link.
+func partialOnly(a []float64) float64 {
+	return a[0]
+}

@@ -1,0 +1,19 @@
+//go:build amd64 && !noasm
+
+package a
+
+// dotVec has a full fallback (both noasm and non-amd64): fine.
+func dotVec(a, b []float64) float64
+
+func mismatch(a []float64) float64 // want `asm-backed mismatch and its scalar fallback disagree on signature`
+
+func partialOnly(a []float64) float64 // want `asm-backed partialOnly has a fallback that does not cover both noasm and non-amd64 builds`
+
+func missing(n int) int // want `asm-backed missing has no scalar fallback`
+
+// probeOnly is referenced only inside this asm-gated file (a cpuid-style
+// feature probe): it never links into a fallback build, so no fallback
+// is required.
+func probeOnly() bool
+
+func useProbe() bool { return probeOnly() }

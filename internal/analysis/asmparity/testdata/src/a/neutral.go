@@ -1,0 +1,10 @@
+package a
+
+// Tag-neutral references: these functions must link in every build
+// context, so each asm declaration needs a scalar fallback.
+var (
+	_ = dotVec
+	_ = mismatch
+	_ = partialOnly
+	_ = missing
+)

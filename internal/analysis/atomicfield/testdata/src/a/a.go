@@ -1,0 +1,37 @@
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64 // accessed with sync/atomic in inc: every access must be atomic
+	safe atomic.Int64
+	mu   int64 // never touched atomically: plain access is fine
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `non-atomic access to n`
+}
+
+func (c *counter) write() {
+	c.n = 0 // want `non-atomic access to n`
+	c.safe.Store(0)
+	c.mu = 1
+}
+
+func (c *counter) loadOK() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func peek() int64 {
+	return hits // want `non-atomic access to hits`
+}

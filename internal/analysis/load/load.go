@@ -1,0 +1,200 @@
+// Package load type-checks Go packages for the analysis driver using
+// only the standard library and the go command: `go list -export`
+// compiles dependencies into the build cache and reports their export
+// data files, which go/importer's gc importer reads back, and the
+// target packages themselves are parsed and type-checked from source
+// so analyzers see syntax trees with full type information. This is
+// the offline, zero-dependency subset of golang.org/x/tools/go/packages
+// that eugenevet's standalone mode and the analysistest fixtures need.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	IgnoredFiles []string // build-tag-excluded .go files in Dir
+	Syntax       []*ast.File
+	Types        *types.Package
+	TypesInfo    *types.Info
+}
+
+// listedPackage mirrors the `go list -json` fields the loader uses.
+type listedPackage struct {
+	ImportPath     string
+	Dir            string
+	Export         string
+	Standard       bool
+	DepOnly        bool
+	GoFiles        []string
+	CgoFiles       []string
+	IgnoredGoFiles []string
+	Error          *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir for the given
+// patterns and returns the decoded package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,CgoFiles,IgnoredGoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer that resolves imports from
+// the export-data files go list reported. Import paths are used as
+// written in source: the module has no vendored imports, so no
+// ImportMap indirection is needed.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// Packages loads, parses, and type-checks the packages matching
+// patterns (resolved relative to dir, e.g. "./..."). Dependencies come
+// from compiled export data; the matched packages themselves are
+// checked from source. Packages that fail to list, parse, or
+// type-check produce an error — analyzers require well-typed input.
+func Packages(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, nil, fmt.Errorf("load: %s uses cgo (unsupported)", p.ImportPath)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, pkg)
+	}
+	return fset, out, nil
+}
+
+// check parses and type-checks one listed package from source.
+func check(fset *token.FileSet, imp types.Importer, p *listedPackage) (*Package, error) {
+	var files []*ast.File
+	var paths []string
+	for _, name := range p.GoFiles {
+		path := filepath.Join(p.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+	}
+	info := NewInfo()
+	conf := &types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", p.ImportPath, err)
+	}
+	ignored := make([]string, 0, len(p.IgnoredGoFiles))
+	for _, name := range p.IgnoredGoFiles {
+		ignored = append(ignored, filepath.Join(p.Dir, name))
+	}
+	return &Package{
+		ImportPath:   p.ImportPath,
+		Dir:          p.Dir,
+		GoFiles:      paths,
+		IgnoredFiles: ignored,
+		Syntax:       files,
+		Types:        tpkg,
+		TypesInfo:    info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// StdImporter type-checks stand-alone fixture files (analysistest): it
+// resolves the given stdlib import paths (and their dependencies) via
+// `go list -export` once and returns the export-data importer.
+func StdImporter(fset *token.FileSet, dir string, paths []string) (types.Importer, error) {
+	if len(paths) == 0 {
+		return exportImporter(fset, nil), nil
+	}
+	listed, err := goList(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exportImporter(fset, exports), nil
+}

@@ -1,0 +1,249 @@
+// Package poolput guards the sync.Pool arena discipline that got the
+// scheduler to ~0 allocs/req: every pool that is drawn from must also
+// be refilled, a Get result must actually be used, and pooled objects
+// must not escape into long-lived storage where they would defeat (or
+// corrupt, once recycled) the pool.
+package poolput
+
+import (
+	"go/ast"
+	"go/types"
+
+	"eugene/internal/analysis"
+)
+
+// Analyzer flags sync.Pool usage that breaks the arena discipline.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolput",
+	Doc: `check sync.Pool Get/Put pairing and pooled-object escape
+
+Three rules, per package:
+
+ 1. a sync.Pool variable or field with a Get call must have a Put call
+    on the same pool somewhere in the package (pools are identified by
+    the variable or struct field holding them);
+ 2. the result of pool.Get() must not be discarded;
+ 3. a value obtained from pool.Get() must not be stored into a
+    package-level variable or into a field of another value — pooled
+    objects are owned until Put and must not leak into long-lived
+    structures.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	type poolUse struct {
+		gets []ast.Node // positions of Get calls
+		puts int
+	}
+	uses := map[types.Object]*poolUse{}
+	use := func(obj types.Object) *poolUse {
+		u := uses[obj]
+		if u == nil {
+			u = &poolUse{}
+			uses[obj] = u
+		}
+		return u
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, pool := poolMethod(pass, call)
+			if pool == nil {
+				return true
+			}
+			switch name {
+			case "Get":
+				use(pool).gets = append(use(pool).gets, call)
+			case "Put":
+				use(pool).puts++
+			}
+			return true
+		})
+	}
+	for obj, u := range uses {
+		if len(u.gets) > 0 && u.puts == 0 {
+			pass.Reportf(u.gets[0].Pos(), "sync.Pool %s has Get calls but no Put in this package (pool leak: objects are never recycled)", obj.Name())
+		}
+	}
+
+	// Per-function rules: discarded Get results and escapes.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc applies the discard and escape rules inside one function
+// body (including function literals, which ast.Inspect descends into).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// pooled tracks locals bound to a Get result in this body.
+	pooled := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if name, pool := poolMethod(pass, call); pool != nil && name == "Get" {
+					pass.Reportf(call.Pos(), "result of %s.Get is discarded: the pooled object is lost without a Put", pool.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			// Bind locals initialized from Get (possibly through a type
+			// assertion): t := pool.Get().(*T), or t, ok := ...
+			if len(s.Rhs) == 1 && fromPoolGet(pass, s.Rhs[0]) {
+				if id, ok := s.Lhs[0].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						pooled[obj] = true
+					} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						pooled[obj] = true
+					}
+				}
+				return true
+			}
+			// Escape rule: a pooled local on the RHS stored into a
+			// package-level var or a field of some other value.
+			for i, rhs := range s.Rhs {
+				src := escapingPooled(pass, pooled, rhs)
+				if src == nil || i >= len(s.Lhs) {
+					continue
+				}
+				if dst := longLivedDest(pass, pooled, s.Lhs[i]); dst != "" {
+					pass.Reportf(rhs.Pos(), "pooled object %s escapes into %s: pool objects must not outlive their Get/Put window", src.Name(), dst)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fromPoolGet reports whether expr is pool.Get() or a type assertion
+// over it.
+func fromPoolGet(pass *analysis.Pass, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		name, pool := poolMethod(pass, e)
+		return pool != nil && name == "Get"
+	case *ast.TypeAssertExpr:
+		return fromPoolGet(pass, e.X)
+	}
+	return false
+}
+
+// escapingPooled returns the pooled local referenced bare (or via
+// append) in rhs, if any.
+func escapingPooled(pass *analysis.Pass, pooled map[types.Object]bool, rhs ast.Expr) types.Object {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil && pooled[obj] {
+			return obj
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+			for _, arg := range e.Args[1:] {
+				if obj := escapingPooled(pass, pooled, arg); obj != nil {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// longLivedDest classifies an assignment destination as long-lived:
+// a package-level variable, or a field selector whose base is not the
+// pooled object itself (writing t.state = x into the pooled t is the
+// normal reset pattern and allowed).
+func longLivedDest(pass *analysis.Pass, pooled map[types.Object]bool, lhs ast.Expr) string {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return "package-level variable " + v.Name()
+			}
+		}
+	case *ast.SelectorExpr:
+		if base, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[base]; obj != nil && pooled[obj] {
+				return "" // resetting a field of the pooled object itself
+			}
+		}
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return "field " + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		// Storing into a map or slice cell: long-lived if the container
+		// is itself long-lived; conservatively treat package-level
+		// containers as escapes.
+		return longLivedDest(pass, pooled, e.X)
+	}
+	return ""
+}
+
+// poolMethod matches recv.Get / recv.Put method calls on sync.Pool
+// values and returns the method name and the variable or field object
+// identifying the pool.
+func poolMethod(pass *analysis.Pass, call *ast.CallExpr) (string, types.Object) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
+		return "", nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", nil
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil || !isSyncPool(recv.Type()) {
+		return "", nil
+	}
+	// Identify the pool by the variable or field the receiver resolves
+	// to: l.taskPool.Get() → field taskPool; encodePool.Get() → var.
+	switch r := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[r]; ok && s.Kind() == types.FieldVal {
+			return sel.Sel.Name, s.Obj()
+		}
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[r]; obj != nil {
+			return sel.Sel.Name, obj
+		}
+	case *ast.UnaryExpr:
+		return poolMethodBase(pass, sel.Sel.Name, r.X)
+	}
+	return "", nil
+}
+
+func poolMethodBase(pass *analysis.Pass, name string, expr ast.Expr) (string, types.Object) {
+	switch r := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[r]; ok && s.Kind() == types.FieldVal {
+			return name, s.Obj()
+		}
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[r]; obj != nil {
+			return name, obj
+		}
+	}
+	return "", nil
+}
+
+// isSyncPool reports whether t (or *t) is sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

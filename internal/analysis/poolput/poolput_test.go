@@ -1,0 +1,12 @@
+package poolput_test
+
+import (
+	"testing"
+
+	"eugene/internal/analysis/analysistest"
+	"eugene/internal/analysis/poolput"
+)
+
+func TestPoolPut(t *testing.T) {
+	analysistest.Run(t, "testdata", poolput.Analyzer, "a")
+}

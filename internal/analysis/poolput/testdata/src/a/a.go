@@ -1,0 +1,48 @@
+package a
+
+import "sync"
+
+type holder struct {
+	buf []byte
+}
+
+var stash *holder
+
+type arena struct {
+	pool  sync.Pool
+	leaky sync.Pool
+}
+
+// good: Get/Put paired, resetting the pooled object's own field is the
+// normal recycle pattern.
+func (a *arena) good() {
+	h := a.pool.Get().(*holder)
+	h.buf = h.buf[:0]
+	a.pool.Put(h)
+}
+
+// drop: the Get result vanishes, and leaky has no Put anywhere.
+func (a *arena) drop() {
+	a.leaky.Get() // want `result of leaky.Get is discarded` `sync.Pool leaky has Get calls but no Put`
+}
+
+var keep = sync.Pool{New: func() any { return &holder{} }}
+
+type registry struct {
+	last *holder
+}
+
+func escape() {
+	h := keep.Get().(*holder)
+	stash = h // want `pooled object h escapes into package-level variable stash`
+	keep.Put(h)
+}
+
+func (r *registry) fieldEscape() {
+	h, ok := keep.Get().(*holder)
+	if !ok {
+		return
+	}
+	r.last = h // want `pooled object h escapes into field last`
+	keep.Put(h)
+}

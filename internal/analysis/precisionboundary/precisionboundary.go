@@ -1,0 +1,218 @@
+// Package precisionboundary keeps the scheduler precision-blind: the
+// f32 (and soon int8) serving tiers live entirely behind the float64
+// ExecStageBatch boundary, so float32 values and the *32 kernel types
+// must not leak into exported signatures outside the packages that
+// own them (internal/tensor, internal/nn, internal/staged,
+// internal/snapshot). Everything else — sched, core, service, cache,
+// cmd — exchanges float64 only, which is what lets a new precision
+// tier land without touching the scheduler or its arenas.
+package precisionboundary
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"eugene/internal/analysis"
+)
+
+// Analyzer flags float32-typed exported API outside the precision
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "precisionboundary",
+	Doc: `forbid float32/Matrix32 types in exported API outside the precision packages
+
+Exported functions, methods, struct fields, variables, and type
+definitions outside internal/tensor, internal/nn, internal/staged, and
+internal/snapshot must not mention float32, complex64, or the *32
+types those packages define (Matrix32, Program32, Frozen32, ...). The
+scheduler and service layers stay precision-blind behind the float64
+ExecStageBatch contract.`,
+	Run: run,
+}
+
+// allowed are the package-path suffixes where f32 types are at home.
+var allowed = []string{
+	"internal/tensor",
+	"internal/nn",
+	"internal/staged",
+	"internal/snapshot",
+	"internal/analysis", // the analyzers talk about these types by name
+}
+
+// ownerPkgs are the packages whose exported *32 named types are
+// treated as precision-tier types wherever they appear.
+var ownerPkgs = map[string]bool{}
+
+func init() {
+	for _, a := range allowed {
+		ownerPkgs["eugene/"+a] = true
+	}
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	for _, a := range allowed {
+		if path == a || strings.HasSuffix(path, a) || strings.Contains(path, a+"/") {
+			return nil, nil
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						checkType(pass, s)
+					case *ast.ValueSpec:
+						checkValue(pass, s)
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() {
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[d.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Signature()
+	// Methods on unexported types are not public API.
+	if recv := sig.Recv(); recv != nil && !exportedReceiver(recv.Type()) {
+		return
+	}
+	if bad := findF32(sig); bad != "" {
+		pass.Reportf(d.Name.Pos(), "exported %s has %s in its signature: float32 types must stay behind the float64 ExecStageBatch boundary (allowed only in %s)",
+			d.Name.Name, bad, strings.Join(allowed[:4], ", "))
+	}
+}
+
+func checkType(pass *analysis.Pass, s *ast.TypeSpec) {
+	if !s.Name.IsExported() {
+		return
+	}
+	obj := pass.TypesInfo.Defs[s.Name]
+	if obj == nil {
+		return
+	}
+	// For a struct, only exported fields are API; for other types the
+	// whole definition is.
+	if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if bad := findF32(f.Type()); bad != "" {
+				pass.Reportf(f.Pos(), "exported field %s.%s has type containing %s: float32 types must stay behind the float64 ExecStageBatch boundary",
+					s.Name.Name, f.Name(), bad)
+			}
+		}
+		return
+	}
+	if bad := findF32(obj.Type().Underlying()); bad != "" {
+		pass.Reportf(s.Name.Pos(), "exported type %s is defined in terms of %s: float32 types must stay behind the float64 ExecStageBatch boundary", s.Name.Name, bad)
+	}
+}
+
+func checkValue(pass *analysis.Pass, s *ast.ValueSpec) {
+	for _, name := range s.Names {
+		if !name.IsExported() {
+			continue
+		}
+		obj := pass.TypesInfo.Defs[name]
+		if obj == nil {
+			continue
+		}
+		if bad := findF32(obj.Type()); bad != "" {
+			pass.Reportf(name.Pos(), "exported %s has type containing %s: float32 types must stay behind the float64 ExecStageBatch boundary", name.Name, bad)
+		}
+	}
+}
+
+// exportedReceiver reports whether the receiver's named type is
+// exported.
+func exportedReceiver(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Exported()
+	}
+	return true
+}
+
+// findF32 walks a type and returns a description of the first
+// precision-tier component found, or "".
+func findF32(t types.Type) string {
+	return find(t, map[types.Type]bool{})
+}
+
+func find(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Basic:
+		switch t.Kind() {
+		case types.Float32:
+			return "float32"
+		case types.Complex64:
+			return "complex64"
+		}
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && ownerPkgs[obj.Pkg().Path()] && strings.Contains(obj.Name(), "32") {
+			return fmt.Sprintf("%s.%s", obj.Pkg().Name(), obj.Name())
+		}
+		// Do not expand foreign named types (time.Time etc.).
+	case *types.Pointer:
+		return find(t.Elem(), seen)
+	case *types.Slice:
+		return find(t.Elem(), seen)
+	case *types.Array:
+		return find(t.Elem(), seen)
+	case *types.Map:
+		if s := find(t.Key(), seen); s != "" {
+			return s
+		}
+		return find(t.Elem(), seen)
+	case *types.Chan:
+		return find(t.Elem(), seen)
+	case *types.Signature:
+		if s := find(t.Params(), seen); s != "" {
+			return s
+		}
+		return find(t.Results(), seen)
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if s := find(t.At(i).Type(), seen); s != "" {
+				return s
+			}
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if s := find(t.Field(i).Type(), seen); s != "" {
+				return s
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < t.NumMethods(); i++ {
+			if s := find(t.Method(i).Type(), seen); s != "" {
+				return s
+			}
+		}
+	}
+	return ""
+}

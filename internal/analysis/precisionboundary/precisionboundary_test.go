@@ -1,0 +1,12 @@
+package precisionboundary_test
+
+import (
+	"testing"
+
+	"eugene/internal/analysis/analysistest"
+	"eugene/internal/analysis/precisionboundary"
+)
+
+func TestPrecisionBoundary(t *testing.T) {
+	analysistest.Run(t, "testdata", precisionboundary.Analyzer, "svc")
+}

@@ -1,0 +1,26 @@
+package svc
+
+// Serve is float64-only API: fine anywhere.
+func Serve(x []float64) []float64 { return x }
+
+func Widen32(x []float32) []float64 { return nil } // want `exported Widen32 has float32 in its signature`
+
+type Config struct {
+	Rate  float64
+	Gains []float32 // want `exported field Config.Gains has type containing float32`
+}
+
+type Kernel32 func([]float32) // want `exported type Kernel32 is defined in terms of float32`
+
+var Table []float32 // want `exported Table has type containing float32`
+
+// Unexported API may use float32 freely: conversions at the boundary
+// happen inside unexported helpers.
+func narrow(x []float64) []float32 { return nil }
+
+type scratch struct{ f []float32 }
+
+// Methods on unexported types are not public API.
+func (s *scratch) Apply(x []float32) {}
+
+var _ = narrow

@@ -1,0 +1,12 @@
+package rowownership_test
+
+import (
+	"testing"
+
+	"eugene/internal/analysis/analysistest"
+	"eugene/internal/analysis/rowownership"
+)
+
+func TestRowOwnership(t *testing.T) {
+	analysistest.Run(t, "testdata", rowownership.Analyzer, "a")
+}

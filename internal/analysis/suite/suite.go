@@ -1,0 +1,25 @@
+// Package suite registers the repo's analyzers in the order they are
+// run by cmd/eugenevet.
+package suite
+
+import (
+	"eugene/internal/analysis"
+	"eugene/internal/analysis/asmparity"
+	"eugene/internal/analysis/atomicfield"
+	"eugene/internal/analysis/poolput"
+	"eugene/internal/analysis/precisionboundary"
+	"eugene/internal/analysis/rowownership"
+	"eugene/internal/analysis/uncheckederr"
+)
+
+// All returns every analyzer in the suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicfield.Analyzer,
+		poolput.Analyzer,
+		rowownership.Analyzer,
+		precisionboundary.Analyzer,
+		asmparity.Analyzer,
+		uncheckederr.Analyzer,
+	}
+}

@@ -1,0 +1,42 @@
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+// publish reproduces the pre-fix shape of internal/snapshot's
+// saveAtomic: the cleanup Remove on the failed-rename path silently
+// dropped its error until the suite surfaced it.
+func publish(tmp, path string) error {
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) // want `error result of os.Remove is discarded`
+		return err
+	}
+	return nil
+}
+
+func checked(name string) {
+	if err := os.Remove(name); err != nil {
+		fmt.Println(err)
+	}
+	_ = os.Remove(name)
+}
+
+func annotated(name string) {
+	//lint:ignore uncheckederr best-effort cleanup, the file is orphaned either way
+	os.Remove(name)
+}
+
+func deferred(name string) {
+	defer os.Remove(name)
+	defer func() {
+		os.Remove(name)
+	}()
+}
+
+func exempt(buf *bytes.Buffer) {
+	fmt.Println("hello")
+	buf.WriteString("x")
+}

@@ -1,0 +1,162 @@
+// Package uncheckederr flags call statements that silently drop an
+// error result. The snapshot save path and the service shutdown path
+// both had best-effort cleanups that looked identical to forgotten
+// checks; this analyzer forces the distinction to be written down —
+// either check the error, assign it to _, or carry a //lint:ignore
+// uncheckederr comment saying why dropping it is correct.
+package uncheckederr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"eugene/internal/analysis"
+)
+
+// Analyzer reports discarded error results.
+var Analyzer = &analysis.Analyzer{
+	Name: "uncheckederr",
+	Doc: `report call statements that discard an error result
+
+A function call used as a statement whose last result is an error
+discards that error invisibly. Either handle it, assign it away
+explicitly (_ = f()), or annotate the deliberate drop:
+
+	//lint:ignore uncheckederr best-effort cleanup, error already reported
+
+Deferred calls and calls inside deferred closures are exempt (deferred
+cleanup has nowhere to report), as are fmt.Print* and the never-failing
+bytes.Buffer / strings.Builder writers.`,
+	Run: run,
+}
+
+// exemptFuncs never meaningfully fail.
+var exemptFuncs = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+// exemptRecvs are receiver types whose methods are documented never to
+// return a non-nil error.
+var exemptRecvs = map[string]bool{
+	"bytes.Buffer":      true,
+	"strings.Builder":   true,
+	"hash.Hash":         true,
+	"hash.Hash32":       true,
+	"hash.Hash64":       true,
+	"math/rand.Rand":    true,
+	"math/rand/v2.Rand": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Deferred function literals are exempt wholesale: collect their
+	// bodies first.
+	deferred := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+				deferred[fl.Body] = true
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			s, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || isExempt(pass, call) {
+				return true
+			}
+			for _, anc := range stack {
+				if deferred[anc] {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "error result of %s is discarded: handle it, assign to _, or add //lint:ignore uncheckederr <reason>", callName(call))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// returnsError reports whether the call's only or last result is an
+// error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	last := tv.Type
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		last = tup.At(tup.Len() - 1).Type()
+	}
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isExempt applies the allowlists.
+func isExempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && exemptFuncs[fn.Pkg().Path()+"."+fn.Name()] {
+		return true
+	}
+	if fn.Signature().Recv() == nil {
+		return false
+	}
+	// Key the exemption on the receiver expression's static type (not
+	// the declared receiver, which for interface methods is the
+	// embedded interface, e.g. io.Writer inside hash.Hash32).
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+		return exemptRecvs[n.Obj().Pkg().Path()+"."+n.Obj().Name()]
+	}
+	return false
+}
+
+// callName renders a short name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

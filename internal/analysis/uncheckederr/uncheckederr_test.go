@@ -1,0 +1,12 @@
+package uncheckederr_test
+
+import (
+	"testing"
+
+	"eugene/internal/analysis/analysistest"
+	"eugene/internal/analysis/uncheckederr"
+)
+
+func TestUncheckedErr(t *testing.T) {
+	analysistest.Run(t, "testdata", uncheckederr.Analyzer, "a")
+}

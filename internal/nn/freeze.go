@@ -17,9 +17,9 @@ import (
 
 // op32 kinds.
 const (
-	opDense32 = iota // x·Wᵀ + b, optionally fused ReLU
-	opResidual32     // x + body(x), optionally fused ReLU
-	opReLU32         // standalone max(0, x) (no fusable predecessor)
+	opDense32    = iota // x·Wᵀ + b, optionally fused ReLU
+	opResidual32        // x + body(x), optionally fused ReLU
+	opReLU32            // standalone max(0, x) (no fusable predecessor)
 )
 
 // op32 is one step of a compiled program. Weight buffers (w, b) are

@@ -592,8 +592,13 @@ func (l *Live) pushShard(w int, tasks []*liveTask) {
 	for _, t := range tasks {
 		sh.putLocked(t)
 	}
-	sh.mu.Unlock()
+	// The count must move inside the critical section: drainShard
+	// stores 0 under sh.mu after emptying the buckets, so an Add that
+	// lands after our unlock but also after a concurrent drain would
+	// leave an empty shard with a permanently positive count — and
+	// steal() would lock it on every probe forever after.
 	sh.count.Add(int64(len(tasks)))
+	sh.mu.Unlock()
 }
 
 // wakeOne unparks one worker, preferring pref (the shard that just

@@ -314,6 +314,7 @@ func saveAtomic(path string, write func(io.Writer) error) error {
 	name := tmp.Name()
 	tmp = nil
 	if err := os.Rename(name, path); err != nil {
+		//lint:ignore uncheckederr best-effort cleanup of the temp file; the rename failure below is the error that matters
 		os.Remove(name)
 		return fmt.Errorf("snapshot: publishing %s: %w", path, err)
 	}
@@ -402,7 +403,7 @@ type encoder struct {
 	dense32 bool
 }
 
-func (e *encoder) u8(v byte)  { e.w.WriteByte(v) }
+func (e *encoder) u8(v byte) { e.w.WriteByte(v) }
 func (e *encoder) bool(v bool) {
 	if v {
 		e.u8(1)
@@ -774,4 +775,3 @@ func (d *decoder) layer(depth int) (nn.Layer, error) {
 		return nil, fmt.Errorf("snapshot: unknown layer tag %d", tag)
 	}
 }
-
