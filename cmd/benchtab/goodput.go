@@ -1,0 +1,300 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eugene/internal/core"
+	"eugene/internal/dataset"
+	"eugene/internal/sched"
+)
+
+// goodputConfig records the shape of the overload benchmark.
+type goodputConfig struct {
+	Workers    int     `json:"workers"`
+	DeadlineMS float64 `json:"deadline_ms"`
+	QueueDepth int     `json:"queue_depth"`
+	MaxBatch   int     `json:"max_batch"`
+	Hidden     int     `json:"hidden"`
+	Requests   int     `json:"requests_per_cell"`
+}
+
+// goodputCell is one (admission, overload multiplier) cell: an
+// open-loop run offering Offered requests at Multiplier times the
+// measured closed-loop capacity. Goodput counts answers that arrived
+// within the deadline measured from the client's submit call — the
+// only clock an SLO's consumer experiences.
+type goodputCell struct {
+	Admission     bool    `json:"admission"`
+	Multiplier    float64 `json:"multiplier"`
+	Offered       int     `json:"offered"`
+	Answered      int     `json:"answered"`
+	Rejected      int     `json:"rejected"`
+	Expired       int     `json:"expired"`
+	Goodput       int     `json:"goodput"`
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	// DegradeLevel is the pool's ladder level when the run ended.
+	DegradeLevel int `json:"degrade_level"`
+}
+
+// goodputSummary holds the ratios the roadmap tracks: goodput with
+// admission control on over off, per overload multiplier. Above 1.0
+// means rejecting doomed work freed capacity for work that could still
+// meet its deadline.
+type goodputSummary struct {
+	OnOverOff2x  float64 `json:"on_over_off_2x"`
+	OnOverOff5x  float64 `json:"on_over_off_5x"`
+	OnOverOff10x float64 `json:"on_over_off_10x"`
+}
+
+// goodputRecord is the BENCH_goodput.json schema.
+type goodputRecord struct {
+	Generated         string         `json:"generated"`
+	CPUs              int            `json:"cpus"`
+	GOMAXPROCS        int            `json:"gomaxprocs"`
+	Config            goodputConfig  `json:"config"`
+	CapacityReqPerSec float64        `json:"capacity_req_per_sec"`
+	Cells             []goodputCell  `json:"cells"`
+	Summary           goodputSummary `json:"summary"`
+}
+
+// goodputBench measures goodput under open-loop overload: after
+// measuring the service's closed-loop capacity, it offers load at
+// 2x/5x/10x that rate with admission control off and on, and records
+// how many answers still made their deadline. With enforce set, the
+// run fails unless admission control wins at 2x — the regression gate
+// CI runs on every push.
+func goodputBench(out string, quick, enforce bool) error {
+	// The model must be heavy enough that the backlog a sustained 2x
+	// overload builds actually blows the deadline inside one run —
+	// deadline-misses need a queue of ~deadline×capacity requests, so a
+	// too-fast model with a too-short run never leaves nominal service.
+	const (
+		workers    = 4
+		queueDepth = 256
+		maxBatch   = 32
+		deadline   = 20 * time.Millisecond
+	)
+	// Quick mode must NOT shrink the model: a lighter model shifts the
+	// service into a different overload regime (much higher capacity,
+	// heavier batch amortization) where the admission-vs-no-admission
+	// contrast measures a different trade than the full benchmark. The
+	// open-loop cells are sub-second either way; quick only cuts the
+	// training epochs and the capacity-measurement rounds.
+	const hidden, requests = 256, 2000
+	epochs := 2
+	if quick {
+		epochs = 1
+	}
+	synth := dataset.SynthConfig{
+		Classes: 3, Dim: 32, ModesPerClass: 1,
+		TrainSize: 150, TestSize: 64,
+		NoiseLo: 0.4, NoiseHi: 1.0, Overlap: 0.1,
+	}
+	train, test, err := dataset.SynthCIFAR(synth, 23)
+	if err != nil {
+		return err
+	}
+	inputs := make([][]float64, test.Len())
+	for i := range inputs {
+		inputs[i], _ = test.Sample(i)
+	}
+
+	fmt.Fprintln(os.Stderr, "benchtab: training the goodput benchmark model...")
+	opts := core.DefaultTrainOptions(synth.Dim, synth.Classes)
+	opts.Model.Hidden = hidden
+	opts.Model.BlocksPerStage = 2
+	opts.Train.Epochs = epochs
+	trainSvc, err := core.NewService(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	entry, err := trainSvc.Train("bench", train, opts)
+	if err != nil {
+		trainSvc.Close()
+		return err
+	}
+	model := entry.Model
+	trainSvc.Close()
+
+	ctx := context.Background()
+	newService := func(admission bool) (*core.Service, error) {
+		svc, err := core.NewService(core.Config{
+			Workers: workers, Deadline: deadline, QueueDepth: queueDepth,
+			Lookahead: 1, MaxBatch: maxBatch, Admission: admission,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := svc.Register("bench", model.Clone()); err != nil {
+			svc.Close()
+			return nil, err
+		}
+		// Warm the pool (and, with admission on, its cost model — the
+		// admission forecast stays inert until it has observed enough
+		// dispatches) with closed-loop traffic.
+		for r := 0; r < 4; r++ {
+			if _, err := svc.InferBatch(ctx, "bench", inputs); err != nil {
+				svc.Close()
+				return nil, err
+			}
+		}
+		return svc, nil
+	}
+
+	// Closed-loop capacity: the sustained answer rate with a full
+	// pipeline and no queueing beyond one batch in flight.
+	capSvc, err := newService(false)
+	if err != nil {
+		return err
+	}
+	capRounds := 10
+	if quick {
+		capRounds = 5
+	}
+	start := time.Now()
+	for r := 0; r < capRounds; r++ {
+		if _, err := capSvc.InferBatch(ctx, "bench", inputs); err != nil {
+			capSvc.Close()
+			return err
+		}
+	}
+	capacity := float64(capRounds*len(inputs)) / time.Since(start).Seconds()
+	capSvc.Close()
+	fmt.Fprintf(os.Stderr, "benchtab: goodput capacity %.0f req/s\n", capacity)
+
+	openLoop := func(svc *core.Service, mult float64) goodputCell {
+		rate := capacity * mult
+		interval := time.Duration(float64(time.Second) / rate)
+		var answered, rejected, expired, good atomic.Int64
+		var wg sync.WaitGroup
+		runStart := time.Now()
+		next := runStart
+		for i := 0; i < requests; i++ {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			// The schedule is fixed in advance (open loop): arrival i+1
+			// is due interval after arrival i regardless of completions,
+			// so offered load never self-throttles to the service rate.
+			next = next.Add(interval)
+			wg.Add(1)
+			go func(x []float64) {
+				defer wg.Done()
+				t0 := time.Now()
+				resp, err := svc.Infer(ctx, "bench", x)
+				lat := time.Since(t0)
+				if err != nil {
+					var ov *sched.ErrOverloaded
+					if errors.As(err, &ov) {
+						rejected.Add(1)
+					}
+					return
+				}
+				answered.Add(1)
+				if resp.Expired {
+					expired.Add(1)
+					return
+				}
+				if lat <= deadline {
+					good.Add(1)
+				}
+			}(inputs[i%len(inputs)])
+		}
+		wg.Wait()
+		elapsed := time.Since(runStart)
+		var level int
+		if st, ok := svc.Stats()["bench"]; ok {
+			level = st.DegradeLevel
+		}
+		return goodputCell{
+			Multiplier:    mult,
+			Offered:       requests,
+			Answered:      int(answered.Load()),
+			Rejected:      int(rejected.Load()),
+			Expired:       int(expired.Load()),
+			Goodput:       int(good.Load()),
+			GoodputPerSec: float64(good.Load()) / elapsed.Seconds(),
+			DegradeLevel:  level,
+		}
+	}
+
+	rec := goodputRecord{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config: goodputConfig{
+			Workers: workers, DeadlineMS: float64(deadline.Microseconds()) / 1000,
+			QueueDepth: queueDepth, MaxBatch: maxBatch, Hidden: hidden,
+			Requests: requests,
+		},
+		CapacityReqPerSec: capacity,
+	}
+	byCell := make(map[[2]any]goodputCell)
+	for _, mult := range []float64{2, 5, 10} {
+		for _, admission := range []bool{false, true} {
+			fmt.Fprintf(os.Stderr, "benchtab: goodput %gx offered load, admission=%v...\n", mult, admission)
+			svc, err := newService(admission)
+			if err != nil {
+				return err
+			}
+			c := openLoop(svc, mult)
+			svc.Close()
+			c.Admission = admission
+			rec.Cells = append(rec.Cells, c)
+			byCell[[2]any{admission, mult}] = c
+		}
+	}
+	ratio := func(mult float64) float64 {
+		off := byCell[[2]any{false, mult}]
+		on := byCell[[2]any{true, mult}]
+		if off.Goodput == 0 {
+			if on.Goodput > 0 {
+				return float64(on.Goodput)
+			}
+			return 1
+		}
+		return float64(on.Goodput) / float64(off.Goodput)
+	}
+	rec.Summary = goodputSummary{
+		OnOverOff2x:  ratio(2),
+		OnOverOff5x:  ratio(5),
+		OnOverOff10x: ratio(10),
+	}
+
+	fmt.Printf("Goodput under open-loop overload (capacity %.0f req/s, deadline %v, %d requests/cell)\n",
+		capacity, deadline, requests)
+	fmt.Printf("  %-9s %-5s %8s %9s %9s %8s %8s %12s\n",
+		"admission", "load", "offered", "answered", "rejected", "expired", "goodput", "goodput/s")
+	for _, c := range rec.Cells {
+		fmt.Printf("  %-9v %4.0fx %8d %9d %9d %8d %8d %12.0f\n",
+			c.Admission, c.Multiplier, c.Offered, c.Answered, c.Rejected, c.Expired, c.Goodput, c.GoodputPerSec)
+	}
+	fmt.Printf("  admission on/off goodput: 2x %.2f, 5x %.2f, 10x %.2f\n",
+		rec.Summary.OnOverOff2x, rec.Summary.OnOverOff5x, rec.Summary.OnOverOff10x)
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", out)
+	// The 2x cell is the tightest contrast (less doomed work for
+	// admission to shed), so the gate allows 5% scheduler noise; a real
+	// regression — admission actively hurting goodput — lands well
+	// below it.
+	if enforce && rec.Summary.OnOverOff2x < 0.95 {
+		return fmt.Errorf("goodput regression: admission on yields %.2fx the goodput of admission off at 2x overload (want ≥ 0.95)",
+			rec.Summary.OnOverOff2x)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 //	benchtab table1|fig2|table2|table3|fig4|table4
 //	benchtab pruning|resilience|labeling|caching|classes|ablation   (extensions)
 //	benchtab serving                               (serving throughput → BENCH_serving.json)
+//	benchtab goodput                               (open-loop overload goodput → BENCH_goodput.json)
 //	benchtab [-quick] ...                          (reduced scale)
 package main
 
@@ -31,6 +32,8 @@ func run() error {
 	quick := flag.Bool("quick", false, "reduced-scale configuration (fast, less faithful)")
 	out := flag.String("out", "BENCH_serving.json", "output path for the serving benchmark record")
 	rounds := flag.Int("rounds", 30, "serving benchmark rounds per mode")
+	goodputOut := flag.String("goodput-out", "BENCH_goodput.json", "output path for the goodput benchmark record")
+	enforce := flag.Bool("enforce", false, "goodput: fail unless admission control beats no-admission at 2x overload")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -43,6 +46,14 @@ func run() error {
 	all := want["all"]
 	if want["serving"] {
 		if err := servingBench(*out, *rounds); err != nil {
+			return err
+		}
+		if len(want) == 1 {
+			return nil
+		}
+	}
+	if want["goodput"] {
+		if err := goodputBench(*goodputOut, *quick, *enforce); err != nil {
 			return err
 		}
 		if len(want) == 1 {

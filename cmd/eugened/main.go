@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eugened [-addr :8080] [-workers 4] [-deadline 200ms] [-lookahead 1] [-maxbatch 0] [-precision f64] [-data-dir DIR] [-pprof ADDR]
+//	eugened [-addr :8080] [-workers 4] [-deadline 200ms] [-lookahead 1] [-maxbatch 0] [-precision f64] [-admission=true] [-data-dir DIR] [-pprof ADDR]
 //
 // With -data-dir, every trained/calibrated model (and its GP predictor)
 // is snapshotted to DIR and restored on the next boot, so a restarted
@@ -14,21 +14,39 @@
 // weights (8-lane SIMD kernels, half the memory traffic); training and
 // snapshots stay float64.
 //
+// -admission (on by default) enables SLO admission control: requests
+// whose predicted completion already misses the deadline are rejected
+// with 429 + Retry-After instead of queued, and under sustained
+// pressure the scheduler degrades gracefully (earlier early-exits,
+// then the f32 serving tier) before turning clients away.
+//
+// On SIGINT/SIGTERM the server drains: /v1/readyz flips to 503 so load
+// balancers stop routing new work, in-flight requests get
+// -drain-timeout to finish, and only then are the worker pools stopped.
+// /v1/healthz stays 200 throughout — the process is alive, just not
+// accepting.
+//
 // -pprof exposes net/http/pprof on a separate listener (e.g.
 // "localhost:6060") for CPU/heap profiling; it is off by default and
 // should never be bound to a public address.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"eugene"
+	"eugene/internal/core"
+	"eugene/internal/sched"
+	"eugene/internal/service"
 )
 
 func main() {
@@ -47,11 +65,13 @@ func run() error {
 	maxBatch := flag.Int("maxbatch", 0, "same-stage tasks coalesced per batched forward pass (0 = default, 1 disables)")
 	parallelism := flag.Int("parallelism", 0, "cores one large GEMM may fan out over (0 = GOMAXPROCS, 1 disables)")
 	precision := flag.String("precision", "", "serving precision: f64 (default) or f32 (frozen float32 weights, 8-lane SIMD hot path)")
+	admission := flag.Bool("admission", true, "SLO admission control: reject requests predicted to miss their deadline (429 + Retry-After) and degrade gracefully under overload")
 	dataDir := flag.String("data-dir", "", "snapshot directory: persist models on train/calibrate/predictor and restore them on boot (empty = in-memory only)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish after SIGINT/SIGTERM")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
-	svc, err := eugene.NewService(eugene.Config{
+	svc, err := core.NewService(core.Config{
 		Workers:     *workers,
 		Deadline:    *deadline,
 		QueueDepth:  *queue,
@@ -59,6 +79,7 @@ func run() error {
 		MaxBatch:    *maxBatch,
 		Parallelism: *parallelism,
 		Precision:   *precision,
+		Admission:   *admission,
 		DataDir:     *dataDir,
 	})
 	if err != nil {
@@ -67,7 +88,7 @@ func run() error {
 	defer svc.Close()
 	effectiveMaxBatch := *maxBatch
 	if effectiveMaxBatch == 0 {
-		effectiveMaxBatch = eugene.DefaultMaxBatch
+		effectiveMaxBatch = sched.DefaultMaxBatch
 	}
 	effectivePrecision := *precision
 	if effectivePrecision == "" {
@@ -87,7 +108,47 @@ func run() error {
 			}
 		}()
 	}
-	log.Printf("eugened listening on %s (workers=%d deadline=%v k=%d maxbatch=%d parallelism=%d precision=%s)",
-		*addr, *workers, *deadline, *lookahead, effectiveMaxBatch, *parallelism, effectivePrecision)
-	return svc.ListenAndServe(*addr)
+
+	front := service.NewServer(svc)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           front,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      30 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Drain on SIGINT/SIGTERM: readiness flips first so probes route new
+	// work elsewhere, then Shutdown lets in-flight requests finish, and
+	// the deferred svc.Close stops the worker pools last — a request
+	// mid-handler must still find a live scheduler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		stop() // restore default handling: a second signal kills immediately
+		log.Printf("eugened draining (timeout %v)", *drainTimeout)
+		front.SetDraining(true)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		done <- srv.Shutdown(sctx)
+	}()
+
+	log.Printf("eugened listening on %s (workers=%d deadline=%v k=%d maxbatch=%d parallelism=%d precision=%s admission=%v)",
+		*addr, *workers, *deadline, *lookahead, effectiveMaxBatch, *parallelism, effectivePrecision, *admission)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if ctx.Err() != nil {
+		// A signal initiated the shutdown; ListenAndServe returned the
+		// moment the listener closed, but Shutdown is still waiting on
+		// in-flight handlers — block until the drain completes.
+		if err := <-done; err != nil {
+			return fmt.Errorf("draining: %w", err)
+		}
+		log.Printf("eugened drained cleanly")
+	}
+	return nil
 }

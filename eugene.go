@@ -232,6 +232,18 @@ func (s *Service) Handler() http.Handler { return service.NewServer(s.inner) }
 // Client is the Go client for a remote Eugene server.
 type Client = service.Client
 
+// RetryPolicy controls a client's bounded-retry behavior for idempotent
+// operations (inference and GETs): capped exponential backoff with full
+// jitter, honoring the server's Retry-After hint, under a per-client
+// retry token budget.
+type RetryPolicy = service.RetryPolicy
+
+// ErrOverloaded is the typed rejection from SLO admission control
+// (Config.Admission): the scheduler predicted the request would miss
+// its deadline and refused it immediately. Over HTTP it surfaces as a
+// 429 with a Retry-After header.
+type ErrOverloaded = sched.ErrOverloaded
+
 // InferResponse is the wire form of one scheduled inference answer.
 type InferResponse = service.InferResponse
 
@@ -247,6 +259,10 @@ type CacheDecisionResponse = service.CacheDecisionResponse
 
 // NewClient builds a client for the given base URL.
 func NewClient(base string) *Client { return service.NewClient(base) }
+
+// NewResilientClient builds a client that retries idempotent operations
+// under service.DefaultRetryPolicy.
+func NewResilientClient(base string) *Client { return service.NewResilientClient(base) }
 
 // ListenAndServe starts an HTTP server for the service on addr and
 // blocks. The server carries production timeouts so a dead or stalled

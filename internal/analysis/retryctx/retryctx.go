@@ -1,0 +1,227 @@
+// Package retryctx flags retry loops that back off without consulting
+// their context. A loop that sleeps between failed attempts but never
+// calls ctx.Err() or selects on ctx.Done() keeps burning backoff time
+// after the caller has given up — the request is unobservable-dead but
+// the goroutine is not. The service client's retry loop checks ctx.Err()
+// before every attempt and waits inside a select; this analyzer keeps
+// that shape mandatory for any future retry loop.
+package retryctx
+
+import (
+	"go/ast"
+	"go/types"
+
+	"eugene/internal/analysis"
+)
+
+// Analyzer reports backoff loops that ignore their context.
+var Analyzer = &analysis.Analyzer{
+	Name: "retryctx",
+	Doc: `report retry loops that sleep between attempts without consulting ctx
+
+A for loop that both makes an error-returning call (the attempt) and
+blocks in time.Sleep or <-time.After (the backoff) must consult the
+context that is in scope: call ctx.Err(), receive from ctx.Done(), or
+wait inside a select that includes ctx.Done(). Otherwise cancellation
+cannot interrupt the backoff and the loop retries on behalf of a caller
+that already went away.
+
+Loops with no context in scope are not flagged (they have nothing to
+consult), and calls inside nested function literals belong to the
+nested function, not the loop.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				checkLoop(pass, f, n.Body, n)
+			case *ast.RangeStmt:
+				checkLoop(pass, f, n.Body, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkLoop applies the retry-loop rule to one for/range body.
+func checkLoop(pass *analysis.Pass, file *ast.File, body *ast.BlockStmt, loop ast.Node) {
+	var sleepPos ast.Node
+	var hasAttempt, hasCtxCheck, usesCtx bool
+	inspectShallow(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isSleep(pass, n):
+				if sleepPos == nil {
+					sleepPos = n
+				}
+			case isCtxConsult(pass, n):
+				hasCtxCheck = true
+			case returnsError(pass, n):
+				hasAttempt = true
+			}
+			if receivesCtx(pass, n) {
+				usesCtx = true
+			}
+		case *ast.UnaryExpr:
+			// <-time.After(d) is a sleep; <-ctx.Done() is a consult
+			// (covered by the CallExpr case on ctx.Done()).
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isTimeAfter(pass, call) {
+				if sleepPos == nil {
+					sleepPos = n
+				}
+			}
+		case *ast.Ident:
+			if isCtxType(pass.TypesInfo.TypeOf(n)) {
+				usesCtx = true
+			}
+		}
+	})
+	if sleepPos == nil || !hasAttempt || hasCtxCheck {
+		return
+	}
+	// Only loops that can consult a context are held to the rule: the
+	// loop touches a context value itself, or the innermost enclosing
+	// function has one as a parameter.
+	if !usesCtx && !enclosingHasCtxParam(pass, file, loop) {
+		return
+	}
+	pass.Reportf(sleepPos.Pos(), "retry loop backs off without consulting ctx: check ctx.Err() or select on ctx.Done() before sleeping")
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals or nested loops: their calls belong to the nested function
+// or loop, not this one. Pairing an outer loop's attempt with an inner
+// loop's sleep would flag shapes that are not retry loops at all; the
+// inner loop is judged on its own body.
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(n ast.Node) bool {
+		if first {
+			first = false // the root (this loop's own body) is not "nested"
+			if n != nil {
+				fn(n)
+			}
+			return true
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// isSleep reports calls to time.Sleep.
+func isSleep(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return isPkgFunc(pass, call, "time", "Sleep")
+}
+
+// isTimeAfter reports calls to time.After or time.Tick.
+func isTimeAfter(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return isPkgFunc(pass, call, "time", "After") || isPkgFunc(pass, call, "time", "Tick")
+}
+
+// isCtxConsult reports Err or Done called on a context.Context value.
+// Merely forwarding ctx to the attempt does not count: the attempt may
+// fail fast on cancellation, but the backoff sleep still blocks through
+// it.
+func isCtxConsult(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+		return false
+	}
+	return isCtxType(pass.TypesInfo.TypeOf(sel.X))
+}
+
+// receivesCtx reports whether any argument of the call is a
+// context.Context.
+func receivesCtx(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isCtxType(pass.TypesInfo.TypeOf(arg)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgFunc reports whether call is pkg.name.
+func isPkgFunc(pass *analysis.Pass, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkg && fn.Name() == name
+}
+
+// returnsError reports whether the call's only or last result is an
+// error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	last := tv.Type
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		last = tup.At(tup.Len() - 1).Type()
+	}
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// enclosingHasCtxParam reports whether the innermost function
+// enclosing loop declares a context.Context parameter.
+func enclosingHasCtxParam(pass *analysis.Pass, file *ast.File, loop ast.Node) bool {
+	var innermost *ast.FuncType
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if n.Pos() > loop.Pos() || n.End() < loop.End() {
+			return false // cannot contain the loop; prune
+		}
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			innermost = n.Type
+		case *ast.FuncLit:
+			innermost = n.Type
+		}
+		return true
+	})
+	if innermost == nil || innermost.Params == nil {
+		return false
+	}
+	for _, field := range innermost.Params.List {
+		if isCtxType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}

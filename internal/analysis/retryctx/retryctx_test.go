@@ -1,0 +1,12 @@
+package retryctx_test
+
+import (
+	"testing"
+
+	"eugene/internal/analysis/analysistest"
+	"eugene/internal/analysis/retryctx"
+)
+
+func TestRetryCtx(t *testing.T) {
+	analysistest.Run(t, "testdata", retryctx.Analyzer, "a")
+}

@@ -1,0 +1,98 @@
+package a
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+func attempt(ctx context.Context) error { return errors.New("transient") }
+
+// badSleep is the shape the analyzer exists for: the attempt forwards
+// ctx, but the backoff sleeps straight through cancellation.
+func badSleep(ctx context.Context) error {
+	var err error
+	for i := 0; i < 5; i++ {
+		if err = attempt(ctx); err == nil {
+			return nil
+		}
+		time.Sleep(time.Duration(i) * 10 * time.Millisecond) // want `retry loop backs off without consulting ctx`
+	}
+	return err
+}
+
+// badAfter backs off via <-time.After, equally blind to ctx.
+func badAfter(ctx context.Context) error {
+	for {
+		if err := attempt(ctx); err == nil {
+			return nil
+		}
+		<-time.After(50 * time.Millisecond) // want `retry loop backs off without consulting ctx`
+	}
+}
+
+// goodErrCheck consults ctx.Err() each iteration before backing off.
+func goodErrCheck(ctx context.Context) error {
+	var err error
+	for i := 0; i < 5; i++ {
+		if err = attempt(ctx); err == nil {
+			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return err
+}
+
+// goodSelect waits inside a select that includes ctx.Done().
+func goodSelect(ctx context.Context) error {
+	for {
+		if err := attempt(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// noCtx has no context in scope; there is nothing to consult, so the
+// loop is not held to the rule.
+func noCtx(do func() error) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = do(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return err
+}
+
+// pacing sleeps to shape an arrival schedule; the error-returning calls
+// happen inside launched goroutines, which belong to their own
+// functions, not the loop — an open-loop load generator, not a retry.
+func pacing(ctx context.Context, n int) {
+	next := time.Now()
+	for i := 0; i < n; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(time.Millisecond)
+		go func() {
+			_ = attempt(ctx)
+		}()
+	}
+}
+
+// pollNoAttempt waits for a condition without making attempts; not a
+// retry loop even though ctx is in scope.
+func pollNoAttempt(ctx context.Context, ready func() bool) {
+	for !ready() {
+		time.Sleep(time.Millisecond)
+	}
+}

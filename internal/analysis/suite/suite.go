@@ -8,6 +8,7 @@ import (
 	"eugene/internal/analysis/atomicfield"
 	"eugene/internal/analysis/poolput"
 	"eugene/internal/analysis/precisionboundary"
+	"eugene/internal/analysis/retryctx"
 	"eugene/internal/analysis/rowownership"
 	"eugene/internal/analysis/uncheckederr"
 )
@@ -21,5 +22,6 @@ func All() []*analysis.Analyzer {
 		precisionboundary.Analyzer,
 		asmparity.Analyzer,
 		uncheckederr.Analyzer,
+		retryctx.Analyzer,
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eugene/internal/cache"
@@ -74,6 +75,15 @@ type Config struct {
 	// bitwise-identically to the one that trained — no retraining.
 	// Empty disables persistence (in-memory registry only).
 	DataDir string
+	// Admission enables SLO admission control and the degradation
+	// ladder on every serving pool: requests whose predicted completion
+	// already misses the deadline are rejected immediately with
+	// sched.ErrOverloaded (HTTP 429 + Retry-After) instead of queued,
+	// dispatch groups are sized by deadline slack, and under sustained
+	// rejection pressure the pool sheds load — forcing earlier
+	// early-exit stages and, when the model freezes to f32, serving the
+	// reduced-precision tier — before turning clients away.
+	Admission bool
 	// Precision selects the serving arithmetic: "f64" (or empty, the
 	// default) serves with the float64 training weights; "f32" freezes
 	// each model into packed float32 weights at pool start
@@ -453,8 +463,24 @@ type stageBatchModel interface {
 // sched.StageExecutor. Like the model's own scratch, the adapter's
 // result buffer is owned by the single worker goroutine driving it.
 type execAdapter struct {
-	m   stageBatchModel
-	res []sched.StageResult
+	m stageBatchModel
+	// alt, when non-nil, is the reduced-precision (f32) variant of m
+	// served while the degradation gauge reads sched.DegradeTier —
+	// the ladder's cheapest rung before outright rejection. Both
+	// models share the float64 hidden-state boundary, so switching
+	// between dispatches (even mid-task) is safe.
+	alt     stageBatchModel
+	degrade *atomic.Int32
+	res     []sched.StageResult
+}
+
+// model picks the serving model for this dispatch: the f32 tier under
+// deep degradation, the primary otherwise.
+func (e *execAdapter) model() stageBatchModel {
+	if e.alt != nil && e.degrade.Load() >= sched.DegradeTier {
+		return e.alt
+	}
+	return e.m
 }
 
 // ExecStageBatch implements sched.StageExecutor: the whole group flows
@@ -462,7 +488,7 @@ type execAdapter struct {
 // states into the worker's dst scratch rows when they fit. The returned
 // slices are adapter/model scratch, valid until the next Exec call.
 func (e *execAdapter) ExecStageBatch(hidden [][]float64, stage int, dst [][]float64) ([][]float64, []sched.StageResult) {
-	next, outs := e.m.ExecStageBatch(hidden, stage, dst)
+	next, outs := e.model().ExecStageBatch(hidden, stage, dst)
 	if cap(e.res) < len(outs) {
 		e.res = make([]sched.StageResult, len(outs))
 	}
@@ -512,6 +538,10 @@ func (s *Service) liveFor(name string) (*sched.Live, int, error) {
 		// FIFO whole-task execution.
 		policy = sched.NewFIFO()
 	}
+	var degrade *atomic.Int32
+	if s.cfg.Admission {
+		degrade = new(atomic.Int32)
+	}
 	execs := make([]sched.StageExecutor, s.cfg.Workers)
 	if s.cfg.Precision == PrecisionF32 {
 		// Freeze once, clone per worker: clones share the packed f32
@@ -526,15 +556,31 @@ func (s *Service) liveFor(name string) (*sched.Live, int, error) {
 			execs[i] = &execAdapter{m: frozen.Clone()}
 		}
 	} else {
+		// Under admission control the pool also carries a frozen f32
+		// variant as its degradation tier: when the scheduler's ladder
+		// reaches DegradeTier, workers serve the cheaper model instead
+		// of rejecting more traffic. Models that cannot freeze (f32
+		// requires the packed layout) simply skip the tier.
+		var frozen *staged.Frozen32
+		if degrade != nil {
+			frozen, _ = staged.Freeze32(entry.Model)
+		}
 		for i := range execs {
-			execs[i] = &execAdapter{m: entry.Model.Clone()}
+			ad := &execAdapter{m: entry.Model.Clone()}
+			if frozen != nil {
+				ad.alt = frozen.Clone()
+				ad.degrade = degrade
+			}
+			execs[i] = ad
 		}
 	}
 	lv, err := sched.NewLive(sched.LiveConfig{
-		Workers:    s.cfg.Workers,
-		Deadline:   s.cfg.Deadline,
-		QueueDepth: s.cfg.QueueDepth,
-		MaxBatch:   s.cfg.MaxBatch,
+		Workers:       s.cfg.Workers,
+		Deadline:      s.cfg.Deadline,
+		QueueDepth:    s.cfg.QueueDepth,
+		MaxBatch:      s.cfg.MaxBatch,
+		Admission:     s.cfg.Admission,
+		DegradeSignal: degrade,
 	}, policy, execs)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: starting pool for %q: %w", name, err)

@@ -1,0 +1,137 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	DisableAll()
+	if err := Inject("never.armed"); err != nil {
+		t.Fatalf("unarmed Inject returned %v", err)
+	}
+	Hit("never.armed") // must not panic or sleep
+}
+
+func TestErrorAction(t *testing.T) {
+	DisableAll()
+	ResetCounts()
+	if err := Enable("t.err", "error(broken disk)"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable("t.err")
+	err := Inject("t.err")
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("Inject returned %T (%v), want *failpoint.Error", err, err)
+	}
+	if fe.Site != "t.err" || fe.Msg != "broken disk" {
+		t.Fatalf("unexpected error fields: %+v", fe)
+	}
+	if n := Counts()["t.err"]; n != 1 {
+		t.Fatalf("fire count %d, want 1", n)
+	}
+}
+
+func TestCountedAction(t *testing.T) {
+	DisableAll()
+	ResetCounts()
+	if err := Enable("t.counted", "2*error"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable("t.counted")
+	if Inject("t.counted") == nil || Inject("t.counted") == nil {
+		t.Fatal("counted action did not fire twice")
+	}
+	if err := Inject("t.counted"); err != nil {
+		t.Fatalf("third firing should be spent, got %v", err)
+	}
+	if n := Counts()["t.counted"]; n != 2 {
+		t.Fatalf("fire count %d, want 2", n)
+	}
+}
+
+func TestDelayAction(t *testing.T) {
+	DisableAll()
+	if err := Enable("t.delay", "delay(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable("t.delay")
+	start := time.Now()
+	if err := Inject("t.delay"); err != nil {
+		t.Fatalf("delay action returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay action slept only %v", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	DisableAll()
+	if err := Enable("t.panic", "panic(boom)"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable("t.panic")
+	defer func() {
+		r := recover()
+		fe, ok := r.(*Error)
+		if !ok || fe.Msg != "boom" {
+			t.Fatalf("recovered %v, want *failpoint.Error(boom)", r)
+		}
+	}()
+	Hit("t.panic")
+	t.Fatal("Hit did not panic")
+}
+
+func TestHitSwallowsErrorAction(t *testing.T) {
+	DisableAll()
+	ResetCounts()
+	if err := Enable("t.hit", "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable("t.hit")
+	Hit("t.hit") // no return value; must still count
+	if n := Counts()["t.hit"]; n != 1 {
+		t.Fatalf("fire count %d, want 1", n)
+	}
+}
+
+func TestEnableSpec(t *testing.T) {
+	DisableAll()
+	if err := EnableSpec("a.one=error; b.two=delay(1ms) ;; c.three=3*panic(x)"); err != nil {
+		t.Fatal(err)
+	}
+	defer DisableAll()
+	if err := Inject("a.one"); err == nil {
+		t.Fatal("a.one not armed")
+	}
+	if err := Inject("b.two"); err != nil {
+		t.Fatal("b.two delay returned error")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	for _, bad := range []string{"nope", "error)x(", "delay(zzz)", "0*error", "x*error"} {
+		if err := Enable("t.bad", bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+			Disable("t.bad")
+		}
+	}
+	if err := EnableSpec("missing-equals"); err == nil {
+		t.Error("EnableSpec accepted entry without =")
+	}
+}
+
+func TestOffDisarms(t *testing.T) {
+	DisableAll()
+	if err := Enable("t.off", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable("t.off", "off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("t.off"); err != nil {
+		t.Fatalf("off did not disarm: %v", err)
+	}
+}

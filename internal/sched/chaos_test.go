@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eugene/internal/failpoint"
+)
+
+// TestStopDuringInFlightSubmissions races Stop against a storm of
+// concurrent Submit and SubmitBatch calls and checks the finalization
+// contract: every submission returns exactly once, as an answer, an
+// expiry, or ErrStopped — never a hang, never a silent drop. Run under
+// -race this also exercises the drain path's memory ordering.
+func TestStopDuringInFlightSubmissions(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		execs := make([]StageExecutor, 4)
+		for i := range execs {
+			execs[i] = &slowExec{delay: 200 * time.Microsecond}
+		}
+		l, err := NewLive(LiveConfig{Workers: 4, Deadline: 50 * time.Millisecond, QueueDepth: 64},
+			NewGreedy(1, flatPriors(), "g"), execs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const submitters = 8
+		var started, finalized, answered, stopped, expired atomic.Int64
+		var wg sync.WaitGroup
+		ctx := context.Background()
+		stopSignal := make(chan struct{})
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stopSignal:
+						// One last submission after Stop began, to hit
+						// the stopped path deliberately.
+						if i > 0 {
+							return
+						}
+					default:
+					}
+					started.Add(1)
+					var err error
+					var resps []Response
+					if g%2 == 0 {
+						var r Response
+						r, err = l.Submit(ctx, []float64{float64(i)}, 3)
+						resps = []Response{r}
+					} else {
+						resps, err = l.SubmitBatch(ctx, [][]float64{{1}, {2}, {3}}, 3)
+					}
+					finalized.Add(1)
+					switch {
+					case err == nil || errors.Is(err, ErrUnanswered):
+						for _, r := range resps {
+							if r.Expired {
+								expired.Add(1)
+							} else if err == nil {
+								answered.Add(1)
+							}
+						}
+					case errors.Is(err, ErrStopped):
+						stopped.Add(1)
+						return
+					default:
+						t.Errorf("submitter %d: unexpected error %v", g, err)
+						return
+					}
+				}
+			}(g)
+		}
+		// Let traffic build — at least one answered task, so the race
+		// genuinely has in-flight work — then pull the plug.
+		for waited := 0; answered.Load() == 0 && waited < 2000; waited++ {
+			time.Sleep(time.Millisecond)
+		}
+		close(stopSignal)
+		l.Stop()
+		wg.Wait()
+
+		if started.Load() != finalized.Load() {
+			t.Fatalf("round %d: %d submissions started, %d finalized", round, started.Load(), finalized.Load())
+		}
+		if answered.Load() == 0 {
+			t.Fatalf("round %d: no task answered before Stop", round)
+		}
+		// Conservation at the executor level: everything admitted has
+		// left the system.
+		st := l.Stats()
+		if st.QueueDepth != 0 {
+			t.Fatalf("round %d: %d tasks still in system after Stop", round, st.QueueDepth)
+		}
+		_ = stopped.Load() // Stop may win or lose the race; both are legal
+	}
+}
+
+// TestStopWithDispatchAndDrainFailpoints re-runs the stop race with the
+// scheduler's chaos seams armed: dispatch stalls (a worker wedged
+// mid-batch) and drain stalls (teardown slowed while tasks are being
+// finalized). The finalization contract must hold regardless, and both
+// sites must actually fire.
+func TestStopWithDispatchAndDrainFailpoints(t *testing.T) {
+	failpoint.DisableAll()
+	failpoint.ResetCounts()
+	if err := failpoint.EnableSpec("sched.dispatch=delay(1ms);sched.drain=delay(1ms)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+
+	execs := make([]StageExecutor, 2)
+	for i := range execs {
+		execs[i] = &slowExec{delay: 100 * time.Microsecond}
+	}
+	l, err := NewLive(LiveConfig{Workers: 2, Deadline: 100 * time.Millisecond, QueueDepth: 32},
+		NewGreedy(1, flatPriors(), "g"), execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var finalized atomic.Int64
+	ctx := context.Background()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				_, err := l.Submit(ctx, []float64{float64(i)}, 3)
+				if err != nil && !errors.Is(err, ErrStopped) && !errors.Is(err, ErrUnanswered) {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				finalized.Add(1)
+				if errors.Is(err, ErrStopped) {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	l.Stop()
+	wg.Wait()
+
+	counts := failpoint.Counts()
+	if counts["sched.dispatch"] == 0 {
+		t.Fatal("sched.dispatch failpoint never fired")
+	}
+	if counts["sched.drain"] == 0 {
+		t.Fatal("sched.drain failpoint never fired")
+	}
+	if finalized.Load() == 0 {
+		t.Fatal("no submission finalized")
+	}
+	if st := l.Stats(); st.QueueDepth != 0 {
+		t.Fatalf("%d tasks still in system after Stop", st.QueueDepth)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"eugene/internal/failpoint"
 )
 
 // StageExecutor executes stages of a staged model on explicit hidden
@@ -60,6 +62,19 @@ type LiveConfig struct {
 	// coalesces into one dispatch (one ExecStageBatch call).
 	// 0 means DefaultMaxBatch; 1 disables coalescing.
 	MaxBatch int
+	// Admission enables SLO admission control: Submit/SubmitBatch
+	// forecast each request's completion time from the observed
+	// per-stage cost and the current backlog, and reject with
+	// ErrOverloaded (instead of queueing work that is already dead on
+	// arrival) when the forecast misses the deadline. It also sizes
+	// dispatch groups by the slack of the tightest deadline in the
+	// bucket and arms the degradation ladder (see DegradeLevel).
+	Admission bool
+	// DegradeSignal, when non-nil, receives the executor's degradation
+	// level (Degrade* constants) whenever it changes — the hook the
+	// serving layer uses to switch executors to a cheaper precision
+	// tier at DegradeTier. Only written under Admission.
+	DegradeSignal *atomic.Int32
 }
 
 // Validate reports an error for degenerate configurations.
@@ -157,6 +172,14 @@ type LiveStats struct {
 	// QueueDepth is the number of tasks currently in the system
 	// (queued or executing).
 	QueueDepth int `json:"queue_depth"`
+	// Rejected counts tasks refused at admission (ErrOverloaded).
+	Rejected uint64 `json:"rejected"`
+	// Goodput counts tasks answered within their deadline (≥1 stage
+	// executed and not expired) — the paper-faithful serving metric.
+	Goodput uint64 `json:"goodput"`
+	// DegradeLevel is the current degradation-ladder level (0 normal,
+	// 1 forced earlier exits, 2 reduced-precision tier).
+	DegradeLevel int `json:"degrade_level"`
 	// P50 and P99 are latency percentiles over all finished tasks,
 	// read from a geometric histogram (bucket upper bounds, ≈9%
 	// resolution).
@@ -338,10 +361,14 @@ type Live struct {
 	answered   atomic.Uint64
 	expired    atomic.Uint64
 	unanswered atomic.Uint64
+	goodput    atomic.Uint64
 	inSystem   atomic.Int64
 	histMu     sync.Mutex
 	latHist    [latBuckets]uint64
 	latCount   uint64
+
+	// adm is the SLO admission-control and degradation state.
+	adm admitState
 }
 
 // NewLive starts the executor. executors must have length cfg.Workers;
@@ -522,6 +549,14 @@ func (l *Live) daemon() {
 func (l *Live) recordFinish(stages int, expired bool, lat time.Duration) {
 	if stages > 0 {
 		l.answered.Add(1)
+		// Feed the admission model's stages-per-task average with every
+		// answered task, expired or not — under load the executed-stage
+		// count is exactly the service time the next admission forecast
+		// should assume.
+		l.adm.taskStages.Observe(stagesAlpha, float64(stages))
+		if !expired {
+			l.goodput.Add(1)
+		}
 	}
 	if expired {
 		l.expired.Add(1)
@@ -566,11 +601,14 @@ func (l *Live) finalize(t *liveTask, expired bool) {
 // percentile selection happens outside it, allocation-free.
 func (l *Live) Stats() LiveStats {
 	s := LiveStats{
-		Submitted:  l.submitted.Load(),
-		Answered:   l.answered.Load(),
-		Expired:    l.expired.Load(),
-		Unanswered: l.unanswered.Load(),
-		QueueDepth: int(l.inSystem.Load()),
+		Submitted:    l.submitted.Load(),
+		Answered:     l.answered.Load(),
+		Expired:      l.expired.Load(),
+		Unanswered:   l.unanswered.Load(),
+		Goodput:      l.goodput.Load(),
+		Rejected:     l.adm.rejected.Load(),
+		DegradeLevel: l.DegradeLevel(),
+		QueueDepth:   int(l.inSystem.Load()),
 	}
 	l.histMu.Lock()
 	hist := l.latHist
@@ -694,6 +732,13 @@ func (l *Live) Submit(ctx context.Context, input []float64, numStages int) (Resp
 		return Response{}, ErrStopped
 	default:
 	}
+	// SLO admission: reject now if the backlog forecast says this
+	// request cannot meet its deadline anyway.
+	if err := l.admit(1); err != nil {
+		return Response{}, err
+	}
+	l.adm.demand.Add(1)
+	defer l.adm.demand.Add(-1)
 	// Admission backpressure: block while QueueDepth single submissions
 	// are already in the system.
 	select {
@@ -757,6 +802,13 @@ func (l *Live) SubmitBatch(ctx context.Context, inputs [][]float64, numStages in
 		return nil, ErrStopped
 	default:
 	}
+	// SLO admission: batches are admitted or rejected atomically — the
+	// forecast covers the completion of the batch's last task.
+	if err := l.admit(len(inputs)); err != nil {
+		return nil, err
+	}
+	l.adm.demand.Add(int64(len(inputs)))
+	defer l.adm.demand.Add(-int64(len(inputs)))
 	bp, _ := l.batchPool.Get().(*[]*liveTask)
 	if bp == nil {
 		s := make([]*liveTask, 0, len(inputs))
@@ -827,6 +879,9 @@ func (l *Live) Stop() {
 // drainShard finalizes every task still queued on one shard (expired:
 // the executor is stopping).
 func (l *Live) drainShard(id int) {
+	// Failpoint: chaos tests delay here to widen the stop-vs-submit
+	// race window while shards drain.
+	failpoint.Hit("sched.drain")
 	sh := l.shards[id]
 	sh.mu.Lock()
 	for s, b := range sh.buckets {
@@ -979,14 +1034,25 @@ func (ws *workerState) takeLocal() ([]*liveTask, int) {
 	}
 	leader := flat[i]
 	stage := leader.state.Executed
-	group := append(ws.group[:0], leader)
 	bucket := sh.buckets[stage]
+	// Under admission control the group is sized by the slack of the
+	// tightest deadline among the candidates, not the fixed MaxBatch: a
+	// full-width batch in front of a nearly-due task would miss that
+	// deadline on dispatch time alone.
+	minDeadline := leader.state.Deadline
+	for _, t := range bucket {
+		if t != leader && !t.dead.Load() && nowT < t.state.Deadline && t.state.Deadline < minDeadline {
+			minDeadline = t.state.Deadline
+		}
+	}
+	capN := l.groupCap(minDeadline - nowT)
+	group := append(ws.group[:0], leader)
 	kept := bucket[:0]
 	for _, t := range bucket {
 		if t == leader {
 			continue
 		}
-		if len(group) < l.cfg.MaxBatch && !t.dead.Load() && nowT < t.state.Deadline {
+		if len(group) < capN && !t.dead.Load() && nowT < t.state.Deadline {
 			group = append(group, t)
 			continue
 		}
@@ -1095,7 +1161,14 @@ func (ws *workerState) run(group []*liveTask, stage int) {
 		}
 		ws.dst = dst
 	}
+	// Failpoint: chaos tests delay here to hold a batch in flight
+	// across a concurrent Stop/teardown. It sits inside the dispatch
+	// timing window so an injected stall is visible to the admission
+	// cost model, exactly like a genuinely slow worker.
+	dispatchStart := time.Now()
+	failpoint.Hit("sched.dispatch")
 	hidden, res := ws.exec.ExecStageBatch(rows, stage, dst)
+	l.adm.observeDispatch(len(group), time.Since(dispatchStart))
 	nowT := l.nowTicks()
 	surv := ws.surv[:0]
 	for i, t := range group {
@@ -1139,6 +1212,14 @@ func (ws *workerState) run(group []*liveTask, stage int) {
 		}
 		if nowT >= st.Deadline {
 			ws.finish(t, true)
+			continue
+		}
+		if l.forceExit(st.Deadline - nowT) {
+			// Degradation ladder: under sustained admission pressure a
+			// task whose remaining slack cannot cover another stage
+			// answers now with the confidence it has, instead of
+			// burning a dispatch it cannot finish.
+			ws.finish(t, false)
 			continue
 		}
 		surv = append(surv, t)

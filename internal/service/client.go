@@ -4,16 +4,57 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"eugene/internal/cache"
 	"eugene/internal/dataset"
 	"eugene/internal/snapshot"
 )
+
+// RetryPolicy controls the client's bounded-retry behavior for safe
+// (idempotent) operations: inference submissions and GETs. Mutating
+// calls — train, calibrate, observe, snapshot upload — are never
+// retried; resubmitting them on an ambiguous failure could apply the
+// mutation twice.
+//
+// Waits between attempts use capped exponential backoff with full
+// jitter (a uniform draw from [0, BaseBackoff·2^retry], capped at
+// MaxBackoff), the shape that avoids synchronized retry storms from a
+// fleet of clients rejected at the same instant. A server-supplied
+// Retry-After (the 429 admission-control hint) raises the wait to at
+// least that long.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, first attempt included (≤1 means
+	// no retries).
+	MaxAttempts int
+	// BaseBackoff is the first retry's jitter cap (0 = 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the jitter window growth (0 = 2s).
+	MaxBackoff time.Duration
+	// Budget is the per-client retry token budget: each retry spends a
+	// token, each success restores a tenth of one, and when the bucket
+	// is empty failures return immediately. The budget bounds retry
+	// amplification during a sustained outage — a client fleet that
+	// retried every failure forever would multiply exactly the overload
+	// that caused the failures. 0 means unbudgeted.
+	Budget int
+}
+
+// DefaultRetryPolicy is the policy used by clients that want resilience
+// without tuning: 4 attempts, 50ms–2s full-jitter backoff, a 10-token
+// budget.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second, Budget: 10}
+}
 
 // Client is the Go client for a Eugene server.
 type Client struct {
@@ -25,10 +66,23 @@ type Client struct {
 	// http.DefaultClient — bound requests with a context deadline, or
 	// set HTTP explicitly to control transport and timeout policy.
 	HTTP *http.Client
+	// Retry enables bounded retries for idempotent operations; nil
+	// keeps the historical fail-fast behavior.
+	Retry *RetryPolicy
+
+	// retryTokens is the budget bucket, in 1/1024ths of a token
+	// (lazy-filled on first use).
+	retryTokens atomic.Int64
+	retryInit   sync.Once
 }
 
 // NewClient builds a client for the given base URL.
 func NewClient(base string) *Client { return &Client{Base: base} }
+
+// NewResilientClient builds a client with DefaultRetryPolicy retries.
+func NewResilientClient(base string) *Client {
+	return &Client{Base: base, Retry: DefaultRetryPolicy()}
+}
 
 // sharedClient backs every Client without an explicit HTTP override.
 // http.DefaultTransport keeps only 2 idle connections per host
@@ -59,6 +113,165 @@ func (c *Client) httpClient() *http.Client {
 	return sharedClient
 }
 
+// ServerError is a non-2xx response from the server. RetryAfter
+// carries the Retry-After header (0 when absent) — on a 429 it is the
+// scheduler's estimate of when a resubmission could meet its deadline.
+type ServerError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("service: server error (%d): %s", e.Status, e.Msg)
+	}
+	return fmt.Sprintf("service: server status %d", e.Status)
+}
+
+// retryable reports whether an idempotent request that failed with err
+// is worth retrying: transient server statuses and transport-level
+// failures are; context expiry and definitive server answers (4xx
+// other than 429, 500) are not.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	// Transport-level failure (dial, reset, EOF): the request may never
+	// have reached the server; for idempotent operations a duplicate is
+	// harmless.
+	return true
+}
+
+// retryAfterOf extracts the server's Retry-After hint from err, if any.
+func retryAfterOf(err error) time.Duration {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
+}
+
+// retryTokenScale is the bucket's fixed-point scale: a retry costs one
+// token (1024 units), a success refunds 1/10 of one.
+const retryTokenScale = 1024
+
+// takeRetryToken spends one retry token, reporting false when the
+// budget is exhausted.
+func (c *Client) takeRetryToken(p *RetryPolicy) bool {
+	capacity := int64(p.Budget) * retryTokenScale
+	if capacity <= 0 {
+		return true
+	}
+	c.retryInit.Do(func() { c.retryTokens.Store(capacity) })
+	for {
+		cur := c.retryTokens.Load()
+		if cur < retryTokenScale {
+			return false
+		}
+		if c.retryTokens.CompareAndSwap(cur, cur-retryTokenScale) {
+			return true
+		}
+	}
+}
+
+// creditRetryToken refunds a tenth of a token on success, up to the
+// budget's capacity.
+func (c *Client) creditRetryToken(p *RetryPolicy) {
+	capacity := int64(p.Budget) * retryTokenScale
+	if capacity <= 0 {
+		return
+	}
+	c.retryInit.Do(func() { c.retryTokens.Store(capacity) })
+	for {
+		cur := c.retryTokens.Load()
+		next := min(cur+retryTokenScale/10, capacity)
+		if next == cur {
+			return
+		}
+		if c.retryTokens.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// backoffWait sleeps before retry number retry (0-based): a full-jitter
+// draw from the capped exponential window, raised to the server's
+// Retry-After hint when that is longer. Returns early with ctx.Err()
+// when the context expires mid-wait.
+func backoffWait(ctx context.Context, p *RetryPolicy, retry int, hint time.Duration) error {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	window := base << uint(min(retry, 30))
+	if window <= 0 || window > maxB {
+		window = maxB
+	}
+	d := time.Duration(rand.Int63n(int64(window) + 1))
+	if hint > d {
+		d = hint
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// doIdempotent runs attempt under the client's retry policy. attempt
+// must build a fresh request each call (a consumed body cannot be
+// resent). Only idempotent operations may come through here.
+func (c *Client) doIdempotent(ctx context.Context, attempt func() error) error {
+	p := c.Retry
+	if p == nil || p.MaxAttempts <= 1 {
+		return attempt()
+	}
+	var lastErr error
+	for i := 0; i < p.MaxAttempts; i++ {
+		if i > 0 {
+			if !c.takeRetryToken(p) {
+				return lastErr
+			}
+			if err := backoffWait(ctx, p, i-1, retryAfterOf(lastErr)); err != nil {
+				return lastErr
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
+		lastErr = attempt()
+		if lastErr == nil {
+			c.creditRetryToken(p)
+			return nil
+		}
+		if !retryable(lastErr) {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
 // Train uploads data and trains a model.
 func (c *Client) Train(ctx context.Context, name string, req TrainRequest) (*TrainResponse, error) {
 	var out TrainResponse
@@ -82,20 +295,23 @@ func (c *Client) BuildPredictor(ctx context.Context, name string, data *dataset.
 	return c.post(ctx, fmt.Sprintf("/v1/models/%s/predictor", url.PathEscape(name)), FromSet(data), &map[string]string{})
 }
 
-// Infer submits one sample for scheduled inference.
+// Infer submits one sample for scheduled inference. With a Retry
+// policy set, transient failures (429 overload, 503, transport errors)
+// are retried under jittered backoff — inference is pure compute, so a
+// duplicate submission is safe.
 func (c *Client) Infer(ctx context.Context, name string, input []float64) (*InferResponse, error) {
 	var out InferResponse
-	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/infer", url.PathEscape(name)), InferRequest{Input: input}, &out); err != nil {
+	if err := c.postIdempotent(ctx, fmt.Sprintf("/v1/models/%s/infer", url.PathEscape(name)), InferRequest{Input: input}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // InferBatch submits several samples in one scheduler interaction and
-// returns one result per input, in order.
+// returns one result per input, in order. Retried like Infer.
 func (c *Client) InferBatch(ctx context.Context, name string, inputs [][]float64) ([]InferResponse, error) {
 	var out InferBatchResponse
-	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/infer-batch", url.PathEscape(name)), InferBatchRequest{Inputs: inputs}, &out); err != nil {
+	if err := c.postIdempotent(ctx, fmt.Sprintf("/v1/models/%s/infer-batch", url.PathEscape(name)), InferBatchRequest{Inputs: inputs}, &out); err != nil {
 		return nil, err
 	}
 	return out.Results, nil
@@ -103,7 +319,8 @@ func (c *Client) InferBatch(ctx context.Context, name string, inputs [][]float64
 
 // InferObserved is Infer with a device tag: the server feeds the
 // answered prediction into the device's class-frequency tracker, the
-// signal behind edge-cache decisions.
+// signal behind edge-cache decisions. Not retried: a replay would
+// double-count the observation.
 func (c *Client) InferObserved(ctx context.Context, name, device string, input []float64) (*InferResponse, error) {
 	var out InferResponse
 	if err := c.post(ctx, fmt.Sprintf("/v1/models/%s/infer", url.PathEscape(name)), InferRequest{Input: input, Device: device}, &out); err != nil {
@@ -121,25 +338,27 @@ func (c *Client) Snapshot(ctx context.Context, name, precision string) ([]byte, 
 	if precision != "" {
 		u += "?precision=" + url.QueryEscape(precision)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return nil, fmt.Errorf("service: building request: %w", err)
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("service: fetching snapshot: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e ErrorResponse
-		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
-			return nil, fmt.Errorf("service: server error (%d): %s", resp.StatusCode, e.Error)
+	var raw []byte
+	err := c.doIdempotent(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return fmt.Errorf("service: building request: %w", err)
 		}
-		return nil, fmt.Errorf("service: server status %d", resp.StatusCode)
-	}
-	raw, err := io.ReadAll(resp.Body)
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("service: fetching snapshot: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return serverError(resp)
+		}
+		if raw, err = io.ReadAll(resp.Body); err != nil {
+			return fmt.Errorf("service: reading snapshot: %w", err)
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("service: reading snapshot: %w", err)
+		return nil, err
 	}
 	return raw, nil
 }
@@ -179,20 +398,29 @@ func (c *Client) Observe(ctx context.Context, device, model string, class, count
 
 // CacheDecision fetches the caching policy's verdict for a device.
 func (c *Client) CacheDecision(ctx context.Context, device string) (*CacheDecisionResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/devices/%s/cache-decision", c.Base, url.PathEscape(device)), nil)
-	if err != nil {
-		return nil, fmt.Errorf("service: building request: %w", err)
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("service: fetching cache decision: %w", err)
-	}
-	defer resp.Body.Close()
 	var out CacheDecisionResponse
-	if err := decodeResponse(resp, &out); err != nil {
+	u := fmt.Sprintf("%s/v1/devices/%s/cache-decision", c.Base, url.PathEscape(device))
+	if err := c.getJSON(ctx, u, "fetching cache decision", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// getJSON fetches u and decodes the JSON response, retrying under the
+// client's policy (GETs are idempotent by construction).
+func (c *Client) getJSON(ctx context.Context, u, what string, out any) error {
+	return c.doIdempotent(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return fmt.Errorf("service: building request: %w", err)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("service: %s: %w", what, err)
+		}
+		defer resp.Body.Close()
+		return decodeResponse(resp, out)
+	})
 }
 
 // SubsetModel fetches (building if necessary) the reduced model the
@@ -215,17 +443,8 @@ func (c *Client) SubsetModel(ctx context.Context, device string, hidden, epochs 
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return nil, fmt.Errorf("service: building request: %w", err)
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("service: fetching subset model: %w", err)
-	}
-	defer resp.Body.Close()
 	var out SubsetModelResponse
-	if err := decodeResponse(resp, &out); err != nil {
+	if err := c.getJSON(ctx, u, "fetching subset model", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -239,17 +458,8 @@ func (c *Client) DecodeSubset(resp *SubsetModelResponse) (*cache.SubsetModel, er
 
 // Stats fetches per-model serving counters.
 func (c *Client) Stats(ctx context.Context) (map[string]ModelStats, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/stats", nil)
-	if err != nil {
-		return nil, fmt.Errorf("service: building request: %w", err)
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("service: fetching stats: %w", err)
-	}
-	defer resp.Body.Close()
 	var out StatsResponse
-	if err := decodeResponse(resp, &out); err != nil {
+	if err := c.getJSON(ctx, c.Base+"/v1/stats", "fetching stats", &out); err != nil {
 		return nil, err
 	}
 	return out.Models, nil
@@ -257,22 +467,31 @@ func (c *Client) Stats(ctx context.Context) (map[string]ModelStats, error) {
 
 // Models lists registered models.
 func (c *Client) Models(ctx context.Context) ([]string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/models", nil)
-	if err != nil {
-		return nil, fmt.Errorf("service: building request: %w", err)
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("service: listing models: %w", err)
-	}
-	defer resp.Body.Close()
 	var out struct {
 		Models []string `json:"models"`
 	}
-	if err := decodeResponse(resp, &out); err != nil {
+	if err := c.getJSON(ctx, c.Base+"/v1/models", "listing models", &out); err != nil {
 		return nil, err
 	}
 	return out.Models, nil
+}
+
+// Ready probes the server's readiness endpoint: an error means the
+// server is absent or draining and new work should go elsewhere.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/readyz", nil)
+	if err != nil {
+		return fmt.Errorf("service: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service: readiness check: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serverError(resp)
+	}
+	return nil
 }
 
 // Healthy probes the server.
@@ -297,6 +516,23 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if err != nil {
 		return fmt.Errorf("service: encoding request: %w", err)
 	}
+	return c.postRaw(ctx, path, raw, out)
+}
+
+// postIdempotent is post with retries: safe only for operations whose
+// replay is harmless (inference is pure compute — a duplicate submission
+// computes the same answer twice, it does not mutate the registry).
+func (c *Client) postIdempotent(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("service: encoding request: %w", err)
+	}
+	return c.doIdempotent(ctx, func() error { return c.postRaw(ctx, path, raw, out) })
+}
+
+// postRaw sends one POST attempt with a fresh body reader, so retries
+// never resend a half-consumed body.
+func (c *Client) postRaw(ctx context.Context, path string, raw []byte, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(raw))
 	if err != nil {
 		return fmt.Errorf("service: building request: %w", err)
@@ -310,13 +546,23 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	return decodeResponse(resp, out)
 }
 
+// serverError builds the typed error for a non-OK response, capturing
+// the Retry-After hint and the JSON error body when present.
+func serverError(resp *http.Response) *ServerError {
+	se := &ServerError{Status: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		se.RetryAfter = time.Duration(secs) * time.Second
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil {
+		se.Msg = e.Error
+	}
+	return se
+}
+
 func decodeResponse(resp *http.Response, out any) error {
 	if resp.StatusCode != http.StatusOK {
-		var e ErrorResponse
-		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
-			return fmt.Errorf("service: server error (%d): %s", resp.StatusCode, e.Error)
-		}
-		return fmt.Errorf("service: server status %d", resp.StatusCode)
+		return serverError(resp)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("service: decoding response: %w", err)

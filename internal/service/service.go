@@ -16,11 +16,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"eugene/internal/cache"
 	"eugene/internal/calib"
 	"eugene/internal/core"
 	"eugene/internal/dataset"
+	"eugene/internal/failpoint"
 	"eugene/internal/sched"
 	"eugene/internal/snapshot"
 	"eugene/internal/tensor"
@@ -150,13 +153,18 @@ type InferBatchResponse struct {
 
 // ModelStats is the wire form of one model's serving counters.
 type ModelStats struct {
-	Submitted  uint64  `json:"submitted"`
-	Answered   uint64  `json:"answered"`
-	Expired    uint64  `json:"expired"`
-	Unanswered uint64  `json:"unanswered"`
-	QueueDepth int     `json:"queue_depth"`
-	P50MS      float64 `json:"p50_ms"`
-	P99MS      float64 `json:"p99_ms"`
+	Submitted  uint64 `json:"submitted"`
+	Answered   uint64 `json:"answered"`
+	Expired    uint64 `json:"expired"`
+	Unanswered uint64 `json:"unanswered"`
+	Rejected   uint64 `json:"rejected"`
+	Goodput    uint64 `json:"goodput"`
+	QueueDepth int    `json:"queue_depth"`
+	// DegradeLevel is the pool's load-shedding rung: 0 nominal, 1
+	// forcing earlier early-exits, 2 also serving the f32 tier.
+	DegradeLevel int     `json:"degrade_level"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
 }
 
 // StatsResponse reports serving counters for every actively served
@@ -179,7 +187,16 @@ type ErrorResponse struct {
 type Server struct {
 	svc *core.Service
 	mux *http.ServeMux
+	// draining flips /v1/readyz to 503 while the process shuts down, so
+	// load balancers stop routing new work before in-flight requests
+	// finish (/v1/healthz keeps answering 200: the process is alive,
+	// just not accepting).
+	draining atomic.Bool
 }
+
+// SetDraining marks the server as draining (or clears the mark).
+// Readiness probes observe the change on their next poll.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Request-body caps (http.MaxBytesReader). Dataset-bearing requests get
 // a generous cap; the inference hot path gets a small one so a
@@ -196,6 +213,7 @@ const (
 func NewServer(svc *core.Service) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReady)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/models/{name}/train", s.handleTrain)
 	s.mux.HandleFunc("POST /v1/models/{name}/calibrate", s.handleCalibrate)
@@ -237,6 +255,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"models": s.svc.Models()})
 }
@@ -274,7 +300,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, err := s.svc.Train(name, set, opts)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeFailure(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, TrainResponse{Name: entry.Name, StageAccs: entry.StageAccs})
@@ -293,7 +319,7 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 	}
 	alpha, err := s.svc.Calibrate(name, set, calib.DefaultEntropyCalibConfig())
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeFailure(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, CalibrateResponse{Alpha: alpha})
@@ -311,7 +337,7 @@ func (s *Server) handlePredictor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.svc.BuildPredictor(name, set, sched.DefaultGPPredictorConfig()); err != nil {
-		writeError(w, statusFor(err), err)
+		writeFailure(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -327,11 +353,18 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty input"))
 		return
 	}
+	// Chaos seam: an injected fault here models a handler-side I/O
+	// failure after the body was read but before the scheduler saw the
+	// task — the client must get a clean 503, never a hang.
+	if err := failpoint.Inject("service.infer"); err != nil {
+		writeFailure(w, err)
+		return
+	}
 	// The decoded slice is freshly allocated by the JSON decoder, so
 	// handing ownership to Infer (which makes no defensive copy) is safe.
 	resp, err := s.svc.Infer(r.Context(), name, req.Input)
 	if err != nil && !errors.Is(err, sched.ErrUnanswered) {
-		writeError(w, statusFor(err), err)
+		writeFailure(w, err)
 		return
 	}
 	s.observeAnswer(req.Device, name, resp)
@@ -360,11 +393,15 @@ func (s *Server) handleInferBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if err := failpoint.Inject("service.infer-batch"); err != nil {
+		writeFailure(w, err)
+		return
+	}
 	// Like handleInfer, the decoded slices are fresh; InferBatch takes
 	// ownership without copying.
 	resps, err := s.svc.InferBatch(r.Context(), name, req.Inputs)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeFailure(w, err)
 		return
 	}
 	// Aggregate tracker feeding per predicted class: one ObserveN-backed
@@ -411,7 +448,7 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	}
 	raw, err := s.svc.SnapshotBytesPrecision(r.PathValue("name"), precision)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeFailure(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -434,7 +471,7 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.svc.InstallSnapshotBytes(r.PathValue("name"), raw); err != nil {
-		writeError(w, statusFor(err), err)
+		writeFailure(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -462,7 +499,7 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	}
 	sub, err := s.svc.Reduce(name, set, req.Hot, req.Hidden, req.Epochs)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeFailure(w, err)
 		return
 	}
 	writeSubset(w, sub, req.Precision == core.PrecisionF32)
@@ -487,7 +524,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.svc.Observe(device, req.Model, req.Class, req.Count); err != nil {
-		writeError(w, statusFor(err), err)
+		writeFailure(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -496,7 +533,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCacheDecision(w http.ResponseWriter, r *http.Request) {
 	d, err := s.svc.CacheDecision(r.PathValue("id"))
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeFailure(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, CacheDecisionResponse{
@@ -533,7 +570,7 @@ func (s *Server) handleSubsetModel(w http.ResponseWriter, r *http.Request) {
 	}
 	sub, _, err := s.svc.DeviceSubset(r.PathValue("id"), hidden, epochs)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeFailure(w, err)
 		return
 	}
 	writeSubset(w, sub, precision == core.PrecisionF32)
@@ -563,19 +600,35 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	out := StatsResponse{Models: make(map[string]ModelStats, len(stats))}
 	for name, st := range stats {
 		out.Models[name] = ModelStats{
-			Submitted:  st.Submitted,
-			Answered:   st.Answered,
-			Expired:    st.Expired,
-			Unanswered: st.Unanswered,
-			QueueDepth: st.QueueDepth,
-			P50MS:      float64(st.P50.Microseconds()) / 1000,
-			P99MS:      float64(st.P99.Microseconds()) / 1000,
+			Submitted:    st.Submitted,
+			Answered:     st.Answered,
+			Expired:      st.Expired,
+			Unanswered:   st.Unanswered,
+			Rejected:     st.Rejected,
+			Goodput:      st.Goodput,
+			QueueDepth:   st.QueueDepth,
+			DegradeLevel: st.DegradeLevel,
+			P50MS:        float64(st.P50.Microseconds()) / 1000,
+			P99MS:        float64(st.P99.Microseconds()) / 1000,
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
+// statusFor maps a core/sched error to an HTTP status. Typed errors are
+// matched with errors.Is / errors.As; the string fallback below covers
+// only legacy fmt.Errorf paths that have no sentinel yet.
 func statusFor(err error) int {
+	var ov *sched.ErrOverloaded
+	var fp *failpoint.Error
+	switch {
+	case errors.As(err, &ov):
+		return http.StatusTooManyRequests
+	case errors.Is(err, core.ErrClosed), errors.Is(err, sched.ErrStopped):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &fp): // injected faults read as transient
+		return http.StatusServiceUnavailable
+	}
 	msg := err.Error()
 	switch {
 	case strings.Contains(msg, "unknown model"), strings.Contains(msg, "unknown device"):
@@ -592,6 +645,22 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	}
 	return http.StatusInternalServerError
+}
+
+// writeFailure maps err to a status with statusFor and writes the JSON
+// error body. Admission rejections additionally carry a Retry-After
+// header with the scheduler's drain estimate (rounded up to whole
+// seconds, the header's coarsest portable unit, minimum 1).
+func writeFailure(w http.ResponseWriter, err error) {
+	var ov *sched.ErrOverloaded
+	if errors.As(err, &ov) {
+		secs := int64((ov.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeError(w, statusFor(err), err)
 }
 
 // encodeBuf is a pooled JSON encode buffer: responses are marshaled

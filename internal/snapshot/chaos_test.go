@@ -1,0 +1,84 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eugene/internal/failpoint"
+)
+
+// TestSaveModelFailpoints arms each persistence seam in turn and checks
+// the crash-safety contract saveAtomic promises: the injected error
+// surfaces to the caller, the destination is never torn (either the old
+// bytes or nothing), and no temp file is left behind.
+func TestSaveModelFailpoints(t *testing.T) {
+	snap := goldenSnapshot(t)
+	for _, site := range []string{"snapshot.save.write", "snapshot.save.rename"} {
+		t.Run(site, func(t *testing.T) {
+			failpoint.DisableAll()
+			failpoint.ResetCounts()
+			if err := failpoint.Enable(site, "error(disk gone)"); err != nil {
+				t.Fatal(err)
+			}
+			defer failpoint.DisableAll()
+
+			dir := t.TempDir()
+			path := filepath.Join(dir, "m.snap")
+			err := SaveModel(path, snap)
+			var fp *failpoint.Error
+			if !errors.As(err, &fp) || fp.Site != site {
+				t.Fatalf("SaveModel = %v, want injected failure at %s", err, site)
+			}
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("destination exists after failed save (stat: %v)", err)
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 0 {
+				t.Fatalf("temp litter after failed save: %v", entries)
+			}
+			if failpoint.Counts()[site] != 1 {
+				t.Fatalf("site %s fired %d times, want 1", site, failpoint.Counts()[site])
+			}
+
+			// The seam disarmed, the same save must succeed and survive a
+			// round trip — the failpoint is a no-op when off.
+			failpoint.DisableAll()
+			if err := SaveModel(path, snap); err != nil {
+				t.Fatalf("SaveModel after disarm: %v", err)
+			}
+			if _, err := LoadModel(path); err != nil {
+				t.Fatalf("LoadModel after disarm: %v", err)
+			}
+		})
+	}
+}
+
+// TestSaveModelOverwriteKeepsOldOnFailure checks the other half of the
+// atomicity contract: a failed re-save must leave the previous snapshot
+// intact and loadable.
+func TestSaveModelOverwriteKeepsOldOnFailure(t *testing.T) {
+	snap := goldenSnapshot(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.snap")
+	if err := SaveModel(path, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	failpoint.DisableAll()
+	if err := failpoint.Enable("snapshot.save.rename", "error(disk gone)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+	if err := SaveModel(path, snap); err == nil {
+		t.Fatal("re-save with rename failpoint armed succeeded")
+	}
+	failpoint.DisableAll()
+	if _, err := LoadModel(path); err != nil {
+		t.Fatalf("old snapshot unreadable after failed re-save: %v", err)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"path/filepath"
 
 	"eugene/internal/cache"
+	"eugene/internal/failpoint"
 	"eugene/internal/gp"
 	"eugene/internal/nn"
 	"eugene/internal/sched"
@@ -302,6 +303,9 @@ func saveAtomic(path string, write func(io.Writer) error) error {
 	if err := write(tmp); err != nil {
 		return err
 	}
+	if err := failpoint.Inject("snapshot.save.write"); err != nil {
+		return fmt.Errorf("snapshot: writing %s: %w", tmp.Name(), err)
+	}
 	if err := tmp.Sync(); err != nil {
 		return fmt.Errorf("snapshot: syncing %s: %w", tmp.Name(), err)
 	}
@@ -313,6 +317,11 @@ func saveAtomic(path string, write func(io.Writer) error) error {
 	}
 	name := tmp.Name()
 	tmp = nil
+	if err := failpoint.Inject("snapshot.save.rename"); err != nil {
+		//lint:ignore uncheckederr best-effort cleanup of the temp file; the injected failure is the error that matters
+		os.Remove(name)
+		return fmt.Errorf("snapshot: publishing %s: %w", path, err)
+	}
 	if err := os.Rename(name, path); err != nil {
 		//lint:ignore uncheckederr best-effort cleanup of the temp file; the rename failure below is the error that matters
 		os.Remove(name)
