@@ -1,0 +1,349 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"eugene/internal/cluster"
+	"eugene/internal/core"
+	"eugene/internal/dataset"
+	"eugene/internal/service"
+)
+
+// clusterCell is one replica-count configuration of the cluster load
+// benchmark: an open-loop run through the router, with one replica
+// hard-killed halfway (connections severed, no drain — the SIGKILL
+// case failover exists for).
+type clusterCell struct {
+	Replicas int  `json:"replicas"`
+	Killed   bool `json:"killed"`
+	// Anonymous-inference stream (idempotent, failover-safe).
+	Offered  int `json:"offered"`
+	Answered int `json:"answered"`
+	Rejected int `json:"rejected"`
+	Failed   int `json:"failed"`
+	// Device-observe stream (non-idempotent, pinned, never retried).
+	ObservesOffered int `json:"observes_offered"`
+	ObservesOK      int `json:"observes_ok"`
+	ObservesFailed  int `json:"observes_failed"`
+	// DuplicateDeliveries counts device observations the replicas
+	// recorded more than once — any value above zero means the router
+	// replayed a non-idempotent request.
+	DuplicateDeliveries int     `json:"duplicate_deliveries"`
+	ReqPerSec           float64 `json:"req_per_sec"`
+	P50MS               float64 `json:"p50_ms"`
+	P99MS               float64 `json:"p99_ms"`
+	// KillGoodputPerSec is the answered-inference rate inside the
+	// window right after the kill — the number that shows whether the
+	// fleet kept serving through the node loss.
+	KillGoodputPerSec float64 `json:"kill_goodput_per_sec"`
+	Failovers         uint64  `json:"failovers"`
+	PinnedFailures    uint64  `json:"pinned_failures"`
+}
+
+// clusterRecord is the BENCH_cluster.json schema.
+type clusterRecord struct {
+	Generated  string        `json:"generated"`
+	CPUs       int           `json:"cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Requests   int           `json:"requests_per_cell"`
+	RatePerSec float64       `json:"offered_rate_per_sec"`
+	Cells      []clusterCell `json:"cells"`
+}
+
+// clusterBench drives an in-process cluster — N replica servers behind
+// a router — with open-loop load, kills one replica mid-run, and
+// records throughput, tail latency, and goodput through the kill for
+// 1/2/3-replica fleets. With enforce set (the CI smoke), the 2-replica
+// cell must show at least one successful failover, zero failed
+// idempotent requests, and zero duplicate non-idempotent deliveries.
+func clusterBench(out string, quick, enforce bool) error {
+	requests := 1200
+	rate := 400.0
+	if quick {
+		requests = 500
+		rate = 250
+	}
+
+	// One small model shared by every cell, distributed via the
+	// router's own PUT-snapshot replication path.
+	synth := dataset.SynthConfig{
+		Classes: 3, Dim: 16, ModesPerClass: 1,
+		TrainSize: 120, TestSize: 32,
+		NoiseLo: 0.4, NoiseHi: 1.0, Overlap: 0.1,
+	}
+	train, test, err := dataset.SynthCIFAR(synth, 29)
+	if err != nil {
+		return err
+	}
+	inputs := make([][]float64, test.Len())
+	for i := range inputs {
+		inputs[i], _ = test.Sample(i)
+	}
+	fmt.Fprintln(os.Stderr, "benchtab: training the cluster benchmark model...")
+	opts := core.DefaultTrainOptions(synth.Dim, synth.Classes)
+	opts.Model.Hidden = 32
+	opts.Train.Epochs = 1
+	trainSvc, err := core.NewService(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	if _, err := trainSvc.Train("bench", train, opts); err != nil {
+		trainSvc.Close()
+		return err
+	}
+	snap, err := trainSvc.SnapshotBytes("bench")
+	trainSvc.Close()
+	if err != nil {
+		return err
+	}
+
+	rec := clusterRecord{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Requests:   requests,
+		RatePerSec: rate,
+	}
+	for _, replicas := range []int{1, 2, 3} {
+		fmt.Fprintf(os.Stderr, "benchtab: cluster %d replica(s), killing one mid-run...\n", replicas)
+		cell, err := clusterCellRun(replicas, requests, rate, snap, inputs)
+		if err != nil {
+			return err
+		}
+		rec.Cells = append(rec.Cells, cell)
+	}
+
+	fmt.Printf("Cluster failover under open-loop load (%d requests/cell at %.0f req/s, one replica killed mid-run)\n",
+		requests, rate)
+	fmt.Printf("  %-8s %8s %9s %9s %7s %10s %8s %8s %12s %9s %8s %6s\n",
+		"replicas", "offered", "answered", "rejected", "failed", "failovers", "p50 ms", "p99 ms", "kill good/s", "observes", "obsfail", "dups")
+	for _, c := range rec.Cells {
+		fmt.Printf("  %-8d %8d %9d %9d %7d %10d %8.2f %8.2f %12.0f %9d %8d %6d\n",
+			c.Replicas, c.Offered, c.Answered, c.Rejected, c.Failed, c.Failovers,
+			c.P50MS, c.P99MS, c.KillGoodputPerSec, c.ObservesOK, c.ObservesFailed, c.DuplicateDeliveries)
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", out)
+
+	if enforce {
+		for _, c := range rec.Cells {
+			if c.DuplicateDeliveries != 0 {
+				return fmt.Errorf("cluster smoke: %d replica(s): %d duplicate non-idempotent deliveries (want 0)",
+					c.Replicas, c.DuplicateDeliveries)
+			}
+			if c.Replicas < 2 {
+				continue
+			}
+			if c.Failovers < 1 {
+				return fmt.Errorf("cluster smoke: %d replicas: no successful failover observed through the kill", c.Replicas)
+			}
+			if c.Failed != 0 {
+				return fmt.Errorf("cluster smoke: %d replicas: %d idempotent requests failed (want 0 — survivors should have absorbed them)",
+					c.Replicas, c.Failed)
+			}
+		}
+	}
+	return nil
+}
+
+// clusterCellRun runs one benchmark cell: replicas servers, one
+// router, open-loop load, one kill at the halfway point.
+func clusterCellRun(replicas, requests int, rate float64, snap []byte, inputs [][]float64) (clusterCell, error) {
+	ctx := context.Background()
+	cell := clusterCell{Replicas: replicas, Killed: true}
+
+	type replica struct {
+		svc *core.Service
+		srv *httptest.Server
+	}
+	nodes := make([]replica, replicas)
+	urls := make([]string, replicas)
+	for i := range nodes {
+		svc, err := core.NewService(core.Config{
+			Workers: 2, Deadline: 100 * time.Millisecond, QueueDepth: 256,
+			Lookahead: 1, Admission: true,
+		})
+		if err != nil {
+			return cell, err
+		}
+		nodes[i] = replica{svc: svc, srv: httptest.NewServer(service.NewServer(svc))}
+		urls[i] = nodes[i].srv.URL
+	}
+	// Kill the first node: least-outstanding tie-breaks toward config
+	// order, so under light load node 0 carries the anonymous stream —
+	// killing it guarantees the kill intersects in-flight traffic
+	// instead of an idle replica.
+	killIdx := 0
+	killed := false
+	defer func() {
+		for i, n := range nodes {
+			if i == killIdx && killed {
+				continue
+			}
+			n.srv.Close()
+			n.svc.Close()
+		}
+	}()
+
+	router, err := cluster.New(cluster.Config{
+		Nodes:         urls,
+		ProbeInterval: 50 * time.Millisecond,
+		SyncInterval:  250 * time.Millisecond,
+		FailThreshold: 3,
+		// A kill strands a burst of in-flight requests all needing a
+		// failover token at once; the default client budget (sized for
+		// one caller, not a router) would starve the tail of the burst.
+		Retry: &service.RetryPolicy{MaxAttempts: 4, Budget: 256},
+		Logf:  func(string, ...any) {},
+	})
+	if err != nil {
+		return cell, err
+	}
+	router.Start(ctx)
+	defer router.Close()
+	rsrv := httptest.NewServer(router)
+	defer rsrv.Close()
+
+	cli := service.NewClient(rsrv.URL)
+	if err := cli.PutSnapshot(ctx, "bench", snap); err != nil {
+		return cell, fmt.Errorf("installing benchmark model via router: %w", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := cli.Infer(ctx, "bench", inputs[i%len(inputs)]); err != nil {
+			return cell, fmt.Errorf("warming the cluster: %w", err)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		killAt    time.Time
+		killGood  int
+	)
+	var answered, rejected, failed, obsOK, obsFail int
+	observedDevices := make(map[string]bool)
+	const killWindow = 500 * time.Millisecond
+
+	interval := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	for i := 0; i < requests; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		if i == requests/2 {
+			// Hard-kill one replica: sever every open connection, then
+			// tear the listener down. No drain, no 503s — the closest
+			// in-process analog to kill -9 mid-storm.
+			killed = true
+			mu.Lock()
+			killAt = time.Now()
+			mu.Unlock()
+			go func(r replica) {
+				r.srv.CloseClientConnections()
+				r.srv.Close()
+				r.svc.Close()
+			}(nodes[killIdx])
+		}
+		wg.Add(1)
+		if i%10 == 0 {
+			// Non-idempotent stream: one observation per unique device,
+			// so any device the replicas saw twice is a proven replay.
+			dev := fmt.Sprintf("lg-%d", i)
+			observedDevices[dev] = true
+			go func(dev string) {
+				defer wg.Done()
+				err := cli.Observe(ctx, dev, "bench", 0, 1)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					obsFail++
+				} else {
+					obsOK++
+				}
+			}(dev)
+			continue
+		}
+		go func(x []float64) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := cli.Infer(ctx, "bench", x)
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				var se *service.ServerError
+				if errors.As(err, &se) && se.Status == 429 {
+					rejected++
+				} else {
+					failed++
+				}
+				return
+			}
+			answered++
+			latencies = append(latencies, float64(lat.Microseconds())/1000)
+			if !killAt.IsZero() {
+				if done := time.Now(); done.After(killAt) && done.Sub(killAt) <= killWindow {
+					killGood++
+				}
+			}
+		}(inputs[i%len(inputs)])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Duplicate audit: every device whose rendezvous owner survived has
+	// its full observation history intact on that owner — the router
+	// must have delivered its single observe at most once. Devices the
+	// killed node owned are excluded: their pre-kill observations died
+	// with the tracker, so their counts prove nothing either way.
+	for dev := range observedDevices {
+		if cluster.Pick("dev/"+dev, urls) == urls[killIdx] {
+			continue
+		}
+		d, err := cli.CacheDecision(ctx, dev)
+		if err != nil {
+			continue // owner ejected mid-probe; nothing to audit
+		}
+		if d.Observations > 1 {
+			cell.DuplicateDeliveries++
+		}
+	}
+
+	status := router.Status()
+	cell.Offered = answered + rejected + failed
+	cell.Answered = answered
+	cell.Rejected = rejected
+	cell.Failed = failed
+	cell.ObservesOffered = len(observedDevices)
+	cell.ObservesOK = obsOK
+	cell.ObservesFailed = obsFail
+	cell.ReqPerSec = float64(answered) / elapsed.Seconds()
+	cell.Failovers = status.Failovers
+	cell.PinnedFailures = status.PinnedFailures
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		cell.P50MS = latencies[n/2]
+		cell.P99MS = latencies[min(n-1, n*99/100)]
+	}
+	cell.KillGoodputPerSec = float64(killGood) / killWindow.Seconds()
+	return cell, nil
+}

@@ -9,6 +9,7 @@
 //	benchtab pruning|resilience|labeling|caching|classes|ablation   (extensions)
 //	benchtab serving                               (serving throughput → BENCH_serving.json)
 //	benchtab goodput                               (open-loop overload goodput → BENCH_goodput.json)
+//	benchtab loadgen                               (cluster failover under load → BENCH_cluster.json)
 //	benchtab [-quick] ...                          (reduced scale)
 package main
 
@@ -33,7 +34,8 @@ func run() error {
 	out := flag.String("out", "BENCH_serving.json", "output path for the serving benchmark record")
 	rounds := flag.Int("rounds", 30, "serving benchmark rounds per mode")
 	goodputOut := flag.String("goodput-out", "BENCH_goodput.json", "output path for the goodput benchmark record")
-	enforce := flag.Bool("enforce", false, "goodput: fail unless admission control beats no-admission at 2x overload")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "output path for the cluster failover benchmark record")
+	enforce := flag.Bool("enforce", false, "goodput/loadgen: fail on regression (goodput ratio, missing failover, duplicate deliveries)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -54,6 +56,14 @@ func run() error {
 	}
 	if want["goodput"] {
 		if err := goodputBench(*goodputOut, *quick, *enforce); err != nil {
+			return err
+		}
+		if len(want) == 1 {
+			return nil
+		}
+	}
+	if want["loadgen"] {
+		if err := clusterBench(*clusterOut, *quick, *enforce); err != nil {
 			return err
 		}
 		if len(want) == 1 {

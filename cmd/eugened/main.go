@@ -29,6 +29,18 @@
 // -pprof exposes net/http/pprof on a separate listener (e.g.
 // "localhost:6060") for CPU/heap profiling; it is off by default and
 // should never be bound to a public address.
+//
+// Router mode:
+//
+//	eugened -cluster-route http://10.0.0.1:8080,http://10.0.0.2:8080 [-addr :8080] [-probe-interval 500ms] [-sync-interval 2s] [-fail-threshold 3]
+//
+// -cluster-route turns the process into a cluster router instead of a
+// replica: it fronts the listed eugened replicas with the same /v1 API,
+// replicating model snapshots to every node, routing device-tagged
+// inference by rendezvous hash (device tracker state stays node-local),
+// balancing anonymous inference by least-outstanding, and failing over
+// idempotent requests when a replica dies. GET /v1/cluster reports
+// per-node health and installed snapshot versions.
 package main
 
 import (
@@ -41,9 +53,11 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"eugene/internal/cluster"
 	"eugene/internal/core"
 	"eugene/internal/sched"
 	"eugene/internal/service"
@@ -69,7 +83,22 @@ func run() error {
 	dataDir := flag.String("data-dir", "", "snapshot directory: persist models on train/calibrate/predictor and restore them on boot (empty = in-memory only)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish after SIGINT/SIGTERM")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
+	clusterRoute := flag.String("cluster-route", "", "run as a cluster router over these comma-separated replica URLs instead of serving models locally")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "router mode: replica health-probe cadence")
+	syncInterval := flag.Duration("sync-interval", 2*time.Second, "router mode: snapshot replication reconcile cadence")
+	failThreshold := flag.Int("fail-threshold", 3, "router mode: consecutive failures before a replica is ejected")
 	flag.Parse()
+
+	if *clusterRoute != "" {
+		return runRouter(routerOptions{
+			addr:          *addr,
+			nodes:         strings.Split(*clusterRoute, ","),
+			probeInterval: *probeInterval,
+			syncInterval:  *syncInterval,
+			failThreshold: *failThreshold,
+			drainTimeout:  *drainTimeout,
+		})
+	}
 
 	svc, err := core.NewService(core.Config{
 		Workers:     *workers,
@@ -149,6 +178,71 @@ func run() error {
 			return fmt.Errorf("draining: %w", err)
 		}
 		log.Printf("eugened drained cleanly")
+	}
+	return nil
+}
+
+type routerOptions struct {
+	addr          string
+	nodes         []string
+	probeInterval time.Duration
+	syncInterval  time.Duration
+	failThreshold int
+	drainTimeout  time.Duration
+}
+
+// runRouter serves the cluster router: same listener shape and drain
+// discipline as replica mode, but the handler proxies to the fleet.
+func runRouter(opts routerOptions) error {
+	nodes := make([]string, 0, len(opts.nodes))
+	for _, n := range opts.nodes {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, strings.TrimRight(n, "/"))
+		}
+	}
+	router, err := cluster.New(cluster.Config{
+		Nodes:         nodes,
+		ProbeInterval: opts.probeInterval,
+		SyncInterval:  opts.syncInterval,
+		FailThreshold: opts.failThreshold,
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	router.Start(context.Background())
+
+	srv := &http.Server{
+		Addr:              opts.addr,
+		Handler:           router,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      30 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		stop()
+		log.Printf("eugened router draining (timeout %v)", opts.drainTimeout)
+		router.SetDraining(true)
+		sctx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
+		defer cancel()
+		done <- srv.Shutdown(sctx)
+	}()
+
+	log.Printf("eugened router listening on %s (replicas=%d probe=%v sync=%v fail-threshold=%d)",
+		opts.addr, len(nodes), opts.probeInterval, opts.syncInterval, opts.failThreshold)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if ctx.Err() != nil {
+		if err := <-done; err != nil {
+			return fmt.Errorf("draining: %w", err)
+		}
+		log.Printf("eugened router drained cleanly")
 	}
 	return nil
 }

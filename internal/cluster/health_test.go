@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHealthEjectsAfterConsecutiveFailures(t *testing.T) {
+	h := newHealth(3, 2)
+	errBoom := errors.New("boom")
+	if h.onFailure(errBoom) || h.onFailure(errBoom) {
+		t.Fatal("ejected before reaching the failure threshold")
+	}
+	if !h.healthy() {
+		t.Fatal("node unhealthy below threshold")
+	}
+	if !h.onFailure(errBoom) {
+		t.Fatal("third consecutive failure did not eject")
+	}
+	if h.healthy() {
+		t.Fatal("node still healthy after ejection")
+	}
+	// Further failures while ejected are not further ejections.
+	if h.onFailure(errBoom) {
+		t.Fatal("re-ejected an already ejected node")
+	}
+}
+
+func TestHealthSuccessResetsFailureStreak(t *testing.T) {
+	h := newHealth(3, 2)
+	errBoom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		h.onFailure(errBoom)
+		h.onFailure(errBoom)
+		h.onSuccess() // streak broken: never reaches 3
+	}
+	if !h.healthy() {
+		t.Fatal("interleaved successes should keep the node healthy")
+	}
+}
+
+func TestHealthHalfOpenReinstatement(t *testing.T) {
+	h := newHealth(2, 2)
+	errBoom := errors.New("boom")
+	h.onFailure(errBoom)
+	h.onFailure(errBoom)
+	if h.healthy() {
+		t.Fatal("not ejected")
+	}
+	if h.onSuccess() {
+		t.Fatal("reinstated after a single half-open success; threshold is 2")
+	}
+	// A failure mid-recovery resets the success streak.
+	h.onFailure(errBoom)
+	if h.onSuccess() {
+		t.Fatal("success streak survived an interleaved failure")
+	}
+	if !h.onSuccess() {
+		t.Fatal("second consecutive success did not reinstate")
+	}
+	if !h.healthy() {
+		t.Fatal("node not healthy after reinstatement")
+	}
+	_, _, ejections, lastErr := h.snapshot()
+	if ejections != 1 {
+		t.Fatalf("ejections = %d; want 1", ejections)
+	}
+	if lastErr != "" {
+		t.Fatalf("lastErr = %q after reinstatement; want cleared", lastErr)
+	}
+}

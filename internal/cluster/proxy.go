@@ -1,0 +1,474 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"eugene/internal/failpoint"
+	"eugene/internal/service"
+)
+
+// Request-body caps, mirroring the replica server's own limits: the
+// router buffers bodies to make failover possible (a consumed stream
+// cannot be resent), so the caps bound router memory exactly as they
+// bound replica memory.
+const (
+	maxProxyTrainBody   = 256 << 20
+	maxProxySnapshot    = 256 << 20
+	maxProxyInferBody   = 1 << 20
+	maxProxyBatchBody   = 32 << 20
+	maxProxyObserveBody = 4 << 10
+)
+
+// routes registers the router's HTTP surface: the full replica /v1 API
+// plus the cluster status endpoint.
+func (r *Router) routes() {
+	r.mux = http.NewServeMux()
+	r.mux.HandleFunc("GET /v1/healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /v1/readyz", r.handleReadyz)
+	r.mux.HandleFunc("GET /v1/cluster", r.handleCluster)
+	r.mux.HandleFunc("GET /v1/stats", r.handleStats)
+	r.mux.HandleFunc("GET /v1/models", r.handleModels)
+
+	// Model mutations run on the model's rendezvous primary; train,
+	// calibrate, and predictor change the snapshot, so the router pulls
+	// the result and replicates it to the rest of the fleet.
+	r.mux.HandleFunc("POST /v1/models/{name}/train", r.mutateModel(maxProxyTrainBody, true))
+	r.mux.HandleFunc("POST /v1/models/{name}/calibrate", r.mutateModel(maxProxyTrainBody, true))
+	r.mux.HandleFunc("POST /v1/models/{name}/predictor", r.mutateModel(maxProxyTrainBody, true))
+	// Reduce computes a subset model from the primary's retained
+	// training data; it does not change the served model.
+	r.mux.HandleFunc("POST /v1/models/{name}/reduce", r.mutateModel(maxProxyTrainBody, false))
+
+	r.mux.HandleFunc("POST /v1/models/{name}/infer", r.handleInfer(maxProxyInferBody))
+	r.mux.HandleFunc("POST /v1/models/{name}/infer-batch", r.handleInfer(maxProxyBatchBody))
+
+	r.mux.HandleFunc("GET /v1/models/{name}/snapshot", r.handleSnapshotGet)
+	r.mux.HandleFunc("PUT /v1/models/{name}/snapshot", r.handleSnapshotPut)
+	r.mux.HandleFunc("GET /v1/models/{name}/version", r.handleVersion)
+
+	// Device state (frequency trackers, subset-model caches) is
+	// node-local by design: all device traffic pins to the device's
+	// rendezvous owner and never fails over — replaying an observation
+	// would double-count it, and no other node has the tracker anyway.
+	r.mux.HandleFunc("POST /v1/devices/{id}/observe", r.pinnedDevice(maxProxyObserveBody))
+	r.mux.HandleFunc("GET /v1/devices/{id}/cache-decision", r.pinnedDevice(0))
+	r.mux.HandleFunc("GET /v1/devices/{id}/subset-model", r.pinnedDevice(0))
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(w, req) }
+
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz: the router is ready while it is not draining and at
+// least one replica is healthy — a fleet with zero healthy nodes
+// cannot serve, and upstream load balancers should know.
+func (r *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if r.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if len(r.healthyNodes()) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no healthy replicas"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (r *Router) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, r.Status())
+}
+
+// handleStats aggregates /v1/stats across healthy replicas: counters
+// sum, queue depths sum, percentiles take the fleet-wide worst (the
+// tail a client can actually hit), degrade level takes the max.
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	out := service.StatsResponse{Models: make(map[string]service.ModelStats)}
+	for _, n := range r.healthyNodes() {
+		stats, err := n.client.Stats(req.Context())
+		if err != nil {
+			continue
+		}
+		for name, st := range stats {
+			agg := out.Models[name]
+			agg.Submitted += st.Submitted
+			agg.Answered += st.Answered
+			agg.Expired += st.Expired
+			agg.Unanswered += st.Unanswered
+			agg.Rejected += st.Rejected
+			agg.Goodput += st.Goodput
+			agg.QueueDepth += st.QueueDepth
+			agg.DegradeLevel = max(agg.DegradeLevel, st.DegradeLevel)
+			agg.P50MS = max(agg.P50MS, st.P50MS)
+			agg.P99MS = max(agg.P99MS, st.P99MS)
+			out.Models[name] = agg
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleModels returns the union of the router store and every healthy
+// replica's registry.
+func (r *Router) handleModels(w http.ResponseWriter, req *http.Request) {
+	names := make(map[string]bool)
+	for name := range r.store.versions() {
+		names[name] = true
+	}
+	for _, n := range r.healthyNodes() {
+		models, err := n.client.Models(req.Context())
+		if err != nil {
+			continue
+		}
+		for _, m := range models {
+			names[m] = true
+		}
+	}
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"models": out})
+}
+
+func (r *Router) handleVersion(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	if _, version, ok := r.store.get(name); ok {
+		writeJSON(w, http.StatusOK, service.VersionResponse{Version: version})
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown model %q", name))
+}
+
+// handleSnapshotGet serves the stored snapshot directly; a model the
+// store has not (yet) adopted falls back to a failover-safe fetch from
+// the fleet.
+func (r *Router) handleSnapshotGet(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	if req.URL.Query().Get("precision") == "" {
+		if raw, _, ok := r.store.get(name); ok {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(raw)
+			return
+		}
+	}
+	r.forward(w, req, route{failover: true})
+}
+
+func (r *Router) handleSnapshotPut(w http.ResponseWriter, req *http.Request) {
+	raw, ok := readBody(w, req, maxProxySnapshot)
+	if !ok {
+		return
+	}
+	version, installed, err := r.installSnapshot(req.Context(), req.PathValue("name"), raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// String values only: the client decodes this as map[string]string.
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "ok", "version": version,
+		"installed": strconv.Itoa(installed),
+	})
+}
+
+// mutateModel proxies a model mutation to its rendezvous primary (no
+// failover: replaying a train on an ambiguous failure would train
+// twice). When the mutation changes the snapshot, the router pulls the
+// primary's new bundle into the store and replicates it.
+func (r *Router) mutateModel(maxBody int64, replicates bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		n, status := r.forward(w, req, route{key: "model/" + name, maxBody: maxBody})
+		if n == nil || status != http.StatusOK || !replicates {
+			return
+		}
+		// Pull the mutated snapshot from the node that just produced it
+		// and fan it out. Failure here leaves the fleet temporarily
+		// divergent — the primary serves the new version, the rest the
+		// old — which reconcile/sync repairs; the client's mutation
+		// still succeeded.
+		pctx, cancel := context.WithTimeout(context.Background(), r.cfg.AttemptTimeout)
+		defer cancel()
+		raw, err := n.client.Snapshot(pctx, name, "")
+		if err != nil {
+			r.cfg.Logf("cluster: pulling %q after mutation from %s: %v", name, n.base, err)
+			return
+		}
+		version, _, err := r.store.set(name, raw)
+		if err != nil {
+			r.cfg.Logf("cluster: adopting %q after mutation: %v", name, err)
+			return
+		}
+		n.setInstalled(name, version)
+		r.kickSync()
+	}
+}
+
+// handleInfer routes inference: device-tagged requests pin to the
+// device's rendezvous owner (tracker state is node-local, and the
+// observation side effect must not be replayed), anonymous requests
+// load-balance by least-outstanding and fail over freely — inference
+// without a device tag is pure compute.
+func (r *Router) handleInfer(maxBody int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		body, ok := readBody(w, req, maxBody)
+		if !ok {
+			return
+		}
+		var tag struct {
+			Device string `json:"device"`
+		}
+		// Malformed JSON is forwarded untouched: the replica owns
+		// request validation and will answer 400.
+		_ = json.Unmarshal(body, &tag)
+		rt := route{body: body, failover: true}
+		if tag.Device != "" {
+			rt = route{body: body, key: "dev/" + tag.Device}
+		}
+		r.forward(w, req, rt)
+	}
+}
+
+// pinnedDevice proxies device-state endpoints to the device's
+// rendezvous owner.
+func (r *Router) pinnedDevice(maxBody int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		r.forward(w, req, route{key: "dev/" + req.PathValue("id"), maxBody: maxBody})
+	}
+}
+
+// route describes how one request may travel: a non-empty key pins it
+// to the key's rendezvous owner; failover permits retrying surviving
+// replicas on transient failure (only ever true for requests with no
+// side effects). body, when already read by the handler, is used as
+// the resend buffer; otherwise maxBody caps reading it here.
+type route struct {
+	key      string
+	failover bool
+	body     []byte
+	maxBody  int64
+}
+
+// forward proxies one request according to rt, returning the node that
+// produced the final response (nil if none did) and the status sent.
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, rt route) (*node, int) {
+	body := rt.body
+	if body == nil && req.Body != nil && req.Method != http.MethodGet {
+		var ok bool
+		if body, ok = readBody(w, req, rt.maxBody); !ok {
+			return nil, http.StatusBadRequest
+		}
+	}
+	healthy := r.healthyNodes()
+	if len(healthy) == 0 {
+		writeError(w, http.StatusServiceUnavailable, errors.New("cluster: no healthy replicas"))
+		return nil, http.StatusServiceUnavailable
+	}
+
+	maxAttempts := 1
+	if rt.failover && r.cfg.Retry.MaxAttempts > 1 {
+		maxAttempts = r.cfg.Retry.MaxAttempts
+	}
+	tried := make(map[*node]bool, maxAttempts)
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		var n *node
+		if rt.key != "" {
+			n = pickPinned(rt.key, healthy)
+		} else {
+			n = pickLeastOutstanding(healthy, tried)
+		}
+		if n == nil {
+			break // every healthy node already tried
+		}
+		tried[n] = true
+		if attempt > 0 {
+			// A failover consumes a router-wide retry token: during a
+			// fleet-wide outage the budget empties and failures surface
+			// immediately instead of doubling load on the survivors.
+			if !r.failoverBudget.Take(r.cfg.Retry.Budget) {
+				break
+			}
+			r.failovers.Add(1)
+		}
+		resp, err := r.attempt(req, n, rt, body)
+		if err != nil {
+			lastErr = err
+			if n.health.onFailure(err) {
+				r.cfg.Logf("cluster: ejected %s: %v", n.base, err)
+			}
+			if !rt.failover {
+				break
+			}
+			// Recompute the healthy set: the failure may just have
+			// ejected the node, and a pinned key would otherwise re-pick
+			// it forever.
+			healthy = r.healthyNodes()
+			if len(healthy) == 0 {
+				break
+			}
+			continue
+		}
+		// A response arrived: the node is alive, whatever the status.
+		n.health.onSuccess()
+		if attempt > 0 {
+			r.failoverBudget.Credit(r.cfg.Retry.Budget)
+		}
+		r.relay(w, n, resp)
+		return n, resp.status
+	}
+	if lastErr == nil {
+		lastErr = errors.New("cluster: no replica available")
+	}
+	if !rt.failover {
+		r.pinnedFailures.Add(1)
+	}
+	writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: forwarding failed: %w", lastErr))
+	return nil, http.StatusBadGateway
+}
+
+// proxyResponse is one fully-buffered replica response.
+type proxyResponse struct {
+	status      int
+	contentType string
+	retryAfter  string
+	body        []byte
+}
+
+// attempt sends the request once to node n. A transport failure, a
+// gateway-transient status (502/503/504), or an injected proxy fault
+// returns an error (the caller decides on failover); every other
+// response — including 429 and definitive 4xx/5xx — returns buffered
+// for relay.
+func (r *Router) attempt(req *http.Request, n *node, rt route, body []byte) (*proxyResponse, error) {
+	// Chaos seam: a fault here models the router losing the replica
+	// between routing decision and dispatch (connection reset on a just
+	// killed process) — exactly the window failover exists for.
+	if err := failpoint.Inject("cluster.proxy.forward"); err != nil {
+		return nil, err
+	}
+	ctx := req.Context()
+	if rt.failover {
+		// Failover-safe routes get a per-attempt deadline so one hung
+		// replica costs O(AttemptTimeout), not the client's patience;
+		// pinned and mutating routes (training runs minutes) keep the
+		// caller's context untouched.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	out, err := http.NewRequestWithContext(ctx, req.Method, n.base+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	r.proxied.Add(1)
+	n.outstanding.Add(1)
+	defer n.outstanding.Add(-1)
+	resp, err := r.proxy.Do(out)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading response from %s: %w", n.base, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		// Transient per the client's own retryable() taxonomy: the
+		// replica is draining, mid-restart, or faulted at a seam. Let
+		// the caller fail over instead of relaying.
+		return nil, &service.ServerError{Status: resp.StatusCode, Msg: string(buf)}
+	}
+	return &proxyResponse{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		retryAfter:  resp.Header.Get("Retry-After"),
+		body:        buf,
+	}, nil
+}
+
+// relay writes a buffered replica response to the client, rewriting
+// Retry-After on 429s with the node's adaptive drain floor: the
+// scheduler's hint is clamped to [10ms, 2s] by design, but the router
+// has watched the node's /v1/stats and knows how long its actual
+// backlog needs — retrying sooner than that is guaranteed to meet the
+// same full queue. The larger of hint and floor wins; the router never
+// invites a retry earlier than the replica asked for.
+func (r *Router) relay(w http.ResponseWriter, n *node, resp *proxyResponse) {
+	if resp.contentType != "" {
+		w.Header().Set("Content-Type", resp.contentType)
+	}
+	if resp.status == http.StatusTooManyRequests {
+		secs := int64(0)
+		if s, err := strconv.ParseInt(resp.retryAfter, 10, 64); err == nil {
+			secs = s
+		}
+		if floor := n.drain.Floor(); floor > 0 {
+			floorSecs := int64((floor + time.Second - 1) / time.Second)
+			if floorSecs > secs {
+				secs = floorSecs
+			}
+		}
+		if secs > 0 {
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+	} else if resp.retryAfter != "" {
+		w.Header().Set("Retry-After", resp.retryAfter)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp.body)))
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+// readBody buffers a request body under limit (0 = maxProxyTrainBody),
+// writing the error response itself on failure.
+func readBody(w http.ResponseWriter, req *http.Request, limit int64) ([]byte, bool) {
+	if limit <= 0 {
+		limit = maxProxyTrainBody
+	}
+	req.Body = http.MaxBytesReader(w, req.Body, limit)
+	raw, err := io.ReadAll(req.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		}
+		return nil, false
+	}
+	return raw, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)+1))
+	w.WriteHeader(status)
+	_, _ = w.Write(append(raw, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, service.ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,47 @@
+// Package cluster turns N independent eugened replicas into one
+// fault-tolerant serving fleet. A Router process fronts the replicas:
+// it distributes versioned model snapshots over the existing PUT
+// /v1/models/{name}/snapshot transport (re-pushing on divergence),
+// routes inference traffic — device-tagged requests by rendezvous
+// hashing so per-device frequency-tracker state stays node-local,
+// anonymous requests by least-outstanding — and health-checks the fleet
+// with active /v1/readyz probes plus passive failure counting. When a
+// replica dies mid-request, in-flight idempotent requests fail over to
+// a survivor under the shared retry budget; non-idempotent requests
+// fail cleanly and are never replayed.
+package cluster
+
+import "hash/fnv"
+
+// rendezvousScore is the highest-random-weight score of (node, key):
+// a 64-bit FNV-1a over the node identity, a separator, and the key.
+// Every router computing scores over the same node set assigns every
+// key identically — assignment is a pure function of configuration, so
+// a restarted router resumes the exact same routing table.
+func rendezvousScore(node, key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(node))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Pick returns the rendezvous-hash owner of key among nodes: the node
+// with the highest score. Removing a node only remaps the keys it
+// owned (each to its second-highest scorer), and adding a node only
+// claims the keys it now scores highest on — in expectation a 1/N
+// share — which is why per-device state survives membership churn on
+// every node that did not change. Returns "" for an empty node set.
+// Ties (astronomically unlikely with distinct identities) break toward
+// the lexicographically smaller node so the choice stays deterministic.
+func Pick(key string, nodes []string) string {
+	best := ""
+	var bestScore uint64
+	for _, n := range nodes {
+		s := rendezvousScore(n, key)
+		if best == "" || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}

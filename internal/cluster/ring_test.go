@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node-%d:8080", i)
+	}
+	return out
+}
+
+// Assignment must be a pure function of (key, node set): two router
+// instances booted from the same config — or one router before and
+// after a restart — route every device identically.
+func TestPickDeterministicAcrossInstances(t *testing.T) {
+	nodes := ringNodes(5)
+	// A second, independently-built slice in a different order: map
+	// iteration, config file reordering, and restart must not matter.
+	shuffled := []string{nodes[3], nodes[0], nodes[4], nodes[1], nodes[2]}
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("dev/device-%d", i)
+		a, b := Pick(key, nodes), Pick(key, shuffled)
+		if a != b {
+			t.Fatalf("Pick(%q) depends on node order: %q vs %q", key, a, b)
+		}
+	}
+}
+
+// Removing one node of N must remap only (about) the keys that node
+// owned — a 1/N share — and must not move any key between two
+// surviving nodes.
+func TestPickRemapBoundOnNodeLoss(t *testing.T) {
+	const keys = 20000
+	nodes := ringNodes(5)
+	dead := nodes[2]
+	survivors := append(append([]string{}, nodes[:2]...), nodes[3:]...)
+
+	remapped := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("dev/device-%d", i)
+		before := Pick(key, nodes)
+		after := Pick(key, survivors)
+		if before != dead && after != before {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", key, before, after)
+		}
+		if before == dead {
+			remapped++
+		}
+	}
+	// The dead node's share should be near 1/5; allow generous slack for
+	// hash variance but catch gross imbalance (or a remap-everything bug).
+	frac := float64(remapped) / keys
+	if frac < 0.10 || frac > 0.35 {
+		t.Fatalf("dead node owned %.1f%% of keys; want roughly 20%%", 100*frac)
+	}
+}
+
+// The ring should spread keys roughly evenly — no node may own a
+// degenerate share.
+func TestPickBalance(t *testing.T) {
+	const keys = 20000
+	nodes := ringNodes(4)
+	counts := make(map[string]int, len(nodes))
+	for i := 0; i < keys; i++ {
+		counts[Pick(fmt.Sprintf("dev/device-%d", i), nodes)]++
+	}
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < fair/2 || c > fair*2 {
+			t.Fatalf("node %s owns %d of %d keys; want within [%d, %d]", n, c, keys, fair/2, fair*2)
+		}
+	}
+}
+
+func TestPickEdgeCases(t *testing.T) {
+	if got := Pick("anything", nil); got != "" {
+		t.Fatalf("Pick on empty node set = %q; want \"\"", got)
+	}
+	if got := Pick("anything", []string{"only"}); got != "only" {
+		t.Fatalf("Pick on single node = %q; want \"only\"", got)
+	}
+}

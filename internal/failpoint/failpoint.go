@@ -1,8 +1,9 @@
 // Package failpoint is Eugene's fault-injection framework: named sites
 // planted at proven-fragile seams (snapshot save/rename, pool teardown
-// mid-batch, shard drain during stop, HTTP handler I/O) that chaos
-// tests — or an operator via the EUGENE_FAILPOINTS environment
-// variable — can arm with error, delay, or panic actions.
+// mid-batch, shard drain during stop, HTTP handler I/O, cluster proxy
+// forwarding and snapshot replication) that chaos tests — or an
+// operator via the EUGENE_FAILPOINTS environment variable — can arm
+// with error, delay, or panic actions.
 //
 // The package is stdlib-only and compiles to a near-no-op when no
 // failpoint is armed: Inject/Hit are a single atomic load and a

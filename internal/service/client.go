@@ -69,11 +69,15 @@ type Client struct {
 	// Retry enables bounded retries for idempotent operations; nil
 	// keeps the historical fail-fast behavior.
 	Retry *RetryPolicy
+	// Drain, when set, adapts retry backoff to the server's observed
+	// drain rate: after a 429 the client samples /v1/stats (throttled
+	// by the estimator) and raises the backoff floor to the time the
+	// replica's queue needs to drain, instead of trusting only the
+	// server's clamped Retry-After hint.
+	Drain *DrainEstimator
 
-	// retryTokens is the budget bucket, in 1/1024ths of a token
-	// (lazy-filled on first use).
-	retryTokens atomic.Int64
-	retryInit   sync.Once
+	// budget is the retry token bucket (lazy-filled on first use).
+	budget RetryBudget
 }
 
 // NewClient builds a client for the given base URL.
@@ -166,40 +170,52 @@ func retryAfterOf(err error) time.Duration {
 // token (1024 units), a success refunds 1/10 of one.
 const retryTokenScale = 1024
 
-// takeRetryToken spends one retry token, reporting false when the
-// budget is exhausted.
-func (c *Client) takeRetryToken(p *RetryPolicy) bool {
-	capacity := int64(p.Budget) * retryTokenScale
-	if capacity <= 0 {
+// RetryBudget is the token bucket behind RetryPolicy.Budget: each retry
+// spends a token, each success refunds a tenth of one, and an empty
+// bucket stops retrying. The zero value is ready to use (lazy-filled to
+// capacity on first Take/Credit). It is shared infrastructure: the
+// client uses one per connection target, and the cluster router uses
+// one to bound request failovers across replicas, so a dead fleet
+// cannot amplify load onto its survivors.
+type RetryBudget struct {
+	tokens atomic.Int64
+	init   sync.Once
+}
+
+// Take spends one retry token against the given capacity (in whole
+// tokens), reporting false when the budget is exhausted. capacity ≤ 0
+// means unbudgeted (always true).
+func (b *RetryBudget) Take(capacity int) bool {
+	cap64 := int64(capacity) * retryTokenScale
+	if cap64 <= 0 {
 		return true
 	}
-	c.retryInit.Do(func() { c.retryTokens.Store(capacity) })
+	b.init.Do(func() { b.tokens.Store(cap64) })
 	for {
-		cur := c.retryTokens.Load()
+		cur := b.tokens.Load()
 		if cur < retryTokenScale {
 			return false
 		}
-		if c.retryTokens.CompareAndSwap(cur, cur-retryTokenScale) {
+		if b.tokens.CompareAndSwap(cur, cur-retryTokenScale) {
 			return true
 		}
 	}
 }
 
-// creditRetryToken refunds a tenth of a token on success, up to the
-// budget's capacity.
-func (c *Client) creditRetryToken(p *RetryPolicy) {
-	capacity := int64(p.Budget) * retryTokenScale
-	if capacity <= 0 {
+// Credit refunds a tenth of a token on success, up to capacity.
+func (b *RetryBudget) Credit(capacity int) {
+	cap64 := int64(capacity) * retryTokenScale
+	if cap64 <= 0 {
 		return
 	}
-	c.retryInit.Do(func() { c.retryTokens.Store(capacity) })
+	b.init.Do(func() { b.tokens.Store(cap64) })
 	for {
-		cur := c.retryTokens.Load()
-		next := min(cur+retryTokenScale/10, capacity)
+		cur := b.tokens.Load()
+		next := min(cur+retryTokenScale/10, cap64)
 		if next == cur {
 			return
 		}
-		if c.retryTokens.CompareAndSwap(cur, next) {
+		if b.tokens.CompareAndSwap(cur, next) {
 			return
 		}
 	}
@@ -247,10 +263,14 @@ func (c *Client) doIdempotent(ctx context.Context, attempt func() error) error {
 	var lastErr error
 	for i := 0; i < p.MaxAttempts; i++ {
 		if i > 0 {
-			if !c.takeRetryToken(p) {
+			if !c.budget.Take(p.Budget) {
 				return lastErr
 			}
-			if err := backoffWait(ctx, p, i-1, retryAfterOf(lastErr)); err != nil {
+			hint := retryAfterOf(lastErr)
+			if floor := c.drainFloor(ctx, lastErr); floor > hint {
+				hint = floor
+			}
+			if err := backoffWait(ctx, p, i-1, hint); err != nil {
 				return lastErr
 			}
 		}
@@ -262,7 +282,7 @@ func (c *Client) doIdempotent(ctx context.Context, attempt func() error) error {
 		}
 		lastErr = attempt()
 		if lastErr == nil {
-			c.creditRetryToken(p)
+			c.budget.Credit(p.Budget)
 			return nil
 		}
 		if !retryable(lastErr) {
@@ -270,6 +290,51 @@ func (c *Client) doIdempotent(ctx context.Context, attempt func() error) error {
 		}
 	}
 	return lastErr
+}
+
+// drainFloor consults the drain estimator after an overload rejection:
+// it (throttled) samples /v1/stats so the estimator sees the replica's
+// current backlog and drain rate, and returns the resulting backoff
+// floor. Zero without an estimator or for non-429 failures — transport
+// errors say nothing about queue depth.
+func (c *Client) drainFloor(ctx context.Context, lastErr error) time.Duration {
+	if c.Drain == nil {
+		return 0
+	}
+	var se *ServerError
+	if !errors.As(lastErr, &se) || se.Status != http.StatusTooManyRequests {
+		return 0
+	}
+	if c.Drain.ShouldSample() {
+		// A direct, non-retrying fetch: recursing into doIdempotent from
+		// inside a backoff decision would compound retries.
+		sctx, cancel := context.WithTimeout(ctx, drainSampleTimeout)
+		var out StatsResponse
+		if err := c.fetchJSONOnce(sctx, c.Base+"/v1/stats", &out); err == nil {
+			c.Drain.Observe(out.Models)
+		}
+		cancel()
+	}
+	return c.Drain.Floor()
+}
+
+// drainSampleTimeout bounds the stats poll a 429 triggers: the sample
+// informs a backoff, so a slow poll must not outlast the backoff itself.
+const drainSampleTimeout = 500 * time.Millisecond
+
+// fetchJSONOnce is a single-attempt GET + decode with no retry policy
+// applied.
+func (c *Client) fetchJSONOnce(ctx context.Context, u string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("service: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
 }
 
 // Train uploads data and trains a model.
@@ -476,9 +541,26 @@ func (c *Client) Models(ctx context.Context) ([]string, error) {
 	return out.Models, nil
 }
 
+// DefaultProbeTimeout bounds a Ready probe whose context carries no
+// deadline. A readiness probe is a liveness signal, not a request: on a
+// hung node (accepting connections, never answering) an unbounded probe
+// would inherit the transport's no-timeout default and report the node
+// healthy for as long as the caller's request timeout — O(minutes)
+// instead of O(probe interval). Health-checkers that probe on a fixed
+// cadence should pass a context deadline derived from that cadence
+// instead (see cluster health probing).
+const DefaultProbeTimeout = 2 * time.Second
+
 // Ready probes the server's readiness endpoint: an error means the
-// server is absent or draining and new work should go elsewhere.
+// server is absent, hung, or draining and new work should go elsewhere.
+// Without a context deadline the probe is bounded by
+// DefaultProbeTimeout rather than the client's request timeout.
 func (c *Client) Ready(ctx context.Context) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultProbeTimeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/readyz", nil)
 	if err != nil {
 		return fmt.Errorf("service: building request: %w", err)
@@ -492,6 +574,29 @@ func (c *Client) Ready(ctx context.Context) error {
 		return serverError(resp)
 	}
 	return nil
+}
+
+// ModelVersion fetches the content hash of the named model's canonical
+// (float64) snapshot encoding — the identifier the cluster router uses
+// to detect replica divergence without transferring snapshot bytes.
+func (c *Client) ModelVersion(ctx context.Context, name string) (string, error) {
+	var out VersionResponse
+	u := fmt.Sprintf("%s/v1/models/%s/version", c.Base, url.PathEscape(name))
+	if err := c.getJSON(ctx, u, "fetching model version", &out); err != nil {
+		return "", err
+	}
+	return out.Version, nil
+}
+
+// ClusterStatus fetches a cluster router's membership, health, and
+// replication view. Against a plain (non-router) server it returns a
+// 404 ServerError.
+func (c *Client) ClusterStatus(ctx context.Context) (*ClusterStatusResponse, error) {
+	var out ClusterStatusResponse
+	if err := c.getJSON(ctx, c.Base+"/v1/cluster", "fetching cluster status", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Healthy probes the server.

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// DrainEstimator turns a server's /v1/stats counters into an adaptive
+// retry-backoff floor. The server's Retry-After hint is clamped to a
+// narrow band ([10ms, 2s]) because the scheduler computes it per
+// request from a point-in-time forecast; a client (or the cluster
+// router) watching the same server over time can do better — it sees
+// the cumulative goodput counter advance and therefore knows the
+// replica's *actual* drain rate. The floor is the time the currently
+// queued work needs to drain at that rate: retrying sooner than that
+// is guaranteed to find the same full queue.
+//
+// Feed it with Observe (each sample is one /v1/stats response; counters
+// are summed across models) and read Floor before backing off. All
+// methods are safe for concurrent use.
+type DrainEstimator struct {
+	// MaxFloor caps the floor so a stalled replica cannot push waits to
+	// infinity (0 = 8s).
+	MaxFloor time.Duration
+	// MinSampleGap throttles ShouldSample so a fleet of retrying
+	// goroutines sharing one estimator does not turn every 429 into a
+	// stats poll (0 = 200ms).
+	MinSampleGap time.Duration
+
+	mu           sync.Mutex
+	lastSampleAt time.Time
+	lastGoodput  uint64
+	lastAt       time.Time
+	havePrev     bool
+	// ratePerSec is an EWMA of the observed goodput drain rate.
+	ratePerSec float64
+	haveRate   bool
+	depth      int
+}
+
+const (
+	defaultMaxFloor     = 8 * time.Second
+	defaultMinSampleGap = 200 * time.Millisecond
+	// drainRateEWMA weights the newest rate sample.
+	drainRateEWMA = 0.5
+)
+
+// ShouldSample reports whether enough time has passed since the last
+// granted sample; a true return claims the slot, so exactly one caller
+// per gap actually polls /v1/stats.
+func (d *DrainEstimator) ShouldSample() bool {
+	gap := d.MinSampleGap
+	if gap <= 0 {
+		gap = defaultMinSampleGap
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := time.Now()
+	if !d.lastSampleAt.IsZero() && now.Sub(d.lastSampleAt) < gap {
+		return false
+	}
+	d.lastSampleAt = now
+	return true
+}
+
+// Observe records one /v1/stats snapshot: cumulative goodput (summed
+// over models) dates the drain-rate EWMA, queue depth sizes the
+// backlog.
+func (d *DrainEstimator) Observe(stats map[string]ModelStats) {
+	var goodput uint64
+	depth := 0
+	for _, st := range stats {
+		goodput += st.Goodput
+		depth += st.QueueDepth
+	}
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.depth = depth
+	if d.havePrev {
+		dt := now.Sub(d.lastAt).Seconds()
+		if dt > 0 && goodput >= d.lastGoodput {
+			rate := float64(goodput-d.lastGoodput) / dt
+			if d.haveRate {
+				d.ratePerSec = drainRateEWMA*rate + (1-drainRateEWMA)*d.ratePerSec
+			} else {
+				d.ratePerSec = rate
+				d.haveRate = true
+			}
+		}
+	}
+	d.lastGoodput = goodput
+	d.lastAt = now
+	d.havePrev = true
+}
+
+// Floor returns the adaptive backoff floor: the time the observed
+// backlog needs to drain at the observed rate, capped at MaxFloor.
+// Zero until two samples have been observed (no rate yet) or while the
+// queue is empty — an estimator with nothing to say must not delay
+// retries.
+func (d *DrainEstimator) Floor() time.Duration {
+	maxFloor := d.MaxFloor
+	if maxFloor <= 0 {
+		maxFloor = defaultMaxFloor
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.haveRate || d.depth == 0 {
+		return 0
+	}
+	if d.ratePerSec <= 0 {
+		// Work is queued and nothing has drained across the EWMA window:
+		// the replica is stalled, so wait the full cap.
+		return maxFloor
+	}
+	floor := time.Duration(float64(d.depth) / d.ratePerSec * float64(time.Second))
+	if floor > maxFloor {
+		floor = maxFloor
+	}
+	return floor
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func drainSample(goodput uint64, depth int) map[string]ModelStats {
+	return map[string]ModelStats{"m": {Goodput: goodput, QueueDepth: depth}}
+}
+
+func TestDrainEstimatorFloorTracksBacklog(t *testing.T) {
+	d := &DrainEstimator{}
+	if f := d.Floor(); f != 0 {
+		t.Fatalf("floor before any sample = %v; want 0", f)
+	}
+	d.Observe(drainSample(0, 100))
+	if f := d.Floor(); f != 0 {
+		t.Fatalf("floor after one sample = %v; want 0 (no rate yet)", f)
+	}
+	// Second sample 100ms later with 50 more answers: ~500/s drain rate,
+	// 100 queued -> floor around 200ms. Observe uses wall time, so allow
+	// a broad band.
+	time.Sleep(100 * time.Millisecond)
+	d.Observe(drainSample(50, 100))
+	f := d.Floor()
+	if f <= 0 || f > 2*time.Second {
+		t.Fatalf("floor = %v; want a positive sub-2s estimate for 100 queued at ~500/s", f)
+	}
+}
+
+func TestDrainEstimatorEmptyQueueNeedsNoWait(t *testing.T) {
+	d := &DrainEstimator{}
+	d.Observe(drainSample(0, 50))
+	time.Sleep(20 * time.Millisecond)
+	d.Observe(drainSample(100, 0))
+	if f := d.Floor(); f != 0 {
+		t.Fatalf("floor with empty queue = %v; want 0", f)
+	}
+}
+
+func TestDrainEstimatorStalledReplicaCapsAtMaxFloor(t *testing.T) {
+	d := &DrainEstimator{MaxFloor: 3 * time.Second}
+	d.Observe(drainSample(100, 500))
+	time.Sleep(20 * time.Millisecond)
+	// Goodput frozen, queue full: the replica is stalled.
+	d.Observe(drainSample(100, 500))
+	if f := d.Floor(); f != 3*time.Second {
+		t.Fatalf("floor for stalled replica = %v; want MaxFloor (3s)", f)
+	}
+}
+
+func TestDrainEstimatorFloorNeverExceedsCap(t *testing.T) {
+	d := &DrainEstimator{MaxFloor: time.Second}
+	d.Observe(drainSample(0, 1_000_000))
+	time.Sleep(20 * time.Millisecond)
+	d.Observe(drainSample(1, 1_000_000)) // ~50/s rate, enormous backlog
+	if f := d.Floor(); f != time.Second {
+		t.Fatalf("floor = %v; want capped at 1s", f)
+	}
+}
+
+func TestDrainEstimatorShouldSampleThrottles(t *testing.T) {
+	d := &DrainEstimator{MinSampleGap: 50 * time.Millisecond}
+	if !d.ShouldSample() {
+		t.Fatal("first ShouldSample must grant")
+	}
+	if d.ShouldSample() {
+		t.Fatal("second ShouldSample inside the gap must refuse")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !d.ShouldSample() {
+		t.Fatal("ShouldSample after the gap must grant again")
+	}
+}

@@ -178,6 +178,57 @@ type CalibrateResponse struct {
 	Alpha float64 `json:"alpha"`
 }
 
+// VersionResponse carries a model's snapshot content version: the hash
+// of its canonical float64 snapshot encoding. Two nodes answering the
+// same version hold bitwise-identical model bundles.
+type VersionResponse struct {
+	Version string `json:"version"`
+}
+
+// ClusterNodeStatus is one replica's row in a cluster router's status
+// report.
+type ClusterNodeStatus struct {
+	// Base is the replica's base URL (its identity in the hash ring).
+	Base string `json:"base"`
+	// Healthy reports whether the router currently routes to the node.
+	Healthy bool `json:"healthy"`
+	// ConsecutiveFailures is the passive/active failure streak (resets
+	// on success; FailThreshold of them ejects the node).
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Ejections counts healthy→ejected transitions over the router's
+	// lifetime.
+	Ejections uint64 `json:"ejections"`
+	// Outstanding is the number of proxied requests in flight.
+	Outstanding int64 `json:"outstanding"`
+	// Installed maps model name → snapshot version the router last
+	// confirmed on the node.
+	Installed map[string]string `json:"installed,omitempty"`
+	// LastError is the most recent probe/replication failure, empty
+	// when none.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ClusterStatusResponse is the GET /v1/cluster payload: the router's
+// membership, health, replication, and traffic counters.
+type ClusterStatusResponse struct {
+	Nodes []ClusterNodeStatus `json:"nodes"`
+	// Models maps model name → desired snapshot version (the router
+	// store's view; replicas whose Installed entry differs are
+	// divergent and will be re-pushed).
+	Models map[string]string `json:"models"`
+	// Proxied counts requests forwarded to replicas (attempts, not
+	// client requests — a failover adds one).
+	Proxied uint64 `json:"proxied"`
+	// Failovers counts idempotent requests re-routed to a surviving
+	// replica after a transient failure.
+	Failovers uint64 `json:"failovers"`
+	// PinnedFailures counts non-idempotent (device-pinned or mutating)
+	// requests that failed without failover — the router never retries
+	// those, so this is also the count of requests a node loss visibly
+	// failed.
+	PinnedFailures uint64 `json:"pinned_failures"`
+}
+
 // ErrorResponse is the JSON error body.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -222,6 +273,7 @@ func NewServer(svc *core.Service) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}/infer-batch", s.handleInferBatch)
 	s.mux.HandleFunc("GET /v1/models/{name}/snapshot", s.handleSnapshotGet)
 	s.mux.HandleFunc("PUT /v1/models/{name}/snapshot", s.handleSnapshotPut)
+	s.mux.HandleFunc("GET /v1/models/{name}/version", s.handleSnapshotVersion)
 	s.mux.HandleFunc("POST /v1/models/{name}/reduce", s.handleReduce)
 	s.mux.HandleFunc("POST /v1/devices/{id}/observe", s.handleObserve)
 	s.mux.HandleFunc("GET /v1/devices/{id}/cache-decision", s.handleCacheDecision)
@@ -455,6 +507,19 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(raw)
+}
+
+// handleSnapshotVersion reports the model's snapshot content version.
+// Encoding is deterministic, so the hash of the canonical float64
+// bundle identifies the model state; the cluster router compares it
+// against its own store to detect divergence without moving bytes.
+func (s *Server) handleSnapshotVersion(w http.ResponseWriter, r *http.Request) {
+	raw, err := s.svc.SnapshotBytes(r.PathValue("name"))
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, VersionResponse{Version: snapshot.VersionOf(raw)})
 }
 
 func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {

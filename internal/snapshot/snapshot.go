@@ -29,6 +29,7 @@ package snapshot
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -102,6 +103,18 @@ type ModelSnapshot struct {
 	Alpha     float64
 	StageAccs []float64
 	Pred      *sched.GPPredictor
+}
+
+// VersionOf returns the content version of encoded snapshot bytes: a
+// truncated SHA-256 over the exact byte stream. Because encoding is
+// deterministic (fixed field order, no map iteration) and a
+// decode→re-encode round trip is byte-identical (the golden-fixture CI
+// gate), the version computed over a pushed snapshot equals the version
+// a replica reports for the installed model — the equality the cluster
+// router's divergence detection rests on.
+func VersionOf(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return fmt.Sprintf("sha256:%x", sum[:16])
 }
 
 // EncodeModel writes the bundle to w in snapshot format with float64
