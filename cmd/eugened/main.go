@@ -30,6 +30,13 @@
 // "localhost:6060") for CPU/heap profiling; it is off by default and
 // should never be bound to a public address.
 //
+// -mutex-profile-fraction n samples 1/n of mutex contention events and
+// -block-profile-rate n samples one blocking event per n nanoseconds
+// blocked; both feed the /debug/pprof/mutex and /debug/pprof/block
+// endpoints on the -pprof listener and are off (0) by default — the
+// dynamic counterpart of the lockorder/blockinlock static analyzers
+// when a contention regression needs a callstack.
+//
 // Router mode:
 //
 //	eugened -cluster-route http://10.0.0.1:8080,http://10.0.0.2:8080 [-addr :8080] [-probe-interval 500ms] [-sync-interval 2s] [-fail-threshold 3]
@@ -53,6 +60,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -83,11 +91,27 @@ func run() error {
 	dataDir := flag.String("data-dir", "", "snapshot directory: persist models on train/calibrate/predictor and restore them on boot (empty = in-memory only)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish after SIGINT/SIGTERM")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
+	mutexFraction := flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events into the pprof mutex profile (0 = off; requires -pprof to read)")
+	blockRate := flag.Int("block-profile-rate", 0, "sample one blocking event per n ns blocked into the pprof block profile (0 = off, 1 = everything; requires -pprof to read)")
 	clusterRoute := flag.String("cluster-route", "", "run as a cluster router over these comma-separated replica URLs instead of serving models locally")
 	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "router mode: replica health-probe cadence")
 	syncInterval := flag.Duration("sync-interval", 2*time.Second, "router mode: snapshot replication reconcile cadence")
 	failThreshold := flag.Int("fail-threshold", 3, "router mode: consecutive failures before a replica is ejected")
 	flag.Parse()
+
+	// Contention profiling is off by default (each sampled event costs a
+	// callstack capture on the serving hot path); both knobs apply in
+	// replica and router mode alike and are read via -pprof's
+	// /debug/pprof/{mutex,block} endpoints.
+	if *mutexFraction < 0 || *blockRate < 0 {
+		return fmt.Errorf("-mutex-profile-fraction (%d) and -block-profile-rate (%d) must be ≥0", *mutexFraction, *blockRate)
+	}
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	if *clusterRoute != "" {
 		return runRouter(routerOptions{

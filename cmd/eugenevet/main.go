@@ -43,6 +43,7 @@ func main() {
 	}
 
 	list := flag.Bool("list", false, "print the analyzers in the suite and exit")
+	strict := flag.Bool("strict", false, "audit //lint:ignore directives: fail on stale suppressions and unknown analyzer names")
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (used by go vet)")
 	flag.Var(versionFlag{}, "V", "print version and exit (used by go vet for build caching)")
 	// Accepted for go vet compatibility; eugenevet always prints plain text.
@@ -75,10 +76,10 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		runUnit(args[0], active)
+		runUnit(args[0], active, *strict)
 		return
 	}
-	runStandalone(args, active)
+	runStandalone(args, active, *strict)
 }
 
 func firstLine(doc string) string {
@@ -89,7 +90,7 @@ func firstLine(doc string) string {
 }
 
 // runStandalone loads packages with the go command and checks them.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer) {
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, strict bool) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -103,7 +104,7 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) {
 	}
 	exit := 0
 	for _, pkg := range pkgs {
-		if reportAll(fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, pkg.Dir, pkg.IgnoredFiles, analyzers) {
+		if reportAll(fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, pkg.Dir, pkg.IgnoredFiles, analyzers, strict) {
 			exit = 1
 		}
 	}
@@ -111,8 +112,11 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) {
 }
 
 // reportAll runs the analyzers over one package and prints surviving
-// diagnostics; it reports whether any were printed.
-func reportAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, dir string, ignored []string, analyzers []*analysis.Analyzer) bool {
+// diagnostics; it reports whether any were printed. With strict, the
+// package's //lint:ignore directives are audited afterwards: a
+// directive that suppressed nothing, or that names an analyzer the
+// suite does not have, is itself a finding.
+func reportAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, dir string, ignored []string, analyzers []*analysis.Analyzer, strict bool) bool {
 	sup := analysis.NewSuppressor(fset, files)
 	found := false
 	for _, a := range analyzers {
@@ -138,6 +142,12 @@ func reportAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info 
 			found = true
 		}
 	}
+	if strict {
+		sup.Audit(suite.All(), analyzers, func(d analysis.Diagnostic) {
+			fmt.Fprintf(os.Stderr, "%s: %s [strict]\n", fset.Position(d.Pos), d.Message)
+			found = true
+		})
+	}
 	return found
 }
 
@@ -160,7 +170,7 @@ type unitConfig struct {
 }
 
 // runUnit performs the analysis described by a go vet .cfg file.
-func runUnit(configFile string, analyzers []*analysis.Analyzer) {
+func runUnit(configFile string, analyzers []*analysis.Analyzer, strict bool) {
 	data, err := os.ReadFile(configFile)
 	if err != nil {
 		log.Fatal(err)
@@ -221,7 +231,7 @@ func runUnit(configFile string, analyzers []*analysis.Analyzer) {
 		log.Fatal(err)
 	}
 
-	found := reportAll(fset, files, pkg, info, cfg.Dir, cfg.IgnoredFiles, analyzers)
+	found := reportAll(fset, files, pkg, info, cfg.Dir, cfg.IgnoredFiles, analyzers, strict)
 	writeVetx()
 	if found {
 		os.Exit(1)

@@ -97,6 +97,8 @@ type ignoreDirective struct {
 	file      string
 	line      int // line the comment is on
 	analyzers []string
+	pos       token.Pos
+	used      bool // a diagnostic matched since parsing
 }
 
 func (d *ignoreDirective) matches(name string, file string, line int) bool {
@@ -134,6 +136,7 @@ func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
 					file:      pos.Filename,
 					line:      pos.Line,
 					analyzers: strings.Split(m[1], ","),
+					pos:       c.Pos(),
 				})
 			}
 		}
@@ -142,13 +145,64 @@ func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
 }
 
 // Suppressed reports whether a diagnostic from the named analyzer at
-// pos is covered by an ignore directive.
+// pos is covered by an ignore directive, marking every covering
+// directive as used for Audit.
 func (s *Suppressor) Suppressed(fset *token.FileSet, name string, pos token.Pos) bool {
 	p := fset.Position(pos)
+	hit := false
 	for i := range s.directives {
 		if s.directives[i].matches(name, p.Filename, p.Line) {
-			return true
+			s.directives[i].used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// Audit reports the directives that cannot be justified after every
+// analyzer in ran has been applied through this Suppressor: directives
+// naming an analyzer outside the suite (a typo silently suppresses
+// nothing, or worse, a future analyzer), and stale directives none of
+// whose named analyzers produced a diagnostic to suppress — the code
+// they excused has been fixed or rewritten, and keeping them would
+// blind the next genuine finding on that line. A directive is only
+// called stale when every analyzer it names was actually run (suite
+// lists every analyzer that exists, ran the subset applied through this
+// Suppressor), so partial runs (-<analyzer>=false) never misreport.
+// Wildcard ("*") directives are exempt from staleness but still
+// reported here as unauditable: they must name their analyzers.
+func (s *Suppressor) Audit(suite, ran []*Analyzer, report func(Diagnostic)) {
+	known := map[string]bool{}
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	applied := map[string]bool{}
+	for _, a := range ran {
+		applied[a.Name] = true
+	}
+	for i := range s.directives {
+		d := &s.directives[i]
+		var unknown []string
+		wildcard := false
+		allRan := true
+		for _, name := range d.analyzers {
+			switch {
+			case name == "*":
+				wildcard = true
+			case !known[name]:
+				unknown = append(unknown, name)
+				allRan = false
+			case !applied[name]:
+				allRan = false
+			}
+		}
+		switch {
+		case wildcard:
+			report(Diagnostic{Pos: d.pos, Message: "lint:ignore * suppresses every analyzer and cannot be audited; name the analyzers being suppressed"})
+		case len(unknown) > 0:
+			report(Diagnostic{Pos: d.pos, Message: fmt.Sprintf("lint:ignore names unknown analyzer(s) %s; it suppresses nothing", strings.Join(unknown, ", "))})
+		case allRan && !d.used:
+			report(Diagnostic{Pos: d.pos, Message: fmt.Sprintf("stale lint:ignore: %s no longer report anything here; delete the directive", strings.Join(d.analyzers, ", "))})
+		}
+	}
 }

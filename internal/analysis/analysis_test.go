@@ -75,3 +75,77 @@ func h() {}
 		}
 	}
 }
+
+func TestSuppressorAudit(t *testing.T) {
+	src := `package p
+
+func used() {
+	//lint:ignore alpha justified: alpha reports on the next line
+	g()
+}
+
+func stale() {
+	//lint:ignore alpha nothing reports here anymore
+	g()
+}
+
+func typo() {
+	//lint:ignore alhpa misspelled analyzer name
+	g()
+}
+
+func wild() {
+	//lint:ignore * suppress everything
+	g()
+}
+
+func disabled() {
+	//lint:ignore beta beta is in the suite but was not run
+	g()
+}
+
+func g() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(*analysis.Pass) (any, error) { return nil, nil }
+	alpha := &analysis.Analyzer{Name: "alpha", Run: run}
+	beta := &analysis.Analyzer{Name: "beta", Run: run}
+	suite := []*analysis.Analyzer{alpha, beta}
+	ran := []*analysis.Analyzer{alpha} // beta is disabled this run
+
+	sup := analysis.NewSuppressor(fset, []*ast.File{f})
+	// Simulate alpha reporting inside used(): its directive is on the
+	// line above the g() call, i.e. line 4, so the diagnostic is line 5.
+	var gInUsed token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && gInUsed == token.NoPos {
+			gInUsed = c.Pos()
+		}
+		return true
+	})
+	if !sup.Suppressed(fset, "alpha", gInUsed) {
+		t.Fatal("directive in used() did not suppress")
+	}
+
+	var got []string
+	sup.Audit(suite, ran, func(d analysis.Diagnostic) {
+		got = append(got, d.Message)
+	})
+	want := []string{
+		"stale lint:ignore: alpha no longer report anything here; delete the directive",
+		"lint:ignore names unknown analyzer(s) alhpa; it suppresses nothing",
+		"lint:ignore * suppresses every analyzer and cannot be audited; name the analyzers being suppressed",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Audit reported %d findings %q, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Audit[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

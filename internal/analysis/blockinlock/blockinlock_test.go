@@ -1,0 +1,12 @@
+package blockinlock_test
+
+import (
+	"testing"
+
+	"eugene/internal/analysis/analysistest"
+	"eugene/internal/analysis/blockinlock"
+)
+
+func TestBlockInLock(t *testing.T) {
+	analysistest.Run(t, "testdata", blockinlock.Analyzer, "a")
+}

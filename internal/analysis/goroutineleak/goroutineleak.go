@@ -1,0 +1,292 @@
+// Package goroutineleak reports goroutines that can never be told to
+// stop and tickers that are never stopped. The cluster and service
+// layers launch long-running loops (probers, sync loops, workers);
+// each must either terminate on its own or select on a stop signal —
+// a ctx.Done() or a stop channel — or the goroutine (and any ticker
+// driving it) outlives its owner forever.
+//
+// Two rules:
+//
+//  1. A goroutine whose body contains an unconditional `for { ... }`
+//     loop must give that loop an exit: a return or break, or a receive
+//     from a stop signal (ctx.Done() or any channel other than a
+//     ticker/timer's C — ticking forever on a ticker is exactly the
+//     leak). Ranging over a ticker's C is reported for the same
+//     reason; ranging over an ordinary channel is stoppable by closing
+//     it and is fine.
+//
+//  2. A time.NewTicker/time.NewTimer result that stays local to its
+//     function must have a Stop call in that function (normally
+//     `defer t.Stop()`). Tickers that escape (returned, stored,
+//     passed along) are the new owner's responsibility.
+package goroutineleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eugene/internal/analysis"
+)
+
+// Analyzer reports unstoppable goroutine loops and unstopped tickers.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutineleak",
+	Doc: `report goroutine loops with no stop path and tickers/timers that are never stopped
+
+A goroutine running for{} must be able to exit: via return/break or a
+receive from ctx.Done() or a stop channel. A locally-owned
+time.NewTicker/NewTimer needs a Stop call in the same function.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := funcDecls(pass)
+	checked := map[*ast.BlockStmt]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkTickers(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if body := goBody(pass, g, decls); body != nil && !checked[body] {
+					checked[body] = true
+					checkGoroutineBody(pass, body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// funcDecls maps each of the package's function objects to its
+// declaration, so `go l.worker(...)` can be followed to worker's body.
+func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// goBody resolves the body the go statement will run: a function
+// literal's own body, or the declaration of a same-package function or
+// concrete method.
+func goBody(pass *analysis.Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// checkGoroutineBody applies rule 1 to every loop in a goroutine body.
+func checkGoroutineBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				return
+			}
+			if !loopHasExit(pass, n.Body) {
+				pass.Reportf(n.Pos(), "goroutine loop has no stop path: add a return/break or select on ctx.Done() or a stop channel")
+			}
+		case *ast.RangeStmt:
+			if name, ok := tickerChan(pass, n.X); ok && !loopHasExit(pass, n.Body) {
+				pass.Reportf(n.Pos(), "ranging over %s never terminates, leaking the goroutine; select on a stop channel alongside it", name)
+			}
+		}
+	})
+}
+
+// inspectSkippingFuncLits walks n without descending into nested
+// function literals, whose loops run on other goroutines' terms.
+func inspectSkippingFuncLits(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil {
+			fn(x)
+		}
+		return true
+	})
+}
+
+// loopHasExit reports whether the loop body contains a return, a
+// break, or a receive from a stop signal (ctx.Done() or a non-ticker
+// channel).
+func loopHasExit(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	exit := false
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				exit = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if _, isTicker := tickerChan(pass, n.X); !isTicker {
+					exit = true
+				}
+			}
+		}
+	})
+	return exit
+}
+
+// tickerChan reports whether e is the C field of a time.Ticker or
+// time.Timer, returning a display name like "ticker.C".
+func tickerChan(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "C" {
+		return "", false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "time" {
+		return "", false
+	}
+	if n := named.Obj().Name(); n == "Ticker" || n == "Timer" {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			return id.Name + ".C", true
+		}
+		return "(" + named.Obj().Name() + ").C", true
+	}
+	return "", false
+}
+
+// checkTickers applies rule 2: every locally-owned NewTicker/NewTimer
+// needs a Stop in the same function.
+func checkTickers(pass *analysis.Pass, body *ast.BlockStmt) {
+	type tickerVar struct {
+		obj  types.Object
+		pos  token.Pos
+		ctor string
+	}
+	var tickers []tickerVar
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ctor, ok := tickerCtor(pass, call)
+		if !ok {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			tickers = append(tickers, tickerVar{obj: obj, pos: call.Pos(), ctor: ctor})
+		}
+		return true
+	})
+	for _, tv := range tickers {
+		stopped, escapes := tickerUsage(pass, body, tv.obj)
+		if !stopped && !escapes {
+			pass.Reportf(tv.pos, "%s result is never stopped in this function: add defer %s.Stop()", tv.ctor, tv.obj.Name())
+		}
+	}
+}
+
+// tickerCtor matches time.NewTicker / time.NewTimer calls.
+func tickerCtor(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return "", false
+	}
+	if n := fn.Name(); n == "NewTicker" || n == "NewTimer" {
+		return "time." + n, true
+	}
+	return "", false
+}
+
+// tickerUsage scans every use of obj: a .Stop() call satisfies rule 2;
+// any use other than the defining assignment or a .C/.Stop/.Reset
+// selector transfers ownership (escape) and exempts the function.
+func tickerUsage(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) (stopped, escapes bool) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		// What encloses this use?
+		if len(stack) >= 2 {
+			if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.X == id {
+				switch sel.Sel.Name {
+				case "Stop":
+					stopped = true
+					return true
+				case "C", "Reset":
+					return true
+				}
+				escapes = true
+				return true
+			}
+			if as, ok := stack[len(stack)-2].(*ast.AssignStmt); ok {
+				// The defining (or re-defining) assignment itself.
+				for _, lhs := range as.Lhs {
+					if lhs == id {
+						return true
+					}
+				}
+			}
+		}
+		escapes = true
+		return true
+	})
+	return stopped, escapes
+}

@@ -1,0 +1,12 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"eugene/internal/analysis/analysistest"
+	"eugene/internal/analysis/goroutineleak"
+)
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutineleak.Analyzer, "a")
+}

@@ -1,0 +1,98 @@
+// Package a seeds goroutineleak violations — unstoppable goroutine
+// loops, ticker-only loops, ranging over a ticker channel, unstopped
+// tickers — beside the stoppable shapes: select on ctx.Done or a stop
+// channel, range over an ordinary channel, deferred ticker Stop, and
+// tickers whose ownership escapes.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+type R struct {
+	stop chan struct{}
+}
+
+func doWork() {}
+
+func (r *R) leakyLoop() {
+	go func() {
+		for { // want `goroutine loop has no stop path`
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func (r *R) stoppableLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+func (r *R) tickerOnlyLoop() {
+	go func() {
+		ticker := time.NewTicker(time.Second) // want `time\.NewTicker result is never stopped in this function`
+		for { // want `goroutine loop has no stop path`
+			select {
+			case <-ticker.C:
+				doWork()
+			}
+		}
+	}()
+}
+
+func (r *R) namedLoop() {
+	go r.run()
+}
+
+func (r *R) run() {
+	for { // want `goroutine loop has no stop path`
+		doWork()
+	}
+}
+
+func (r *R) rangeTicker() {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for range t.C { // want `ranging over t\.C never terminates`
+			doWork()
+		}
+	}()
+}
+
+func (r *R) rangeChan(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func (r *R) stoppedTickerLoop(done chan struct{}) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				doWork()
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+func escapingTimer() *time.Timer {
+	t := time.NewTimer(time.Second)
+	return t
+}

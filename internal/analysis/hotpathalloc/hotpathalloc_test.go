@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"eugene/internal/analysis/analysistest"
+	"eugene/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "a")
+}

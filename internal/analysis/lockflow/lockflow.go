@@ -1,0 +1,405 @@
+// Package lockflow is the shared flow-sensitive mutex tracker behind
+// the lockorder and blockinlock analyzers. It walks one function body
+// maintaining the set of sync.Mutex/sync.RWMutex values held at each
+// point, identifying a mutex by the types.Object of the field or
+// variable it lives in (so `sh.mu` names the same lock in every method
+// of the package, regardless of receiver spelling).
+//
+// The walker is deliberately conservative in the direction that avoids
+// false positives: branches are merged by intersection (a lock is
+// "held" after an if/switch only when every fall-through path holds
+// it), loop bodies do not leak acquisitions past the loop, deferred
+// unlocks keep the lock held to the end of the function, and branches
+// that terminate (return, break, panic, os.Exit, log.Fatal) are
+// excluded from the merge. TryLock and embedded (anonymous) mutexes
+// are not modeled.
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eugene/internal/analysis"
+)
+
+// Lock identifies one mutex: Obj is the field or variable object (the
+// package-wide identity), Name is the display form, "Type.field" for a
+// struct field or the bare name for a variable.
+type Lock struct {
+	Obj  types.Object
+	Name string
+}
+
+// Events receives the walk. Acquire fires when a lock is taken, with
+// the set held at that moment (before the new lock is added). Node
+// fires for every visited expression or statement node with the
+// current held set; lock/unlock calls themselves, select communication
+// clauses, and the bodies of nested function literals are not
+// delivered. Held slices are live views — copy them to retain.
+type Events struct {
+	Acquire func(lk Lock, pos token.Pos, held []Lock)
+	Node    func(n ast.Node, held []Lock)
+}
+
+// Walk runs the flow walker over one function body.
+func Walk(pass *analysis.Pass, body *ast.BlockStmt, ev Events) {
+	w := &walker{pass: pass, ev: ev}
+	w.stmts(body.List, &heldSet{})
+}
+
+// AsLockCall classifies call as a mutex acquisition or release.
+// acquire is true for Lock/RLock, false for Unlock/RUnlock; ok is
+// false when the call is not a mutex method or the receiver cannot be
+// resolved to a field or variable.
+func AsLockCall(pass *analysis.Pass, call *ast.CallExpr) (lk Lock, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return Lock{}, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return Lock{}, false, false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return Lock{}, false, false
+	}
+	lk, ok = resolveLockExpr(pass, sel.X)
+	return lk, acquire, ok
+}
+
+// resolveLockExpr maps the receiver expression of a mutex method to a
+// Lock identity: `x.mu` to the mu field object of x's named type, a
+// plain identifier to its variable object.
+func resolveLockExpr(pass *analysis.Pass, e ast.Expr) (Lock, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.Uses[e.Sel]
+		if obj == nil {
+			return Lock{}, false
+		}
+		name := namedTypeName(pass.TypesInfo.TypeOf(e.X))
+		if name == "" {
+			return Lock{}, false
+		}
+		return Lock{Obj: obj, Name: name + "." + e.Sel.Name}, true
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return Lock{}, false
+		}
+		return Lock{Obj: obj, Name: e.Name}, true
+	}
+	return Lock{}, false
+}
+
+// namedTypeName returns the name of t's (pointer-stripped) named type,
+// or "" when t has none.
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// heldSet is the ordered set of locks currently held.
+type heldSet struct {
+	locks []Lock
+}
+
+func (h *heldSet) add(lk Lock) {
+	for _, l := range h.locks {
+		if l.Obj == lk.Obj {
+			return
+		}
+	}
+	h.locks = append(h.locks, lk)
+}
+
+func (h *heldSet) remove(obj types.Object) {
+	for i, l := range h.locks {
+		if l.Obj == obj {
+			h.locks = append(h.locks[:i], h.locks[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *heldSet) clone() *heldSet {
+	return &heldSet{locks: append([]Lock(nil), h.locks...)}
+}
+
+// intersectInto narrows h to the locks also present in every set of
+// others.
+func (h *heldSet) intersectInto(others []*heldSet) {
+	kept := h.locks[:0]
+	for _, l := range h.locks {
+		in := true
+		for _, o := range others {
+			found := false
+			for _, ol := range o.locks {
+				if ol.Obj == l.Obj {
+					found = true
+					break
+				}
+			}
+			if !found {
+				in = false
+				break
+			}
+		}
+		if in {
+			kept = append(kept, l)
+		}
+	}
+	h.locks = kept
+}
+
+type walker struct {
+	pass *analysis.Pass
+	ev   Events
+}
+
+// stmts walks a statement list, mutating held in place; it reports
+// whether the list definitely does not fall through.
+func (w *walker) stmts(list []ast.Stmt, held *heldSet) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) stmt(s ast.Stmt, held *heldSet) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if lk, acquire, ok := AsLockCall(w.pass, call); ok {
+				if acquire {
+					if w.ev.Acquire != nil {
+						w.ev.Acquire(lk, call.Pos(), held.locks)
+					}
+					held.add(lk)
+				} else {
+					held.remove(lk.Obj)
+				}
+				return false
+			}
+			w.visit(s.X, held)
+			return w.isTerminalCall(call)
+		}
+		w.visit(s.X, held)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.visit(r, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this path; fallthrough transfers to a
+		// clause walked separately. All are excluded from the merge.
+		return true
+	case *ast.DeferStmt:
+		w.deferStmt(s, held)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.visit(a, held)
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		return w.ifStmt(s, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.visit(s.Cond, held)
+		}
+		body := held.clone()
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.visit(s.X, held)
+		w.stmts(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		return w.caseClauses(s.Init, s.Tag, nil, s.Body, held)
+	case *ast.TypeSwitchStmt:
+		return w.caseClauses(s.Init, nil, s.Assign, s.Body, held)
+	case *ast.SelectStmt:
+		return w.selectStmt(s, held)
+	default:
+		w.visit(s, held)
+	}
+	return false
+}
+
+// deferStmt handles a defer: a deferred Unlock (direct or inside a
+// deferred function literal) keeps the lock held for the rest of the
+// function, which is exactly the walker's default, so it needs no
+// state change; other deferred calls run at exit and are not visited.
+func (w *walker) deferStmt(s *ast.DeferStmt, held *heldSet) {
+	for _, a := range s.Call.Args {
+		w.visit(a, held)
+	}
+}
+
+func (w *walker) ifStmt(s *ast.IfStmt, held *heldSet) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, held)
+	}
+	w.visit(s.Cond, held)
+	thenHeld := held.clone()
+	thenTerm := w.stmts(s.Body.List, thenHeld)
+	elseHeld := held.clone()
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = w.stmt(s.Else, elseHeld)
+	}
+	var through []*heldSet
+	if !thenTerm {
+		through = append(through, thenHeld)
+	}
+	if !elseTerm {
+		through = append(through, elseHeld)
+	}
+	if len(through) == 0 {
+		return true
+	}
+	held.locks = append(held.locks[:0], through[0].locks...)
+	held.intersectInto(through[1:])
+	return false
+}
+
+// caseClauses walks a switch or type switch: each clause runs on its
+// own copy of the held set and the fall-through outcomes are
+// intersected. Without a default clause the zero-match path keeps the
+// entry set.
+func (w *walker) caseClauses(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, held *heldSet) bool {
+	if init != nil {
+		w.stmt(init, held)
+	}
+	if tag != nil {
+		w.visit(tag, held)
+	}
+	if assign != nil {
+		w.visit(assign, held)
+	}
+	var through []*heldSet
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.visit(e, held)
+		}
+		ch := held.clone()
+		if !w.stmts(cc.Body, ch) {
+			through = append(through, ch)
+		}
+	}
+	if !hasDefault {
+		through = append(through, held.clone())
+	}
+	if len(through) == 0 {
+		return true
+	}
+	held.locks = append(held.locks[:0], through[0].locks...)
+	held.intersectInto(through[1:])
+	return false
+}
+
+// selectStmt delivers the select itself to Node (blockinlock judges it
+// whole — a default clause makes it non-blocking) but not its
+// communication clauses, then walks the clause bodies like switch
+// cases. A select always runs some clause, so there is no implicit
+// fall-through path.
+func (w *walker) selectStmt(s *ast.SelectStmt, held *heldSet) bool {
+	if w.ev.Node != nil {
+		w.ev.Node(s, held.locks)
+	}
+	var through []*heldSet
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		ch := held.clone()
+		if !w.stmts(cc.Body, ch) {
+			through = append(through, ch)
+		}
+	}
+	if len(through) == 0 {
+		return true
+	}
+	held.locks = append(held.locks[:0], through[0].locks...)
+	held.intersectInto(through[1:])
+	return false
+}
+
+// visit delivers n and its children to the Node callback, skipping
+// nested function literals (their bodies execute elsewhere).
+func (w *walker) visit(n ast.Node, held *heldSet) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil && w.ev.Node != nil {
+			w.ev.Node(x, held.locks)
+		}
+		return true
+	})
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// runtime.Goexit, and the log.Fatal family.
+func (w *walker) isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := w.pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		fn, ok := w.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "runtime":
+			return fn.Name() == "Goexit"
+		case "log":
+			switch fn.Name() {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -6,6 +6,10 @@ import (
 	"eugene/internal/analysis"
 	"eugene/internal/analysis/asmparity"
 	"eugene/internal/analysis/atomicfield"
+	"eugene/internal/analysis/blockinlock"
+	"eugene/internal/analysis/goroutineleak"
+	"eugene/internal/analysis/hotpathalloc"
+	"eugene/internal/analysis/lockorder"
 	"eugene/internal/analysis/poolput"
 	"eugene/internal/analysis/precisionboundary"
 	"eugene/internal/analysis/retryctx"
@@ -23,5 +27,9 @@ func All() []*analysis.Analyzer {
 		asmparity.Analyzer,
 		uncheckederr.Analyzer,
 		retryctx.Analyzer,
+		lockorder.Analyzer,
+		blockinlock.Analyzer,
+		hotpathalloc.Analyzer,
+		goroutineleak.Analyzer,
 	}
 }

@@ -20,6 +20,11 @@ type storeEntry struct {
 	version string
 }
 
+// The store is the router's source of truth, so replication paths read
+// it first and then touch per-node install state: store.mu nests
+// outside node.mu (enforced by the lockorder analyzer).
+//
+//eugene:lockorder store.mu before node.mu
 type store struct {
 	mu     sync.Mutex
 	models map[string]storeEntry

@@ -272,15 +272,15 @@ func (s *Service) Train(name string, train *dataset.Set, opts TrainOptions) (*Mo
 	}
 	entry := &ModelEntry{Name: name, Model: m, StageAccs: m.EvalAllStages(train)}
 	s.mu.Lock()
-	if live, ok := s.serving[name]; ok {
-		live.Stop()
-		delete(s.serving, name)
-	}
+	stale := s.detachLocked(name)
 	s.models[name] = entry
 	// Retain the training set for later reduction requests (hot-class
 	// subset models for device caching) that do not re-upload data.
 	s.trainData[name] = train
 	s.mu.Unlock()
+	if stale != nil {
+		stale.Stop()
+	}
 	if err := s.persist(name); err != nil {
 		return nil, err
 	}
@@ -294,12 +294,12 @@ func (s *Service) Register(name string, m *staged.Model) (*ModelEntry, error) {
 	}
 	entry := &ModelEntry{Name: name, Model: m}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if live, ok := s.serving[name]; ok {
-		live.Stop()
-		delete(s.serving, name)
-	}
+	stale := s.detachLocked(name)
 	s.models[name] = entry
+	s.mu.Unlock()
+	if stale != nil {
+		stale.Stop()
+	}
 	return entry, nil
 }
 
@@ -334,11 +334,11 @@ func (s *Service) Calibrate(name string, calibSet *dataset.Set, cfg calib.Entrop
 		Alpha:     alpha,
 		StageAccs: entry.StageAccs,
 	}
-	if live, ok := s.serving[name]; ok {
-		live.Stop()
-		delete(s.serving, name)
-	}
+	stale := s.detachLocked(name)
 	s.mu.Unlock()
+	if stale != nil {
+		stale.Stop()
+	}
 	if err := s.persist(name); err != nil {
 		return 0, err
 	}
@@ -371,11 +371,11 @@ func (s *Service) BuildPredictor(name string, data *dataset.Set, cfg sched.GPPre
 	next := *cur
 	next.Pred = pred
 	s.models[name] = &next
-	if live, ok := s.serving[name]; ok {
-		live.Stop()
-		delete(s.serving, name)
-	}
+	stale := s.detachLocked(name)
 	s.mu.Unlock()
+	if stale != nil {
+		stale.Stop()
+	}
 	return s.persist(name)
 }
 
@@ -487,6 +487,7 @@ func (e *execAdapter) model() stageBatchModel {
 // through the model as one batched forward pass, writing new hidden
 // states into the worker's dst scratch rows when they fit. The returned
 // slices are adapter/model scratch, valid until the next Exec call.
+//eugene:noalloc
 func (e *execAdapter) ExecStageBatch(hidden [][]float64, stage int, dst [][]float64) ([][]float64, []sched.StageResult) {
 	next, outs := e.model().ExecStageBatch(hidden, stage, dst)
 	if cap(e.res) < len(outs) {
@@ -687,14 +688,14 @@ func (s *Service) InstallSnapshotBytes(name string, data []byte) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	if live, ok := s.serving[name]; ok {
-		live.Stop()
-		delete(s.serving, name)
-	}
+	stale := s.detachLocked(name)
 	s.models[name] = entry
 	// Any retained training data described the replaced model.
 	delete(s.trainData, name)
 	s.mu.Unlock()
+	if stale != nil {
+		stale.Stop()
+	}
 	return s.persist(name)
 }
 
@@ -874,12 +875,33 @@ func (s *Service) Stats() map[string]sched.LiveStats {
 // ErrClosed rather than restarting pools.
 func (s *Service) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
+	stopping := make([]*sched.Live, 0, len(s.serving))
 	for n, live := range s.serving {
-		live.Stop()
+		stopping = append(stopping, live)
 		delete(s.serving, n)
 	}
+	s.mu.Unlock()
+	for _, live := range stopping {
+		live.Stop()
+	}
+}
+
+// detachLocked removes name's serving pool from the registry and hands
+// it back for the caller to Stop *after* releasing s.mu. Stop joins the
+// pool's worker goroutines, so calling it under the registry lock would
+// stall every Infer/Stats reader behind a slow in-flight request — the
+// shape the blockinlock analyzer rejects. Each pool is detached exactly
+// once, so the caller's Stop never races another stopper; submitters
+// still holding the old pointer get sched.ErrStopped and retry through
+// liveFor, which re-reads the current model under the lock.
+func (s *Service) detachLocked(name string) *sched.Live {
+	live, ok := s.serving[name]
+	if !ok {
+		return nil
+	}
+	delete(s.serving, name)
+	return live
 }
 
 func (s *Service) get(name string) (*ModelEntry, error) {

@@ -477,3 +477,80 @@ func TestTrainReplacesServingPool(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHotSwapStopsPoolOutsideLock is the -race regression for the
+// blockinlock finding: Register/InstallSnapshotBytes/Close used to call
+// Live.Stop — which joins worker goroutines — while holding s.mu,
+// stalling every registry reader behind the drain. The pool is now
+// detached under the lock and stopped after release, so readers
+// (Infer, Stats, Models) must stay responsive while swaps churn, and
+// each detached pool must be stopped exactly once.
+func TestHotSwapStopsPoolOutsideLock(t *testing.T) {
+	svc, _, test := testService(t)
+	snap, err := svc.SnapshotBytes("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := svc.Entry("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				x, _ := test.Sample((g*17 + i) % test.Len())
+				if _, err := svc.Infer(context.Background(), "demo", x); err != nil &&
+					!errors.Is(err, sched.ErrStopped) && !errors.Is(err, sched.ErrUnanswered) {
+					select {
+					case errCh <- fmt.Errorf("goroutine %d: %w", g, err):
+					default:
+					}
+					return
+				}
+				// Readers share s.mu with the swappers; they must never
+				// observe a torn registry.
+				svc.Stats()
+				svc.Models()
+			}
+		}(g)
+	}
+	for round := 0; round < 4; round++ {
+		if round%2 == 0 {
+			if _, err := svc.Register("demo", entry.Model); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := svc.InstallSnapshotBytes("demo", snap); err != nil {
+			t.Fatal(err)
+		}
+		x, _ := test.Sample(round)
+		if _, err := svc.Infer(context.Background(), "demo", x); err != nil &&
+			!errors.Is(err, sched.ErrStopped) && !errors.Is(err, sched.ErrUnanswered) {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	// Close races nothing here, but must still stop the surviving pool
+	// without deadlocking against its own registry lock.
+	svc.Close()
+	x, _ := test.Sample(0)
+	if _, err := svc.Infer(context.Background(), "demo", x); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Infer after Close: %v, want ErrClosed", err)
+	}
+}

@@ -290,6 +290,7 @@ type shard struct {
 
 // putLocked adds a ready task to its stage bucket; callers hold mu and
 // adjust count themselves.
+//eugene:noalloc
 func (sh *shard) putLocked(t *liveTask) {
 	s := t.state.Executed
 	for len(sh.buckets) <= s {
@@ -309,6 +310,16 @@ func (sh *shard) putLocked(t *liveTask) {
 // flag at stage boundaries, so expiry never contends with dispatch. It
 // mirrors the paper's user-space scheduler + TensorFlow process pool +
 // named-pipe reporting, with shared-memory queues in place of pipes.
+//
+// Lock order (enforced by the lockorder analyzer): a worker holding its
+// shard lock may consult the shared policy (takeLocal → Pick) and may
+// publish finished-task latencies (drainShard → sweep → finalize →
+// recordFinish), so shard.mu nests outside both. The reverse direction
+// is a deadlock against a sibling worker and is reported at the
+// acquisition site.
+//
+//eugene:lockorder shard.mu before Live.policyMu
+//eugene:lockorder shard.mu before Live.histMu
 type Live struct {
 	cfg LiveConfig
 	// policies holds one Policy per worker: forks of the configured
@@ -430,6 +441,7 @@ func (l *Live) nowTicks() Ticks { return Ticks(time.Since(l.epoch)) }
 // Executors never write to stage-0 inputs (see StageExecutor), so the
 // slice stays intact even when a task outlives its caller via context
 // cancellation or an executor-stop retry.
+//eugene:noalloc
 func (l *Live) getTask(input []float64, numStages int) *liveTask {
 	t, _ := l.taskPool.Get().(*liveTask)
 	if t == nil {
@@ -459,6 +471,7 @@ func (l *Live) getTask(input []float64, numStages int) *liveTask {
 // call it, and only after reading the response: at that point the
 // owner has dropped every reference and the done channel is empty.
 // Stale deadline-heap entries are neutralized by the gen counter.
+//eugene:noalloc
 func (l *Live) putTask(t *liveTask) {
 	t.hidden = nil
 	t.state.Task = nil
@@ -546,6 +559,7 @@ func (l *Live) daemon() {
 }
 
 // recordFinish folds one finished task into the serving counters.
+//eugene:noalloc
 func (l *Live) recordFinish(stages int, expired bool, lat time.Duration) {
 	if stages > 0 {
 		l.answered.Add(1)
@@ -573,6 +587,7 @@ func (l *Live) recordFinish(stages int, expired bool, lat time.Duration) {
 
 // finalize delivers a task's response. Callers must own the task; the
 // buffered channel makes the send non-blocking.
+//eugene:noalloc
 func (l *Live) finalize(t *liveTask, expired bool) {
 	st := &t.state
 	if st.Finalized {
@@ -624,6 +639,7 @@ func (l *Live) Stats() LiveStats {
 // pushShard places a contiguous run of ready tasks on one shard.
 // Callers bump workEpoch and wake workers themselves (once per
 // admission, not once per shard).
+//eugene:noalloc
 func (l *Live) pushShard(w int, tasks []*liveTask) {
 	sh := l.shards[w]
 	sh.mu.Lock()
@@ -918,6 +934,7 @@ type workerState struct {
 // tasks whose rows the victim allocated).
 const maxArenaBufs = 256
 
+//eugene:noalloc
 func (ws *workerState) getBuf() []float64 {
 	for n := len(ws.bufs); n > 0; n = len(ws.bufs) {
 		b := ws.bufs[n-1]
@@ -931,9 +948,11 @@ func (ws *workerState) getBuf() []float64 {
 	if p, _ := ws.live.bufPool.Get().(*[]float64); p != nil && cap(*p) >= ws.maxW {
 		return (*p)[:0]
 	}
+	//lint:ignore hotpathalloc pool-miss fallback: freelist and shared pool are both empty (or maxW grew), so a fresh row is the only option; steady state never reaches this line
 	return make([]float64, 0, ws.maxW)
 }
 
+//eugene:noalloc
 func (ws *workerState) putBuf(b []float64) {
 	if cap(b) < ws.maxW {
 		return
@@ -959,6 +978,7 @@ func sameBase(a, b []float64) bool {
 }
 
 // finish recycles the task's arena row and delivers its response.
+//eugene:noalloc
 func (ws *workerState) finish(t *liveTask, expired bool) {
 	if t.ownsBuf {
 		ws.putBuf(t.hidden)
@@ -1002,6 +1022,7 @@ func (l *Live) worker(id int, exec StageExecutor) {
 // and coalesces up to MaxBatch same-stage tasks from the leader's
 // bucket into one dispatch group. Returns nil when the policy has
 // nothing runnable.
+//eugene:noalloc
 func (ws *workerState) takeLocal() ([]*liveTask, int) {
 	l := ws.live
 	sh := l.shards[ws.id]
@@ -1072,6 +1093,7 @@ func (ws *workerState) takeLocal() ([]*liveTask, int) {
 
 // sweepLocked finalizes daemon-flagged tasks sitting in the shard.
 // Callers hold sh.mu.
+//eugene:noalloc
 func (ws *workerState) sweepLocked(sh *shard) {
 	var removed int64
 	for s, b := range sh.buckets {
@@ -1098,6 +1120,7 @@ func (ws *workerState) sweepLocked(sh *shard) {
 // sibling shard into the worker's own shard and reports whether
 // anything moved. Victim locks are never held together with the
 // thief's own, so steals cannot deadlock.
+//eugene:noalloc
 func (ws *workerState) steal() bool {
 	l := ws.live
 	n := len(l.shards)
@@ -1139,6 +1162,7 @@ func (ws *workerState) steal() bool {
 // continuation stays worker-resident, so the next stage needs no
 // cross-goroutine handoff and coalesces with whatever else is pending
 // locally.
+//eugene:noalloc
 func (ws *workerState) run(group []*liveTask, stage int) {
 	l := ws.live
 	rows := ws.rows[:0]

@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// allocExec is an allocation-free echo executor for AllocsPerRun
+// measurements: results live in reused scratch and hidden rows pass
+// through untouched, so every allocation the test observes belongs to
+// the scheduler itself (dispatch, steal, finalize, arena bookkeeping).
+type allocExec struct {
+	res []StageResult
+}
+
+func (e *allocExec) NumStages() int { return 3 }
+
+func (e *allocExec) ExecStageBatch(hidden [][]float64, stage int, _ [][]float64) ([][]float64, []StageResult) {
+	if cap(e.res) < len(hidden) {
+		e.res = make([]StageResult, len(hidden))
+	}
+	res := e.res[:len(hidden)]
+	for i := range res {
+		res[i] = StageResult{Pred: stage, Conf: 0.5 + 0.15*float64(stage+1)}
+	}
+	return hidden, res
+}
+
+// measureLiveAllocs reports the steady-state allocations per request of
+// a pool submitting batches of the given size, after a warmup that
+// fills the task arena, the per-worker row freelists, and the deadline
+// heap.
+func measureLiveAllocs(t *testing.T, workers, batch int) float64 {
+	t.Helper()
+	execs := make([]StageExecutor, workers)
+	for i := range execs {
+		execs[i] = &allocExec{}
+	}
+	l, err := NewLive(LiveConfig{Workers: workers, Deadline: 5 * time.Second, QueueDepth: 4 * batch},
+		NewFIFO(), execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Stop)
+	ctx := context.Background()
+	inputs := make([][]float64, batch)
+	for i := range inputs {
+		inputs[i] = []float64{1, 2, 3}
+	}
+	submit := func() {
+		resps, err := l.SubmitBatch(ctx, inputs, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range resps {
+			if r.Stages != 3 {
+				t.Fatalf("response ran %d stages, want 3: %+v", r.Stages, r)
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		submit()
+	}
+	return testing.AllocsPerRun(100, submit) / float64(batch)
+}
+
+// TestLiveAllocsPerRequest is the dynamic half of the hotpathalloc
+// contract: the //eugene:noalloc annotations promise the dispatch,
+// steal, and finalize paths stay allocation-free in steady state, the
+// static analyzer rejects the obvious regressions at vet time, and this
+// test pins what escape analysis actually decides at run time. The
+// bounds leave headroom over the measured steady state (≈0.03/req at
+// one worker, ≈0.34/req at four in BENCH_serving.json) while still
+// failing hard if pooling breaks — losing the task arena or the row
+// freelist costs several allocations per request.
+func TestLiveAllocsPerRequest(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the alloc gate runs in the non-race CI step")
+	}
+	for _, tc := range []struct {
+		workers int
+		batch   int
+		limit   float64
+	}{
+		{workers: 1, batch: 64, limit: 0.25},
+		{workers: 4, batch: 64, limit: 1.0},
+	} {
+		got := measureLiveAllocs(t, tc.workers, tc.batch)
+		t.Logf("workers=%d batch=%d: %.4f allocs/request", tc.workers, tc.batch, got)
+		if got > tc.limit {
+			t.Errorf("workers=%d: %.4f allocs/request, budget %.2f — a hot-path pool or arena regressed", tc.workers, got, tc.limit)
+		}
+	}
+}

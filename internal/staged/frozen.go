@@ -124,6 +124,7 @@ func (f *Frozen32) Clone() *Frozen32 {
 // Rows are narrowed to float32 on entry and the new trunk activations
 // widened back on exit; the conversions are O(B·W) against the stage's
 // O(B·W²) GEMMs, so the f32 compute win dominates.
+//eugene:noalloc
 func (f *Frozen32) ExecStageBatch(hidden [][]float64, stage int, dst [][]float64) ([][]float64, []StageOutput) {
 	b := len(hidden)
 	if b == 0 {

@@ -113,6 +113,7 @@ func (m *Model) ExecStage(hidden []float64, stage int) ([]float64, StageOutput) 
 // capacity when wide enough. The returned outer slices and StageOutputs
 // are scratch, valid until the next Exec call on this model; Probs is
 // omitted on this path.
+//eugene:noalloc
 func (m *Model) ExecStageBatch(hidden [][]float64, stage int, dst [][]float64) ([][]float64, []StageOutput) {
 	b := len(hidden)
 	if b == 0 {

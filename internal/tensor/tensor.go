@@ -73,6 +73,7 @@ func (m *Matrix) String() string {
 // the capacity allows (batch sizes fluctuate dispatch to dispatch on the
 // serving path), otherwise a new matrix. Callers must overwrite every
 // element of the result: stale data from a previous shape is not cleared.
+//eugene:noalloc
 func Ensure(m *Matrix, rows, cols int) *Matrix {
 	if m != nil && m.Rows == rows && m.Cols == cols {
 		return m
@@ -87,6 +88,7 @@ func Ensure(m *Matrix, rows, cols int) *Matrix {
 // MatMul computes dst = a·b. dst must be a.Rows×b.Cols and distinct from
 // both operands. It uses a cache-friendly ikj loop ordering with a 4-way
 // unrolled axpy inner loop.
+//eugene:noalloc
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -116,6 +118,7 @@ func MatMul(dst, a, b *Matrix) {
 // parallelThreshold fan their row range out over the shared bounded
 // worker pool (see SetParallelism); the split is at tile boundaries, so
 // the parallel result is bitwise identical to the serial one.
+//eugene:noalloc
 func MatMulT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -132,6 +135,7 @@ func MatMulT(dst, a, b *Matrix) {
 }
 
 // matMulTRange runs the MatMulT kernel over rows [lo, hi) of a/dst.
+//eugene:noalloc
 func matMulTRange(dst, a, b *Matrix, lo, hi int) {
 	n := a.Cols
 	n8 := 0
@@ -193,6 +197,7 @@ func TMatMul(dst, a, b *Matrix) {
 // dotUnrolled is the 4-way unrolled inner-product kernel behind Dot and
 // MatMulT. Four independent accumulators break the add-latency dependency
 // chain; lengths must match (callers check).
+//eugene:noalloc
 func dotUnrolled(a, b []float64) float64 {
 	var s0, s1, s2, s3 float64
 	n := len(a)
@@ -211,6 +216,7 @@ func dotUnrolled(a, b []float64) float64 {
 
 // axpyUnrolled computes dst[i] += alpha*src[i] with a 4-way unrolled
 // loop; lengths must match (callers check).
+//eugene:noalloc
 func axpyUnrolled(dst []float64, alpha float64, src []float64) {
 	n := len(dst)
 	i := 0
@@ -326,6 +332,7 @@ func ColSums(dst []float64, m *Matrix) {
 
 // Softmax writes the row-wise softmax of src into dst (shapes must match).
 // It is numerically stable (subtracts the row max before exponentiation).
+//eugene:noalloc
 func Softmax(dst, src *Matrix) {
 	checkSameShape("Softmax", dst, src)
 	for r := 0; r < src.Rows; r++ {
@@ -381,6 +388,7 @@ func Entropy(p []float64) float64 {
 }
 
 // ArgMax returns the index of the largest element of v, and its value.
+//eugene:noalloc
 func ArgMax(v []float64) (int, float64) {
 	best, bestV := 0, math.Inf(-1)
 	for i, x := range v {

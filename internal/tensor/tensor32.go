@@ -40,6 +40,7 @@ func (m *Matrix32) String() string {
 // Ensure32 returns m reshaped to rows×cols, reusing its backing array
 // when capacity allows, otherwise a new matrix. Callers must overwrite
 // every element of the result: stale data is not cleared.
+//eugene:noalloc
 func Ensure32(m *Matrix32, rows, cols int) *Matrix32 {
 	if m != nil && m.Rows == rows && m.Cols == cols {
 		return m
@@ -53,6 +54,7 @@ func Ensure32(m *Matrix32, rows, cols int) *Matrix32 {
 
 // Widen copies src into dst, converting float32 → float64; lengths must
 // match. The stage-boundary up-conversion of the f32 serving path.
+//eugene:noalloc
 func Widen(dst []float64, src []float32) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("tensor: Widen length mismatch %d vs %d", len(dst), len(src)))
@@ -64,6 +66,7 @@ func Widen(dst []float64, src []float32) {
 
 // Narrow copies src into dst, converting float64 → float32; lengths must
 // match. The stage-boundary down-conversion of the f32 serving path.
+//eugene:noalloc
 func Narrow(dst []float32, src []float64) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("tensor: Narrow length mismatch %d vs %d", len(dst), len(src)))
@@ -257,6 +260,7 @@ func ReLU32(dst, src *Matrix32) {
 // early-exit comparisons, so the f32 path spends the few extra cycles
 // here to keep its confidence surface as close to the f64 model's as the
 // f32 logits allow.
+//eugene:noalloc
 func Softmax32Into(dst *Matrix, src *Matrix32) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {
 		panic(fmt.Sprintf("tensor: Softmax32Into shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
