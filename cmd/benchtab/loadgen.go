@@ -49,6 +49,23 @@ type clusterCell struct {
 	PinnedFailures    uint64  `json:"pinned_failures"`
 }
 
+// drainCell is the planned-maintenance scenario: a replica is drained
+// mid-storm, its device trackers handed off to the surviving owners.
+// The contract is the opposite of the kill cells: nothing may be lost.
+type drainCell struct {
+	Replicas int `json:"replicas"`
+	// Devices seeded with observation history before the storm; every
+	// one must answer a bitwise-identical cache decision after the drain.
+	Devices            int `json:"devices"`
+	Handoffs           uint64 `json:"handoffs"`
+	LostTrackers       uint64 `json:"lost_trackers"`
+	DecisionsPreserved int `json:"decisions_preserved"`
+	// Anonymous-inference storm running through the drain.
+	Offered int     `json:"offered"`
+	Failed  int     `json:"failed"`
+	DrainMS float64 `json:"drain_ms"`
+}
+
 // clusterRecord is the BENCH_cluster.json schema.
 type clusterRecord struct {
 	Generated  string        `json:"generated"`
@@ -57,6 +74,7 @@ type clusterRecord struct {
 	Requests   int           `json:"requests_per_cell"`
 	RatePerSec float64       `json:"offered_rate_per_sec"`
 	Cells      []clusterCell `json:"cells"`
+	Drain      *drainCell    `json:"drain,omitempty"`
 }
 
 // clusterBench drives an in-process cluster — N replica servers behind
@@ -121,6 +139,12 @@ func clusterBench(out string, quick, enforce bool) error {
 		}
 		rec.Cells = append(rec.Cells, cell)
 	}
+	fmt.Fprintln(os.Stderr, "benchtab: draining a replica mid-storm with device-state handoff...")
+	drain, err := drainCellRun(requests, rate, snap, inputs)
+	if err != nil {
+		return err
+	}
+	rec.Drain = &drain
 
 	fmt.Printf("Cluster failover under open-loop load (%d requests/cell at %.0f req/s, one replica killed mid-run)\n",
 		requests, rate)
@@ -131,6 +155,11 @@ func clusterBench(out string, quick, enforce bool) error {
 			c.Replicas, c.Offered, c.Answered, c.Rejected, c.Failed, c.Failovers,
 			c.P50MS, c.P99MS, c.KillGoodputPerSec, c.ObservesOK, c.ObservesFailed, c.DuplicateDeliveries)
 	}
+	d := rec.Drain
+	fmt.Printf("Planned drain with device-state handoff (%d replicas, %d devices, drain at storm midpoint)\n",
+		d.Replicas, d.Devices)
+	fmt.Printf("  handoffs %d  lost_trackers %d  decisions_preserved %d/%d  infer_failed %d/%d  drain %.1f ms\n",
+		d.Handoffs, d.LostTrackers, d.DecisionsPreserved, d.Devices, d.Failed, d.Offered, d.DrainMS)
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -158,8 +187,173 @@ func clusterBench(out string, quick, enforce bool) error {
 					c.Replicas, c.Failed)
 			}
 		}
+		if d.Handoffs < 1 {
+			return fmt.Errorf("cluster smoke: drain performed no device-state handoffs (devices=%d)", d.Devices)
+		}
+		if d.LostTrackers != 0 {
+			return fmt.Errorf("cluster smoke: planned drain lost %d trackers (want 0)", d.LostTrackers)
+		}
+		if d.DecisionsPreserved != d.Devices {
+			return fmt.Errorf("cluster smoke: only %d/%d device decisions survived the drain bitwise",
+				d.DecisionsPreserved, d.Devices)
+		}
+		if d.Failed != 0 {
+			return fmt.Errorf("cluster smoke: %d idempotent requests failed during the drain (want 0)", d.Failed)
+		}
 	}
 	return nil
+}
+
+// drainCellRun runs the planned-maintenance scenario: 3 replicas, 16
+// devices with seeded observation histories, an anonymous-inference
+// storm, and a drain of the busiest device owner at the midpoint. The
+// drain must hand every tracker to its new rendezvous owner with the
+// cache decision preserved bitwise, while the storm loses nothing.
+func drainCellRun(requests int, rate float64, snap []byte, inputs [][]float64) (drainCell, error) {
+	ctx := context.Background()
+	const replicas, devices = 3, 16
+	cell := drainCell{Replicas: replicas, Devices: devices}
+
+	type replica struct {
+		svc *core.Service
+		srv *httptest.Server
+	}
+	nodes := make([]replica, replicas)
+	urls := make([]string, replicas)
+	for i := range nodes {
+		svc, err := core.NewService(core.Config{
+			Workers: 2, Deadline: 100 * time.Millisecond, QueueDepth: 256,
+			Lookahead: 1, Admission: true,
+		})
+		if err != nil {
+			return cell, err
+		}
+		nodes[i] = replica{svc: svc, srv: httptest.NewServer(service.NewServer(svc))}
+		urls[i] = nodes[i].srv.URL
+		defer nodes[i].srv.Close()
+		defer nodes[i].svc.Close()
+	}
+
+	router, err := cluster.New(cluster.Config{
+		Nodes:         urls,
+		ProbeInterval: 50 * time.Millisecond,
+		SyncInterval:  250 * time.Millisecond,
+		FailThreshold: 3,
+		Retry:         &service.RetryPolicy{MaxAttempts: 4, Budget: 256},
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		return cell, err
+	}
+	router.Start(ctx)
+	defer router.Close()
+	rsrv := httptest.NewServer(router)
+	defer rsrv.Close()
+
+	cli := service.NewClient(rsrv.URL)
+	if err := cli.PutSnapshot(ctx, "bench", snap); err != nil {
+		return cell, fmt.Errorf("installing benchmark model via router: %w", err)
+	}
+
+	// Seed the devices and remember each one's pre-drain decision; pick
+	// the drain victim as the node owning the most of them.
+	type verdict struct {
+		share float64
+		obs   float64
+		hot   []int
+	}
+	before := make(map[string]verdict, devices)
+	owned := make(map[string]int, replicas)
+	for i := 0; i < devices; i++ {
+		dev := fmt.Sprintf("drain-dev-%d", i)
+		for class := 0; class < 3; class++ {
+			if err := cli.Observe(ctx, dev, "bench", class, 1+(i+class)%5); err != nil {
+				return cell, fmt.Errorf("seeding %s: %w", dev, err)
+			}
+		}
+		d, err := cli.CacheDecision(ctx, dev)
+		if err != nil {
+			return cell, fmt.Errorf("pre-drain decision for %s: %w", dev, err)
+		}
+		before[dev] = verdict{share: d.Share, obs: d.Observations, hot: d.Hot}
+		owned[cluster.Pick("dev/"+dev, urls)]++
+	}
+	victim := urls[0]
+	for _, u := range urls {
+		if owned[u] > owned[victim] {
+			victim = u
+		}
+	}
+
+	var (
+		mu     sync.Mutex
+		failed int
+	)
+	offered := requests / 2
+	interval := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	var drainErr error
+	var drainDur time.Duration
+	next := time.Now()
+	for i := 0; i < offered; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		if i == offered/2 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				_, _, drainErr = router.DrainNode(ctx, victim)
+				drainDur = time.Since(t0)
+			}()
+		}
+		wg.Add(1)
+		go func(x []float64) {
+			defer wg.Done()
+			if _, err := cli.Infer(ctx, "bench", x); err != nil {
+				var se *service.ServerError
+				if errors.As(err, &se) && se.Status == 429 {
+					return // admission-control rejects are not losses
+				}
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+		}(inputs[i%len(inputs)])
+	}
+	wg.Wait()
+	if drainErr != nil {
+		return cell, fmt.Errorf("draining %s: %w", victim, drainErr)
+	}
+
+	for dev, want := range before {
+		d, err := cli.CacheDecision(ctx, dev)
+		if err != nil {
+			continue
+		}
+		same := d.Share == want.share && d.Observations == want.obs && len(d.Hot) == len(want.hot)
+		if same {
+			for i := range want.hot {
+				if d.Hot[i] != want.hot[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			cell.DecisionsPreserved++
+		}
+	}
+
+	status := router.Status()
+	cell.Handoffs = status.Handoffs
+	cell.LostTrackers = status.LostTrackers
+	cell.Offered = offered
+	cell.Failed = failed
+	cell.DrainMS = float64(drainDur.Microseconds()) / 1000
+	return cell, nil
 }
 
 // clusterCellRun runs one benchmark cell: replicas servers, one

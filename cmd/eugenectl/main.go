@@ -9,6 +9,17 @@
 //	eugenectl [-addr ...] snapshot -model NAME (-save FILE | -load FILE)
 //	eugenectl [-addr ...] reduce -model NAME -hot 0,2 [-hidden N] [-epochs N] [-save FILE]
 //	eugenectl [-addr ...] cache -device ID (-observe CLASS [-count N] -model NAME | -decision | -subset [-save FILE])
+//	eugenectl [-addr ROUTER] cluster status
+//	eugenectl [-addr ROUTER] cluster add-node -node URL
+//	eugenectl [-addr ROUTER] cluster remove-node -node URL
+//	eugenectl [-addr ROUTER] cluster drain -node URL
+//
+// The cluster subcommands drive a cluster router's membership admin
+// API: status shows per-node health and the handoff/loss counters,
+// add-node admits a replica (after the router syncs snapshots onto
+// it), drain migrates a node's device trackers to their new owners and
+// then removes it, and remove-node force-removes a dead node,
+// forfeiting its trackers.
 package main
 
 import (
@@ -110,6 +121,8 @@ func run() error {
 		return runReduce(ctx, client, args[1:])
 	case "cache":
 		return runCache(ctx, client, args[1:])
+	case "cluster":
+		return runCluster(ctx, client, args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
@@ -237,6 +250,69 @@ func runCache(ctx context.Context, client *eugene.Client, args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("cache requires one of -observe CLASS, -decision, -subset")
+	}
+}
+
+// runCluster drives a cluster router's membership admin API.
+func runCluster(ctx context.Context, client *eugene.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("cluster requires a subcommand: status|add-node|remove-node|drain")
+	}
+	sub, rest := args[0], args[1:]
+	if sub == "status" {
+		st, err := client.ClusterStatus(ctx)
+		if err != nil {
+			return err
+		}
+		for _, n := range st.Nodes {
+			state := "healthy"
+			if n.Draining {
+				state = "draining"
+			} else if !n.Healthy {
+				state = "ejected"
+			}
+			fmt.Printf("%s: %s failures=%d ejections=%d outstanding=%d models=%d\n",
+				n.Base, state, n.ConsecutiveFailures, n.Ejections, n.Outstanding, len(n.Installed))
+			if n.LastError != "" {
+				fmt.Printf("  last error: %s\n", n.LastError)
+			}
+		}
+		fmt.Printf("models=%d proxied=%d failovers=%d pinned_failures=%d handoffs=%d drains=%d lost_trackers=%d\n",
+			len(st.Models), st.Proxied, st.Failovers, st.PinnedFailures, st.Handoffs, st.Drains, st.LostTrackers)
+		return nil
+	}
+	fs := flag.NewFlagSet("cluster "+sub, flag.ContinueOnError)
+	node := fs.String("node", "", "replica base URL, e.g. http://10.0.0.3:8080")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *node == "" {
+		return fmt.Errorf("cluster %s requires -node URL", sub)
+	}
+	switch sub {
+	case "add-node":
+		resp, err := client.AddClusterNode(ctx, *node)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %s\n", resp.Status, resp.Base)
+		return nil
+	case "remove-node":
+		resp, err := client.RemoveClusterNode(ctx, *node)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %s (lost %d device trackers)\n", resp.Status, resp.Base, resp.LostTrackers)
+		return nil
+	case "drain":
+		resp, err := client.DrainClusterNode(ctx, *node)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("drained %s: %d devices, %d trackers handed off\n", resp.Base, resp.Devices, resp.Handoffs)
+		return nil
+	default:
+		return fmt.Errorf("unknown cluster subcommand %q (want status|add-node|remove-node|drain)", sub)
 	}
 }
 

@@ -48,6 +48,19 @@
 // balancing anonymous inference by least-outstanding, and failing over
 // idempotent requests when a replica dies. GET /v1/cluster reports
 // per-node health and installed snapshot versions.
+//
+// Membership is dynamic: POST /v1/cluster/nodes admits a replica at
+// runtime (the router syncs every snapshot onto it before it enters
+// the hash ring), POST /v1/cluster/nodes/{id}/drain migrates a node's
+// device trackers to their new rendezvous owners and then removes it,
+// and DELETE /v1/cluster/nodes/{id} force-removes a dead node,
+// forfeiting its trackers (counted in /v1/cluster). The admin
+// endpoints carry no authentication — run the router inside the same
+// trust boundary as the replicas, never on a public listener. Drive
+// them with eugenectl cluster. For router redundancy, run several
+// routers over the same replica list and give clients the full router
+// list (eugene.NewFailoverClient); routers converge via their
+// reconcile/sync loops.
 package main
 
 import (

@@ -257,12 +257,30 @@ type SubsetModelResponse = service.SubsetModelResponse
 // CacheDecisionResponse is the wire form of a device cache decision.
 type CacheDecisionResponse = service.CacheDecisionResponse
 
+// ClusterStatusResponse is a cluster router's membership, health,
+// replication, and traffic report (GET /v1/cluster).
+type ClusterStatusResponse = service.ClusterStatusResponse
+
+// MembershipResponse reports a cluster membership change (node added
+// or removed).
+type MembershipResponse = service.MembershipResponse
+
+// DrainResponse reports a completed planned drain: devices owned and
+// trackers handed off.
+type DrainResponse = service.DrainResponse
+
 // NewClient builds a client for the given base URL.
 func NewClient(base string) *Client { return service.NewClient(base) }
 
 // NewResilientClient builds a client that retries idempotent operations
 // under service.DefaultRetryPolicy.
 func NewResilientClient(base string) *Client { return service.NewResilientClient(base) }
+
+// NewFailoverClient builds a client that spreads idempotent requests
+// across several equivalent endpoints (redundant cluster routers),
+// failing over to the next when the current one dies. Non-idempotent
+// requests stick to the current endpoint and are never replayed.
+func NewFailoverClient(bases ...string) *Client { return service.NewFailoverClient(bases...) }
 
 // ListenAndServe starts an HTTP server for the service on addr and
 // blocks. The server carries production timeouts so a dead or stalled

@@ -8,6 +8,7 @@ package cache
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -100,6 +101,80 @@ func (f *FreqTracker) Observations() float64 {
 
 // Classes returns the number of tracked classes.
 func (f *FreqTracker) Classes() int { return len(f.counts) }
+
+// TrackerState is a FreqTracker's portable state: the exact internal
+// representation (scaled counts plus the lazy-decay scale factor), so a
+// tracker restored from it answers Share/Observations/TopK — and
+// therefore every cache decision — bitwise identically to the original.
+// This is what device-state handoff moves between cluster nodes on a
+// planned drain.
+type TrackerState struct {
+	// Decay is the per-observation decay factor in (0,1].
+	Decay float64
+	// Inc is the weight of the next observation (the lazy-decay scale;
+	// always in [1, renormAt]).
+	Inc float64
+	// Total is the scaled decayed total; Total/Inc is Observations().
+	Total float64
+	// Counts are the scaled per-class decayed counts (Counts[i]/Inc is
+	// the true decayed count of class i).
+	Counts []float64
+}
+
+// Validate rejects states no live tracker could have produced: wrong
+// scale range, non-finite or negative values, or zero classes. It is
+// the structural gate behind ImportTracker and the snapshot codec, so a
+// corrupt or hostile migration payload cannot install a tracker that
+// later yields NaN shares or phantom hot classes.
+func (s TrackerState) Validate() error {
+	if len(s.Counts) < 1 {
+		return fmt.Errorf("cache: tracker state with no classes")
+	}
+	if !(s.Decay > 0 && s.Decay <= 1) { // NaN fails the comparison
+		return fmt.Errorf("cache: tracker decay %v outside (0,1]", s.Decay)
+	}
+	if !(s.Inc >= 1 && s.Inc <= renormAt) {
+		return fmt.Errorf("cache: tracker scale %v outside [1, %g]", s.Inc, float64(renormAt))
+	}
+	if !(s.Total >= 0) || math.IsInf(s.Total, 0) {
+		return fmt.Errorf("cache: tracker total %v not a finite non-negative value", s.Total)
+	}
+	for i, c := range s.Counts {
+		if !(c >= 0) || math.IsInf(c, 0) {
+			return fmt.Errorf("cache: tracker count[%d] = %v not a finite non-negative value", i, c)
+		}
+	}
+	return nil
+}
+
+// Export returns a copy of the tracker's current state, suitable for
+// serialization and a later ImportTracker on another node.
+func (f *FreqTracker) Export() TrackerState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return TrackerState{
+		Decay:  f.decay,
+		Inc:    f.inc,
+		Total:  f.total,
+		Counts: append([]float64(nil), f.counts...),
+	}
+}
+
+// ImportTracker reconstructs a tracker from exported state, validating
+// it first. The restored tracker is observably identical to the one
+// Export was called on: same shares, same observation total, same TopK
+// ordering, bit for bit.
+func ImportTracker(s TrackerState) (*FreqTracker, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &FreqTracker{
+		counts: append([]float64(nil), s.Counts...),
+		total:  s.Total,
+		decay:  s.Decay,
+		inc:    s.Inc,
+	}, nil
+}
 
 // TopK returns the k most frequent observed classes (descending share,
 // ties broken by lower class id) and their cumulative share. Classes

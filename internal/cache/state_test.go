@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"math"
+	"testing"
+)
+
+// A tracker restored from its exported state must answer every query
+// bitwise identically — shares, observation totals, and the policy
+// verdict built on them. This is the contract the cluster's drain
+// handoff relies on: a migrated device must not notice the move.
+func TestTrackerExportImportRoundTrip(t *testing.T) {
+	f, err := NewFreqTracker(5, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		f.ObserveN(i%5, 1+i%3)
+	}
+	g, err := ImportTracker(f.Export())
+	if err != nil {
+		t.Fatalf("ImportTracker: %v", err)
+	}
+	if got, want := g.Observations(), f.Observations(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("observations %v != %v after round trip", got, want)
+	}
+	for c := 0; c < 5; c++ {
+		if got, want := g.Share(c), f.Share(c); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("share(%d) %v != %v after round trip", c, got, want)
+		}
+	}
+	p := DefaultPolicy()
+	hotA, shareA := p.DecideShare(f)
+	hotB, shareB := p.DecideShare(g)
+	if math.Float64bits(shareA) != math.Float64bits(shareB) || len(hotA) != len(hotB) {
+		t.Fatalf("policy verdict diverged: (%v, %v) vs (%v, %v)", hotA, shareA, hotB, shareB)
+	}
+	for i := range hotA {
+		if hotA[i] != hotB[i] {
+			t.Fatalf("hot sets diverged: %v vs %v", hotA, hotB)
+		}
+	}
+	// The restored tracker must keep evolving identically too.
+	f.ObserveN(2, 7)
+	g.ObserveN(2, 7)
+	if math.Float64bits(f.Share(2)) != math.Float64bits(g.Share(2)) {
+		t.Fatal("trackers diverged after post-import observations")
+	}
+}
+
+// Export must snapshot, not alias: mutating the source after export
+// must not change the exported state.
+func TestTrackerExportIsACopy(t *testing.T) {
+	f, _ := NewFreqTracker(3, 0.99)
+	f.ObserveN(0, 10)
+	st := f.Export()
+	before := st.Counts[0]
+	f.ObserveN(0, 100)
+	if st.Counts[0] != before {
+		t.Fatal("exported counts alias the live tracker")
+	}
+}
+
+func TestTrackerStateValidateRejectsCorruption(t *testing.T) {
+	f, _ := NewFreqTracker(3, 0.999)
+	f.ObserveN(1, 5)
+	good := f.Export()
+	cases := []struct {
+		name string
+		mut  func(*TrackerState)
+	}{
+		{"no classes", func(s *TrackerState) { s.Counts = nil }},
+		{"zero decay", func(s *TrackerState) { s.Decay = 0 }},
+		{"decay above one", func(s *TrackerState) { s.Decay = 1.5 }},
+		{"NaN decay", func(s *TrackerState) { s.Decay = math.NaN() }},
+		{"scale below one", func(s *TrackerState) { s.Inc = 0.5 }},
+		{"scale above renorm bound", func(s *TrackerState) { s.Inc = 1e13 }},
+		{"negative total", func(s *TrackerState) { s.Total = -1 }},
+		{"NaN total", func(s *TrackerState) { s.Total = math.NaN() }},
+		{"negative count", func(s *TrackerState) { s.Counts[0] = -1 }},
+		{"infinite count", func(s *TrackerState) { s.Counts[2] = math.Inf(1) }},
+	}
+	for _, tc := range cases {
+		st := good
+		st.Counts = append([]float64(nil), good.Counts...)
+		tc.mut(&st)
+		if err := st.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted corrupt state %+v", tc.name, st)
+		}
+		if _, err := ImportTracker(st); err == nil {
+			t.Errorf("%s: ImportTracker accepted corrupt state", tc.name)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected a genuine export: %v", err)
+	}
+}

@@ -103,6 +103,10 @@ type node struct {
 	// counters (polled by the prober); 429s propagated from the node
 	// carry a Retry-After floored by this estimate.
 	drain *service.DrainEstimator
+	// draining marks a planned drain in progress: the node leaves the
+	// pick set (healthyNodes skips it) but stays directly reachable so
+	// the router can export its device trackers.
+	draining atomic.Bool
 
 	mu sync.Mutex
 	// installed maps model → snapshot version the router last confirmed
@@ -143,14 +147,38 @@ func (n *node) installedCopy() map[string]string {
 }
 
 // Router fronts a replica fleet with the full /v1 API surface plus
-// GET /v1/cluster. It implements http.Handler; run Start before
-// serving and Close when done.
+// GET /v1/cluster and the membership admin endpoints. It implements
+// http.Handler; run Start before serving and Close when done.
+//
+// recordOwner consults node drain flags while holding the device-owner
+// map lock:
+//
+//eugene:lockorder Router.devMu before Router.nodesMu
 type Router struct {
 	cfg   Config
-	nodes []*node
 	store *store
 	mux   *http.ServeMux
 	proxy *http.Client
+
+	// nodesMu guards the membership slice. The slice is copy-on-write:
+	// mutators build a new slice and swap it under the write lock, so
+	// readers take nodeList's reference and iterate without holding
+	// anything. Critical sections touch only the slice header — no I/O,
+	// no other locks (besides the declared devMu nesting above).
+	nodesMu sync.RWMutex
+	nodes   []*node
+
+	// memberBusy serializes membership operations (add/remove/drain)
+	// without holding a lock across their network calls: a second
+	// concurrent operation is refused, not queued.
+	memberBusy atomic.Bool
+
+	// devMu guards deviceOwners: device id → base URL of the node whose
+	// tracker holds the device's observation history. Recorded on every
+	// successfully forwarded device-pinned request; consulted on drain
+	// to know which trackers must migrate.
+	devMu        sync.Mutex
+	deviceOwners map[string]string
 
 	// failoverBudget is the shared token bucket bounding how many
 	// failover attempts the whole router may spend (see Config.Retry).
@@ -169,6 +197,9 @@ type Router struct {
 	proxied        atomic.Uint64
 	failovers      atomic.Uint64
 	pinnedFailures atomic.Uint64
+	handoffs       atomic.Uint64
+	drains         atomic.Uint64
+	lostTrackers   atomic.Uint64
 }
 
 // New builds a Router over the configured replica set.
@@ -179,27 +210,33 @@ func New(cfg Config) (*Router, error) {
 	}
 	seen := make(map[string]bool, len(cfg.Nodes))
 	r := &Router{
-		cfg:      cfg,
-		store:    newStore(),
-		proxy:    &http.Client{Transport: newProxyTransport()},
-		syncKick: make(chan struct{}, 1),
-		stop:     make(chan struct{}),
+		cfg:          cfg,
+		store:        newStore(),
+		proxy:        &http.Client{Transport: newProxyTransport()},
+		syncKick:     make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		deviceOwners: make(map[string]string),
 	}
 	for _, base := range cfg.Nodes {
 		if base == "" || seen[base] {
 			return nil, fmt.Errorf("cluster: empty or duplicate node %q", base)
 		}
 		seen[base] = true
-		r.nodes = append(r.nodes, &node{
-			base:      base,
-			client:    service.NewClient(base),
-			health:    newHealth(cfg.FailThreshold, cfg.ReinstateThreshold),
-			drain:     &service.DrainEstimator{},
-			installed: make(map[string]string),
-		})
+		r.nodes = append(r.nodes, cfg.newNode(base))
 	}
 	r.routes()
 	return r, nil
+}
+
+// newNode builds the router-side representation of one replica.
+func (c Config) newNode(base string) *node {
+	return &node{
+		base:      base,
+		client:    service.NewClient(base),
+		health:    newHealth(c.FailThreshold, c.ReinstateThreshold),
+		drain:     &service.DrainEstimator{},
+		installed: make(map[string]string),
+	}
 }
 
 // newProxyTransport pools connections per replica: the router holds one
@@ -237,12 +274,25 @@ func (r *Router) Close() {
 // shutdown); replica health is unaffected.
 func (r *Router) SetDraining(v bool) { r.draining.Store(v) }
 
+// nodeList returns the current membership slice. The slice is
+// copy-on-write (mutators swap a fresh slice under nodesMu), so the
+// returned reference is safe to iterate without a lock; it is a
+// point-in-time view that a concurrent add/remove does not disturb.
+func (r *Router) nodeList() []*node {
+	r.nodesMu.RLock()
+	defer r.nodesMu.RUnlock()
+	return r.nodes
+}
+
 // healthyNodes returns the nodes currently receiving traffic, in
-// config order.
+// membership order. Draining nodes are excluded: a drain's first step
+// is taking the node out of the pick set so pinned traffic lands on
+// each device's next owner.
 func (r *Router) healthyNodes() []*node {
-	out := make([]*node, 0, len(r.nodes))
-	for _, n := range r.nodes {
-		if n.health.healthy() {
+	nodes := r.nodeList()
+	out := make([]*node, 0, len(nodes))
+	for _, n := range nodes {
+		if n.health.healthy() && !n.draining.Load() {
 			out = append(out, n)
 		}
 	}
@@ -293,7 +343,7 @@ func (r *Router) probeLoop() {
 		case <-ticker.C:
 		}
 		var wg sync.WaitGroup
-		for _, n := range r.nodes {
+		for _, n := range r.nodeList() {
 			wg.Add(1)
 			go func(n *node) {
 				defer wg.Done()
@@ -346,8 +396,11 @@ func (r *Router) Status() service.ClusterStatusResponse {
 		Proxied:        r.proxied.Load(),
 		Failovers:      r.failovers.Load(),
 		PinnedFailures: r.pinnedFailures.Load(),
+		Handoffs:       r.handoffs.Load(),
+		Drains:         r.drains.Load(),
+		LostTrackers:   r.lostTrackers.Load(),
 	}
-	for _, n := range r.nodes {
+	for _, n := range r.nodeList() {
 		healthy, fails, ejections, lastErr := n.health.snapshot()
 		out.Nodes = append(out.Nodes, service.ClusterNodeStatus{
 			Base:                n.base,
@@ -357,6 +410,7 @@ func (r *Router) Status() service.ClusterStatusResponse {
 			Outstanding:         n.outstanding.Load(),
 			Installed:           n.installedCopy(),
 			LastError:           lastErr,
+			Draining:            n.draining.Load(),
 		})
 	}
 	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Base < out.Nodes[j].Base })

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"eugene/internal/failpoint"
@@ -25,6 +26,8 @@ const (
 	maxProxyInferBody   = 1 << 20
 	maxProxyBatchBody   = 32 << 20
 	maxProxyObserveBody = 4 << 10
+	maxProxyDeviceState = 64 << 10
+	maxProxyAdminBody   = 4 << 10
 )
 
 // routes registers the router's HTTP surface: the full replica /v1 API
@@ -34,6 +37,14 @@ func (r *Router) routes() {
 	r.mux.HandleFunc("GET /v1/healthz", r.handleHealthz)
 	r.mux.HandleFunc("GET /v1/readyz", r.handleReadyz)
 	r.mux.HandleFunc("GET /v1/cluster", r.handleCluster)
+
+	// Membership admin. The node id path segment is the
+	// url.PathEscape'd base URL. No authentication — deploy the admin
+	// surface behind the same trust boundary as the replicas themselves
+	// (see README, Cluster section).
+	r.mux.HandleFunc("POST /v1/cluster/nodes", r.handleNodeAdd)
+	r.mux.HandleFunc("DELETE /v1/cluster/nodes/{id}", r.handleNodeRemove)
+	r.mux.HandleFunc("POST /v1/cluster/nodes/{id}/drain", r.handleNodeDrain)
 	r.mux.HandleFunc("GET /v1/stats", r.handleStats)
 	r.mux.HandleFunc("GET /v1/models", r.handleModels)
 
@@ -61,6 +72,8 @@ func (r *Router) routes() {
 	r.mux.HandleFunc("POST /v1/devices/{id}/observe", r.pinnedDevice(maxProxyObserveBody))
 	r.mux.HandleFunc("GET /v1/devices/{id}/cache-decision", r.pinnedDevice(0))
 	r.mux.HandleFunc("GET /v1/devices/{id}/subset-model", r.pinnedDevice(0))
+	r.mux.HandleFunc("GET /v1/devices/{id}/state", r.pinnedDevice(0))
+	r.mux.HandleFunc("PUT /v1/devices/{id}/state", r.pinnedDevice(maxProxyDeviceState))
 }
 
 // ServeHTTP implements http.Handler.
@@ -87,6 +100,58 @@ func (r *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (r *Router) handleCluster(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, r.Status())
+}
+
+// membershipStatus maps a membership error to its admin-API status.
+func membershipStatus(err error) int {
+	switch {
+	case errors.Is(err, errNotMember):
+		return http.StatusNotFound
+	case errors.Is(err, errAlreadyMember),
+		errors.Is(err, errLastNode),
+		errors.Is(err, errMembershipBusy):
+		return http.StatusConflict
+	case errors.Is(err, errJoinSync), errors.Is(err, errHandoff):
+		return http.StatusBadGateway
+	}
+	return http.StatusBadRequest
+}
+
+func (r *Router) handleNodeAdd(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req, maxProxyAdminBody)
+	if !ok {
+		return
+	}
+	var in service.AddNodeRequest
+	if err := json.Unmarshal(body, &in); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := r.AddNode(req.Context(), in.Base); err != nil {
+		writeError(w, membershipStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, service.MembershipResponse{Status: "added", Base: in.Base})
+}
+
+func (r *Router) handleNodeRemove(w http.ResponseWriter, req *http.Request) {
+	base := req.PathValue("id")
+	lost, err := r.RemoveNode(base)
+	if err != nil {
+		writeError(w, membershipStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, service.MembershipResponse{Status: "removed", Base: base, LostTrackers: lost})
+}
+
+func (r *Router) handleNodeDrain(w http.ResponseWriter, req *http.Request) {
+	base := req.PathValue("id")
+	devices, handoffs, err := r.DrainNode(req.Context(), base)
+	if err != nil {
+		writeError(w, membershipStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, service.DrainResponse{Base: base, Devices: devices, Handoffs: handoffs})
 }
 
 // handleStats aggregates /v1/stats across healthy replicas: counters
@@ -325,6 +390,11 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, rt route) (*n
 		n.health.onSuccess()
 		if attempt > 0 {
 			r.failoverBudget.Credit(r.cfg.Retry.Budget)
+		}
+		if dev, ok := strings.CutPrefix(rt.key, "dev/"); ok && resp.status < 400 {
+			// The node answered for this device, so its tracker (and the
+			// observation the request may have carried) lives there now.
+			r.recordOwner(dev, n.base)
 		}
 		r.relay(w, n, resp)
 		return n, resp.status

@@ -84,7 +84,7 @@ func (s *store) versions() map[string]string {
 // primed with what it actually reports, so the first sync pass pushes
 // exactly the divergent (node, model) pairs and nothing else.
 func (r *Router) reconcile(ctx context.Context) {
-	for _, n := range r.nodes {
+	for _, n := range r.nodeList() {
 		nctx, cancel := context.WithTimeout(ctx, r.cfg.probeTimeout()+2*time.Second)
 		names, err := n.client.Models(nctx)
 		if err != nil {
@@ -169,7 +169,7 @@ func (r *Router) syncPass(ctx context.Context) {
 		if !ok {
 			continue
 		}
-		for _, n := range r.nodes {
+		for _, n := range r.nodeList() {
 			if !n.health.healthy() || n.installedVersion(name) == want {
 				continue
 			}
@@ -213,7 +213,7 @@ func (r *Router) installSnapshot(ctx context.Context, name string, raw []byte) (
 		return "", 0, err
 	}
 	canonical, _, _ := r.store.get(name)
-	for _, n := range r.nodes {
+	for _, n := range r.nodeList() {
 		if !n.health.healthy() {
 			continue
 		}

@@ -59,6 +59,49 @@ func TestPickRemapBoundOnNodeLoss(t *testing.T) {
 	}
 }
 
+// Adding one node to N must steal only (about) a 1/(N+1) share, every
+// stolen key must land on the newcomer, and no key may move between
+// two pre-existing nodes — the membership-change contract that keeps a
+// join from resetting unrelated devices' cache trackers.
+func TestPickRemapBoundOnNodeJoin(t *testing.T) {
+	const keys = 20000
+	nodes := ringNodes(4)
+	joined := append(append([]string{}, nodes...), "http://node-new:8080")
+
+	remapped := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("dev/device-%d", i)
+		before := Pick(key, nodes)
+		after := Pick(key, joined)
+		if after != before {
+			if after != "http://node-new:8080" {
+				t.Fatalf("key %q moved %q -> %q on a join; may only move to the new node", key, before, after)
+			}
+			remapped++
+		}
+	}
+	// The newcomer's share should be near 1/5 of keys.
+	frac := float64(remapped) / keys
+	if frac < 0.10 || frac > 0.35 {
+		t.Fatalf("join stole %.1f%% of keys; want roughly 20%%", 100*frac)
+	}
+}
+
+// A remove followed by a re-add of the same base must restore the
+// original assignment exactly: node identity is the base URL, so a
+// drained-then-readmitted replica owns its old devices again.
+func TestPickRemapRoundTripOnRejoin(t *testing.T) {
+	nodes := ringNodes(5)
+	without := append(append([]string{}, nodes[:2]...), nodes[3:]...)
+	rejoined := append(append([]string{}, without...), nodes[2])
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("dev/device-%d", i)
+		if a, b := Pick(key, nodes), Pick(key, rejoined); a != b {
+			t.Fatalf("key %q moved %q -> %q after a remove/re-add round trip", key, a, b)
+		}
+	}
+}
+
 // The ring should spread keys roughly evenly — no node may own a
 // degenerate share.
 func TestPickBalance(t *testing.T) {

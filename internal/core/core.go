@@ -144,6 +144,12 @@ type Service struct {
 // ErrClosed is returned for operations on a closed service.
 var ErrClosed = errors.New("core: service closed")
 
+// ErrBadDeviceState is returned when an imported device state cannot be
+// installed: the tracker's class count does not match the target model,
+// or the state fails structural validation. It maps to a 400 over HTTP
+// — a migration payload the service must reject, not a server fault.
+var ErrBadDeviceState = errors.New("core: bad device state")
+
 // NewService builds a service. When cfg.DataDir is set, every model
 // snapshot found there is restored into the registry before the service
 // accepts requests (load-on-boot); a file that fails to decode aborts
@@ -784,6 +790,50 @@ func (s *Service) CacheDecision(device string) (CacheDecision, error) {
 		Share:        share,
 		Observations: st.tracker.Observations(),
 	}, nil
+}
+
+// ExportDeviceState returns the device's model name and a copy of its
+// frequency-tracker state, the payload of a device-state handoff: a
+// tracker restored from it (ImportDeviceState on another node) answers
+// every cache decision bitwise identically. The device keeps serving
+// here — export does not detach anything, so a failed migration leaves
+// the source state intact.
+func (s *Service) ExportDeviceState(device string) (string, cache.TrackerState, error) {
+	s.devMu.Lock()
+	st, ok := s.devices[device]
+	s.devMu.Unlock()
+	if !ok {
+		return "", cache.TrackerState{}, fmt.Errorf("core: unknown device %q (no observations yet)", device)
+	}
+	return st.model, st.tracker.Export(), nil
+}
+
+// ImportDeviceState installs a migrated frequency tracker for device,
+// replacing any existing state (a re-delivered migration must converge
+// on the migrated state, not double-count it). The model must be
+// registered here and its class count must match the tracker's —
+// otherwise ErrBadDeviceState, and nothing is installed.
+func (s *Service) ImportDeviceState(device, model string, ts cache.TrackerState) error {
+	if device == "" {
+		return fmt.Errorf("core: empty device id")
+	}
+	entry, err := s.get(model)
+	if err != nil {
+		return err
+	}
+	tracker, err := cache.ImportTracker(ts)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadDeviceState, err)
+	}
+	if tracker.Classes() != entry.Model.Classes {
+		return fmt.Errorf("%w: tracker covers %d classes, model %q has %d",
+			ErrBadDeviceState, tracker.Classes(), model, entry.Model.Classes)
+	}
+	st := &deviceState{model: model, tracker: tracker, policy: cache.DefaultPolicy()}
+	s.devMu.Lock()
+	s.devices[device] = st
+	s.devMu.Unlock()
+	return nil
 }
 
 // DeviceSubset returns the reduced model a device should cache: it

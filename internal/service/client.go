@@ -60,6 +60,15 @@ func DefaultRetryPolicy() *RetryPolicy {
 type Client struct {
 	// Base is the server URL, e.g. "http://localhost:8080".
 	Base string
+	// Routers, when non-empty, overrides Base with a list of equivalent
+	// endpoints (typically redundant cluster routers over the same
+	// replica fleet). The client sticks to one router and fails
+	// idempotent requests over to the next when it dies (transport
+	// error or gateway-class 5xx) — overload (429) does not trigger
+	// failover, since a saturated fleet is saturated through every
+	// router. Non-idempotent requests never fail over; they go to the
+	// current router and report its error.
+	Routers []string
 	// HTTP is the underlying client; nil uses the package's shared
 	// pooled client (see sharedClient). The shared client sets no
 	// overall Timeout and does not inherit customizations made to
@@ -78,6 +87,9 @@ type Client struct {
 
 	// budget is the retry token bucket (lazy-filled on first use).
 	budget RetryBudget
+	// routerIdx is the cursor into Routers: requests stick to
+	// Routers[routerIdx mod len] until a failover advances it.
+	routerIdx atomic.Uint64
 }
 
 // NewClient builds a client for the given base URL.
@@ -86,6 +98,58 @@ func NewClient(base string) *Client { return &Client{Base: base} }
 // NewResilientClient builds a client with DefaultRetryPolicy retries.
 func NewResilientClient(base string) *Client {
 	return &Client{Base: base, Retry: DefaultRetryPolicy()}
+}
+
+// NewFailoverClient builds a client that spreads idempotent retries
+// across several equivalent endpoints (redundant cluster routers) under
+// DefaultRetryPolicy. With one base it behaves exactly like
+// NewResilientClient.
+func NewFailoverClient(bases ...string) *Client {
+	return &Client{Routers: bases, Retry: DefaultRetryPolicy()}
+}
+
+// baseList is the ordered endpoint set: Routers when set, else the
+// single Base.
+func (c *Client) baseList() []string {
+	if len(c.Routers) > 0 {
+		return c.Routers
+	}
+	return []string{c.Base}
+}
+
+// currentBase is the endpoint requests currently stick to.
+func (c *Client) currentBase() string {
+	bases := c.baseList()
+	return bases[c.routerIdx.Load()%uint64(len(bases))]
+}
+
+// failoverWorthy reports whether err indicates the endpoint itself is
+// gone or wedged (transport failure, gateway-class 5xx) rather than the
+// request being bad or the fleet overloaded. Only these advance the
+// router cursor.
+func failoverWorthy(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return true // transport-level failure
+}
+
+// noteFailure advances the router cursor past the endpoint at idx when
+// err suggests that endpoint is dead. CompareAndSwap keeps concurrent
+// failures from skipping endpoints: many requests failing against the
+// same router advance the cursor once.
+func (c *Client) noteFailure(idx uint64, err error) {
+	if len(c.baseList()) > 1 && failoverWorthy(err) {
+		c.routerIdx.CompareAndSwap(idx, idx+1)
+	}
 }
 
 // sharedClient backs every Client without an explicit HTTP override.
@@ -252,13 +316,19 @@ func backoffWait(ctx context.Context, p *RetryPolicy, retry int, hint time.Durat
 	}
 }
 
-// doIdempotent runs attempt under the client's retry policy. attempt
-// must build a fresh request each call (a consumed body cannot be
-// resent). Only idempotent operations may come through here.
-func (c *Client) doIdempotent(ctx context.Context, attempt func() error) error {
+// doIdempotent runs attempt under the client's retry policy, passing
+// the endpoint to aim each try at. attempt must build a fresh request
+// each call (a consumed body cannot be resent). Only idempotent
+// operations may come through here: with multiple Routers configured a
+// failed attempt advances the endpoint cursor, so a retry may replay
+// the request against a different router.
+func (c *Client) doIdempotent(ctx context.Context, attempt func(base string) error) error {
 	p := c.Retry
 	if p == nil || p.MaxAttempts <= 1 {
-		return attempt()
+		idx := c.routerIdx.Load()
+		err := attempt(c.baseList()[idx%uint64(len(c.baseList()))])
+		c.noteFailure(idx, err)
+		return err
 	}
 	var lastErr error
 	for i := 0; i < p.MaxAttempts; i++ {
@@ -280,11 +350,13 @@ func (c *Client) doIdempotent(ctx context.Context, attempt func() error) error {
 			}
 			return err
 		}
-		lastErr = attempt()
+		idx := c.routerIdx.Load()
+		lastErr = attempt(c.baseList()[idx%uint64(len(c.baseList()))])
 		if lastErr == nil {
 			c.budget.Credit(p.Budget)
 			return nil
 		}
+		c.noteFailure(idx, lastErr)
 		if !retryable(lastErr) {
 			return lastErr
 		}
@@ -310,7 +382,7 @@ func (c *Client) drainFloor(ctx context.Context, lastErr error) time.Duration {
 		// inside a backoff decision would compound retries.
 		sctx, cancel := context.WithTimeout(ctx, drainSampleTimeout)
 		var out StatsResponse
-		if err := c.fetchJSONOnce(sctx, c.Base+"/v1/stats", &out); err == nil {
+		if err := c.fetchJSONOnce(sctx, c.currentBase()+"/v1/stats", &out); err == nil {
 			c.Drain.Observe(out.Models)
 		}
 		cancel()
@@ -399,13 +471,13 @@ func (c *Client) InferObserved(ctx context.Context, name, device string, input [
 // requests the half-size float32 weight payload; empty or "f64" the
 // lossless float64 form.
 func (c *Client) Snapshot(ctx context.Context, name, precision string) ([]byte, error) {
-	u := fmt.Sprintf("%s/v1/models/%s/snapshot", c.Base, url.PathEscape(name))
+	path := fmt.Sprintf("/v1/models/%s/snapshot", url.PathEscape(name))
 	if precision != "" {
-		u += "?precision=" + url.QueryEscape(precision)
+		path += "?precision=" + url.QueryEscape(precision)
 	}
 	var raw []byte
-	err := c.doIdempotent(ctx, func() error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	err := c.doIdempotent(ctx, func(base string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 		if err != nil {
 			return fmt.Errorf("service: building request: %w", err)
 		}
@@ -431,7 +503,7 @@ func (c *Client) Snapshot(ctx context.Context, name, precision string) ([]byte, 
 // PutSnapshot uploads a snapshot, installing (and, when the server has
 // a data dir, persisting) it under name.
 func (c *Client) PutSnapshot(ctx context.Context, name string, raw []byte) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, fmt.Sprintf("%s/v1/models/%s/snapshot", c.Base, url.PathEscape(name)), bytes.NewReader(raw))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, fmt.Sprintf("%s/v1/models/%s/snapshot", c.currentBase(), url.PathEscape(name)), bytes.NewReader(raw))
 	if err != nil {
 		return fmt.Errorf("service: building request: %w", err)
 	}
@@ -464,18 +536,19 @@ func (c *Client) Observe(ctx context.Context, device, model string, class, count
 // CacheDecision fetches the caching policy's verdict for a device.
 func (c *Client) CacheDecision(ctx context.Context, device string) (*CacheDecisionResponse, error) {
 	var out CacheDecisionResponse
-	u := fmt.Sprintf("%s/v1/devices/%s/cache-decision", c.Base, url.PathEscape(device))
-	if err := c.getJSON(ctx, u, "fetching cache decision", &out); err != nil {
+	path := fmt.Sprintf("/v1/devices/%s/cache-decision", url.PathEscape(device))
+	if err := c.getJSON(ctx, path, "fetching cache decision", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// getJSON fetches u and decodes the JSON response, retrying under the
-// client's policy (GETs are idempotent by construction).
-func (c *Client) getJSON(ctx context.Context, u, what string, out any) error {
-	return c.doIdempotent(ctx, func() error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+// getJSON fetches path (base-relative) and decodes the JSON response,
+// retrying under the client's policy (GETs are idempotent by
+// construction) and failing over across Routers when configured.
+func (c *Client) getJSON(ctx context.Context, path, what string, out any) error {
+	return c.doIdempotent(ctx, func(base string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 		if err != nil {
 			return fmt.Errorf("service: building request: %w", err)
 		}
@@ -494,7 +567,7 @@ func (c *Client) getJSON(ctx context.Context, u, what string, out any) error {
 // right choice for bandwidth-constrained devices — the decoded model
 // predicts the same classes).
 func (c *Client) SubsetModel(ctx context.Context, device string, hidden, epochs int, precision string) (*SubsetModelResponse, error) {
-	u := fmt.Sprintf("%s/v1/devices/%s/subset-model", c.Base, url.PathEscape(device))
+	u := fmt.Sprintf("/v1/devices/%s/subset-model", url.PathEscape(device))
 	q := url.Values{}
 	if hidden > 0 {
 		q.Set("hidden", strconv.Itoa(hidden))
@@ -524,7 +597,7 @@ func (c *Client) DecodeSubset(resp *SubsetModelResponse) (*cache.SubsetModel, er
 // Stats fetches per-model serving counters.
 func (c *Client) Stats(ctx context.Context) (map[string]ModelStats, error) {
 	var out StatsResponse
-	if err := c.getJSON(ctx, c.Base+"/v1/stats", "fetching stats", &out); err != nil {
+	if err := c.getJSON(ctx, "/v1/stats", "fetching stats", &out); err != nil {
 		return nil, err
 	}
 	return out.Models, nil
@@ -535,7 +608,7 @@ func (c *Client) Models(ctx context.Context) ([]string, error) {
 	var out struct {
 		Models []string `json:"models"`
 	}
-	if err := c.getJSON(ctx, c.Base+"/v1/models", "listing models", &out); err != nil {
+	if err := c.getJSON(ctx, "/v1/models", "listing models", &out); err != nil {
 		return nil, err
 	}
 	return out.Models, nil
@@ -561,7 +634,7 @@ func (c *Client) Ready(ctx context.Context) error {
 		ctx, cancel = context.WithTimeout(ctx, DefaultProbeTimeout)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/readyz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.currentBase()+"/v1/readyz", nil)
 	if err != nil {
 		return fmt.Errorf("service: building request: %w", err)
 	}
@@ -581,7 +654,7 @@ func (c *Client) Ready(ctx context.Context) error {
 // to detect replica divergence without transferring snapshot bytes.
 func (c *Client) ModelVersion(ctx context.Context, name string) (string, error) {
 	var out VersionResponse
-	u := fmt.Sprintf("%s/v1/models/%s/version", c.Base, url.PathEscape(name))
+	u := fmt.Sprintf("/v1/models/%s/version", url.PathEscape(name))
 	if err := c.getJSON(ctx, u, "fetching model version", &out); err != nil {
 		return "", err
 	}
@@ -593,7 +666,104 @@ func (c *Client) ModelVersion(ctx context.Context, name string) (string, error) 
 // 404 ServerError.
 func (c *Client) ClusterStatus(ctx context.Context) (*ClusterStatusResponse, error) {
 	var out ClusterStatusResponse
-	if err := c.getJSON(ctx, c.Base+"/v1/cluster", "fetching cluster status", &out); err != nil {
+	if err := c.getJSON(ctx, "/v1/cluster", "fetching cluster status", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeviceState downloads a device's cache state (model + frequency
+// tracker) in snapshot wire format. Idempotent: reading state does not
+// disturb it, so the fetch is retried under the client's policy.
+func (c *Client) DeviceState(ctx context.Context, device string) ([]byte, error) {
+	path := fmt.Sprintf("/v1/devices/%s/state", url.PathEscape(device))
+	var raw []byte
+	err := c.doIdempotent(ctx, func(base string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return fmt.Errorf("service: building request: %w", err)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("service: fetching device state: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return serverError(resp)
+		}
+		if raw, err = io.ReadAll(resp.Body); err != nil {
+			return fmt.Errorf("service: reading device state: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// PutDeviceState installs a migrated device cache state (a payload from
+// DeviceState). Not retried: an ambiguous failure mid-handoff must
+// surface to the caller, which decides whether re-sending the same
+// state is safe (it is — import replaces — but the handoff protocol
+// owns that decision).
+func (c *Client) PutDeviceState(ctx context.Context, device string, raw []byte) error {
+	u := fmt.Sprintf("%s/v1/devices/%s/state", c.currentBase(), url.PathEscape(device))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("service: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service: uploading device state: %w", err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, &map[string]string{})
+}
+
+// AddClusterNode asks a cluster router to admit a new replica at base:
+// the router syncs every stored snapshot to it and then adds it to the
+// hash ring. Not retried (membership changes are not idempotent).
+func (c *Client) AddClusterNode(ctx context.Context, base string) (*MembershipResponse, error) {
+	var out MembershipResponse
+	if err := c.post(ctx, "/v1/cluster/nodes", AddNodeRequest{Base: base}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RemoveClusterNode force-removes a replica from a cluster router
+// without migrating its device trackers — the unplanned-loss path, used
+// when the node is already dead. Devices pinned to it restart cold;
+// the response counts the forfeited trackers. Use DrainClusterNode for
+// a planned removal.
+func (c *Client) RemoveClusterNode(ctx context.Context, base string) (*MembershipResponse, error) {
+	u := fmt.Sprintf("%s/v1/cluster/nodes/%s", c.currentBase(), url.PathEscape(base))
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: removing cluster node: %w", err)
+	}
+	defer resp.Body.Close()
+	var out MembershipResponse
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DrainClusterNode asks a cluster router to drain the replica at base:
+// the node leaves the pick set, every device tracker it owns is
+// migrated to the device's new rendezvous owner, and only then is the
+// node removed from membership. Not retried.
+func (c *Client) DrainClusterNode(ctx context.Context, base string) (*DrainResponse, error) {
+	var out DrainResponse
+	path := fmt.Sprintf("/v1/cluster/nodes/%s/drain", url.PathEscape(base))
+	if err := c.post(ctx, path, struct{}{}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -601,7 +771,7 @@ func (c *Client) ClusterStatus(ctx context.Context) (*ClusterStatusResponse, err
 
 // Healthy probes the server.
 func (c *Client) Healthy(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.currentBase()+"/v1/healthz", nil)
 	if err != nil {
 		return fmt.Errorf("service: building request: %w", err)
 	}
@@ -632,13 +802,18 @@ func (c *Client) postIdempotent(ctx context.Context, path string, body, out any)
 	if err != nil {
 		return fmt.Errorf("service: encoding request: %w", err)
 	}
-	return c.doIdempotent(ctx, func() error { return c.postRaw(ctx, path, raw, out) })
+	return c.doIdempotent(ctx, func(base string) error { return c.postRawTo(ctx, base, path, raw, out) })
 }
 
-// postRaw sends one POST attempt with a fresh body reader, so retries
-// never resend a half-consumed body.
+// postRaw sends one POST attempt against the current endpoint.
 func (c *Client) postRaw(ctx context.Context, path string, raw []byte, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(raw))
+	return c.postRawTo(ctx, c.currentBase(), path, raw, out)
+}
+
+// postRawTo sends one POST attempt to base with a fresh body reader, so
+// retries never resend a half-consumed body.
+func (c *Client) postRawTo(ctx context.Context, base, path string, raw []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(raw))
 	if err != nil {
 		return fmt.Errorf("service: building request: %w", err)
 	}

@@ -206,6 +206,9 @@ type ClusterNodeStatus struct {
 	// LastError is the most recent probe/replication failure, empty
 	// when none.
 	LastError string `json:"last_error,omitempty"`
+	// Draining reports a planned drain in progress: the node is out of
+	// the pick set while the router migrates its device trackers.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // ClusterStatusResponse is the GET /v1/cluster payload: the router's
@@ -227,6 +230,40 @@ type ClusterStatusResponse struct {
 	// those, so this is also the count of requests a node loss visibly
 	// failed.
 	PinnedFailures uint64 `json:"pinned_failures"`
+	// Handoffs counts device trackers migrated to a new owner during
+	// planned drains.
+	Handoffs uint64 `json:"handoffs"`
+	// Drains counts planned drains completed successfully.
+	Drains uint64 `json:"drains"`
+	// LostTrackers counts device trackers that could not be migrated:
+	// devices pinned to a node that died or was force-removed without a
+	// drain. Those devices restart cold on their new owner.
+	LostTrackers uint64 `json:"lost_trackers"`
+}
+
+// AddNodeRequest is the POST /v1/cluster/nodes body: the base URL of
+// the replica to join.
+type AddNodeRequest struct {
+	Base string `json:"base"`
+}
+
+// MembershipResponse reports the outcome of a membership change
+// (add or remove).
+type MembershipResponse struct {
+	Status string `json:"status"`
+	Base   string `json:"base"`
+	// LostTrackers is the number of device trackers forfeited by a
+	// forced removal (always 0 for add and drain).
+	LostTrackers int `json:"lost_trackers,omitempty"`
+}
+
+// DrainResponse reports a completed planned drain: how many pinned
+// devices the node owned and how many trackers were handed off to new
+// owners (devices with no observations yet have nothing to migrate).
+type DrainResponse struct {
+	Base     string `json:"base"`
+	Devices  int    `json:"devices"`
+	Handoffs int    `json:"handoffs"`
 }
 
 // ErrorResponse is the JSON error body.
@@ -258,6 +295,10 @@ const (
 	maxInferBody   = 1 << 20   // single-sample infer
 	maxBatchBody   = 32 << 20  // infer-batch
 	maxObserveBody = 4 << 10   // device observations
+	// maxDeviceStateBody caps PUT /v1/devices/{id}/state: a tracker
+	// state is a few floats per class, so 64 KiB covers thousands of
+	// classes while keeping a hostile migration payload small.
+	maxDeviceStateBody = 64 << 10
 )
 
 // NewServer builds the HTTP front end.
@@ -278,6 +319,8 @@ func NewServer(svc *core.Service) *Server {
 	s.mux.HandleFunc("POST /v1/devices/{id}/observe", s.handleObserve)
 	s.mux.HandleFunc("GET /v1/devices/{id}/cache-decision", s.handleCacheDecision)
 	s.mux.HandleFunc("GET /v1/devices/{id}/subset-model", s.handleSubsetModel)
+	s.mux.HandleFunc("GET /v1/devices/{id}/state", s.handleDeviceStateGet)
+	s.mux.HandleFunc("PUT /v1/devices/{id}/state", s.handleDeviceStatePut)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -641,6 +684,56 @@ func (s *Server) handleSubsetModel(w http.ResponseWriter, r *http.Request) {
 	writeSubset(w, sub, precision == core.PrecisionF32)
 }
 
+// handleDeviceStateGet exports a device's cache state (model name +
+// frequency tracker) in snapshot wire format. The cluster router calls
+// this during a planned drain to migrate the tracker to the device's
+// next owner; export does not disturb the live tracker.
+func (s *Server) handleDeviceStateGet(w http.ResponseWriter, r *http.Request) {
+	model, ts, err := s.svc.ExportDeviceState(r.PathValue("id"))
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := snapshot.EncodeDeviceState(&buf, &snapshot.DeviceState{Model: model, Tracker: ts}); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleDeviceStatePut installs a migrated device tracker. The payload
+// is CRC-framed and validated (finite counts, scale range, class count
+// matching the target model), so a truncated or cross-model migration
+// is rejected with a 4xx and the device's existing state is untouched.
+func (s *Server) handleDeviceStatePut(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxDeviceStateBody)
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("device state exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading device state: %w", err))
+		}
+		return
+	}
+	ds, err := snapshot.DecodeDeviceState(bytes.NewReader(raw))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.ImportDeviceState(r.PathValue("id"), ds.Model, ds.Tracker); err != nil {
+		writeFailure(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
 // writeSubset serializes a reduced model into the wire response; f32
 // selects the half-size float32 artifact kind (the edge-download form).
 func writeSubset(w http.ResponseWriter, sub *cache.SubsetModel, f32 bool) {
@@ -691,6 +784,8 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, core.ErrClosed), errors.Is(err, sched.ErrStopped):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrBadDeviceState):
+		return http.StatusBadRequest
 	case errors.As(err, &fp): // injected faults read as transient
 		return http.StatusServiceUnavailable
 	}

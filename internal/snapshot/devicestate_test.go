@@ -1,0 +1,146 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"eugene/internal/cache"
+)
+
+func sampleDeviceState(t *testing.T) *DeviceState {
+	t.Helper()
+	f, err := cache.NewFreqTracker(4, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		f.ObserveN(i%4, 1+i%2)
+	}
+	return &DeviceState{Model: "edge-model", Tracker: f.Export()}
+}
+
+func TestDeviceStateRoundTrip(t *testing.T) {
+	want := sampleDeviceState(t)
+	var buf bytes.Buffer
+	if err := EncodeDeviceState(&buf, want); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeDeviceState(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Model != want.Model {
+		t.Fatalf("model %q != %q", got.Model, want.Model)
+	}
+	if math.Float64bits(got.Tracker.Decay) != math.Float64bits(want.Tracker.Decay) ||
+		math.Float64bits(got.Tracker.Inc) != math.Float64bits(want.Tracker.Inc) ||
+		math.Float64bits(got.Tracker.Total) != math.Float64bits(want.Tracker.Total) {
+		t.Fatalf("tracker scalars changed: %+v vs %+v", got.Tracker, want.Tracker)
+	}
+	for i := range want.Tracker.Counts {
+		if math.Float64bits(got.Tracker.Counts[i]) != math.Float64bits(want.Tracker.Counts[i]) {
+			t.Fatalf("count %d changed: %v vs %v", i, got.Tracker.Counts[i], want.Tracker.Counts[i])
+		}
+	}
+}
+
+// Every corrupted byte must be caught by the CRC (or, for the few
+// positions whose corruption keeps the frame self-consistent, by
+// validation) — never decoded into a silently different tracker.
+func TestDeviceStateRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeDeviceState(&buf, sampleDeviceState(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := 0; i < len(raw); i++ {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x40
+		if _, err := DecodeDeviceState(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+}
+
+func TestDeviceStateRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeDeviceState(&buf, sampleDeviceState(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, n := range []int{0, 1, len(raw) / 2, len(raw) - 1} {
+		if _, err := DecodeDeviceState(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, err := DecodeDeviceState(bytes.NewReader(append(raw, 0))); err == nil {
+		t.Fatal("trailing byte went undetected")
+	}
+}
+
+// A device-state frame is not a model snapshot and vice versa: kind
+// bytes must not be interchangeable.
+func TestDeviceStateRejectsWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeDeviceState(&buf, sampleDeviceState(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeModel(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("DecodeModel accepted a device-state frame")
+	}
+}
+
+func TestEncodeDeviceStateValidates(t *testing.T) {
+	ok := sampleDeviceState(t)
+	var buf bytes.Buffer
+	if err := EncodeDeviceState(&buf, nil); err == nil {
+		t.Fatal("nil state encoded")
+	}
+	noModel := *ok
+	noModel.Model = ""
+	if err := EncodeDeviceState(&buf, &noModel); err == nil {
+		t.Fatal("empty model name encoded")
+	}
+	longName := *ok
+	longName.Model = strings.Repeat("x", maxDeviceStateModel+1)
+	if err := EncodeDeviceState(&buf, &longName); err == nil {
+		t.Fatal("oversized model name encoded")
+	}
+	badTracker := *ok
+	badTracker.Tracker.Counts = append([]float64(nil), ok.Tracker.Counts...)
+	badTracker.Tracker.Counts[0] = math.NaN()
+	if err := EncodeDeviceState(&buf, &badTracker); err == nil {
+		t.Fatal("NaN count encoded")
+	}
+}
+
+func FuzzDecodeDeviceState(f *testing.F) {
+	var buf bytes.Buffer
+	fr, err := cache.NewFreqTracker(3, 0.99)
+	if err != nil {
+		f.Fatal(err)
+	}
+	fr.ObserveN(1, 3)
+	if err := EncodeDeviceState(&buf, &DeviceState{Model: "m", Tracker: fr.Export()}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("EUGSNP01garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeDeviceState(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that decodes must be installable: valid tracker state
+		// and a usable model name.
+		if s.Model == "" || len(s.Model) > maxDeviceStateModel {
+			t.Fatalf("decoded state with bad model name %q", s.Model)
+		}
+		if err := s.Tracker.Validate(); err != nil {
+			t.Fatalf("decoded state fails validation: %v", err)
+		}
+	})
+}

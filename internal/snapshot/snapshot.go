@@ -64,10 +64,11 @@ const FormatVersion = 1
 // widen f32 payloads to float64 (losslessly reversible: a re-encode at
 // f32 reproduces the file byte for byte).
 const (
-	kindModel     = 1 // full staged model + calibration + predictor bundle
-	kindSubset    = 2 // reduced hot-class device model
-	kindModelF32  = 3 // model bundle with float32 dense payloads
-	kindSubsetF32 = 4 // subset model with float32 dense payloads
+	kindModel       = 1 // full staged model + calibration + predictor bundle
+	kindSubset      = 2 // reduced hot-class device model
+	kindModelF32    = 3 // model bundle with float32 dense payloads
+	kindSubsetF32   = 4 // subset model with float32 dense payloads
+	kindDeviceState = 5 // per-device frequency-tracker state (drain handoff)
 )
 
 // Layer tags for the nn layer tree.
